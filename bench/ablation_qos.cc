@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: QoS tuning with ResourceControlBench (§3.4).
+ *
+ * Runs the two-scenario vrate sweep on the old-gen SSD and prints
+ * the raw sweep plus the derived [vrateMin, vrateMax] bounds — the
+ * procedure that produces the fleet's per-device QoS parameters.
+ */
+
+#include "bench/common.hh"
+#include "device/device_profiles.hh"
+#include "profile/qos_tuner.hh"
+
+int
+main()
+{
+    using namespace iocost;
+
+    bench::banner(
+        "Ablation: QoS tuning sweep (ResourceControlBench, §3.4)",
+        "Scenario 1: RCB alone, paging-bound (RPS should saturate "
+        "with vrate).\nScenario 2: RCB + memory leak (p95 should "
+        "stop improving below some vrate).");
+
+    const auto result =
+        profile::QosTuner::tune(device::oldGenSsd());
+
+    bench::Table table({"Pinned vrate", "Alone RPS (paging-bound)",
+                        "Stacked p95 (vs leaker)"});
+    for (const auto &p : result.sweep) {
+        table.row({bench::fmt("%.0f%%", 100.0 * p.vrate),
+                   bench::fmt("%.0f", p.aloneRps),
+                   bench::fmtTime(p.stackedP95)});
+    }
+    table.print();
+
+    std::printf("Derived QoS for %s:\n",
+                device::oldGenSsd().name.c_str());
+    std::printf("  vrate bounds: [%.0f%%, %.0f%%]\n",
+                100.0 * result.qos.vrateMin,
+                100.0 * result.qos.vrateMax);
+    std::printf("  read latency target: p%.0f < %s\n",
+                100.0 * result.qos.readLatQuantile,
+                bench::fmtTime(result.qos.readLatTarget).c_str());
+    std::printf("  write latency target: p%.0f < %s\n",
+                100.0 * result.qos.writeLatQuantile,
+                bench::fmtTime(result.qos.writeLatTarget).c_str());
+    return 0;
+}

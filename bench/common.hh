@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: uniform
+ * table printing and small formatting utilities so every bench
+ * prints rows the way the paper reports them.
+ */
+
+#ifndef IOCOST_BENCH_COMMON_HH
+#define IOCOST_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace iocost::bench {
+
+/** Print a banner naming the reproduced figure/table. */
+inline void
+banner(const std::string &title, const std::string &description)
+{
+    std::printf("==============================================="
+                "=============================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("==============================================="
+                "=============================\n");
+}
+
+/** Simple fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    Table &
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+        return *this;
+    }
+
+    void
+    print() const
+    {
+        std::vector<size_t> width(headers_.size(), 0);
+        for (size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &r : rows_) {
+            for (size_t c = 0; c < r.size() && c < width.size();
+                 ++c) {
+                width[c] = std::max(width[c], r[c].size());
+            }
+        }
+        auto print_row = [&](const std::vector<std::string> &r) {
+            for (size_t c = 0; c < headers_.size(); ++c) {
+                const std::string &cell =
+                    c < r.size() ? r[c] : std::string();
+                std::printf("%-*s  ",
+                            static_cast<int>(width[c]),
+                            cell.c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(headers_);
+        size_t total = 0;
+        for (size_t c = 0; c < headers_.size(); ++c)
+            total += width[c] + 2;
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto &r : rows_)
+            print_row(r);
+        std::printf("\n");
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting into std::string. */
+inline std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+/** Human-readable IOPS/ratios. */
+inline std::string
+fmtCount(double v)
+{
+    if (v >= 1e6)
+        return fmt("%.2fM", v / 1e6);
+    if (v >= 1e3)
+        return fmt("%.1fk", v / 1e3);
+    return fmt("%.0f", v);
+}
+
+/** Format simulated time as adaptive us/ms/s. */
+inline std::string
+fmtTime(sim::Time t)
+{
+    if (t >= sim::kSec)
+        return fmt("%.2fs", sim::toSeconds(t));
+    if (t >= sim::kMsec)
+        return fmt("%.1fms", sim::toMillis(t));
+    return fmt("%.0fus", sim::toMicros(t));
+}
+
+/** Format a byte rate. */
+inline std::string
+fmtBps(double bps)
+{
+    if (bps >= 1e9)
+        return fmt("%.2fGB/s", bps / 1e9);
+    if (bps >= 1e6)
+        return fmt("%.1fMB/s", bps / 1e6);
+    return fmt("%.0fkB/s", bps / 1e3);
+}
+
+} // namespace iocost::bench
+
+#endif // IOCOST_BENCH_COMMON_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Microbenchmarks of the core data structures and algorithms
+ * (google-benchmark, real wall-clock): the donation weight-tree
+ * update as a function of hierarchy size, cached vs uncached
+ * hweight lookups, histogram recording/quantiles, cost-model
+ * evaluation, and event-queue throughput. These quantify the
+ * "low overhead" claims of the issue/planning split at the
+ * implementation level.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cgroup/cgroup_tree.hh"
+#include "core/cost_model.hh"
+#include "core/donation.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stat/histogram.hh"
+
+namespace {
+
+using namespace iocost;
+
+/** Build a two-level tree with `leaves` active leaves. */
+cgroup::CgroupTree
+buildTree(int leaves, std::vector<cgroup::CgroupId> &out_leaves)
+{
+    cgroup::CgroupTree tree;
+    const int groups = std::max(1, leaves / 8);
+    std::vector<cgroup::CgroupId> mids;
+    for (int g = 0; g < groups; ++g) {
+        mids.push_back(tree.create(cgroup::kRoot,
+                                   "g" + std::to_string(g),
+                                   100 + g));
+    }
+    for (int l = 0; l < leaves; ++l) {
+        const auto leaf = tree.create(
+            mids[static_cast<size_t>(l) % mids.size()],
+            "l" + std::to_string(l), 50 + l % 200);
+        tree.setActive(leaf, true);
+        out_leaves.push_back(leaf);
+    }
+    return tree;
+}
+
+void
+BM_DonationPass(benchmark::State &state)
+{
+    const int leaves = static_cast<int>(state.range(0));
+    std::vector<cgroup::CgroupId> leaf_ids;
+    cgroup::CgroupTree tree = buildTree(leaves, leaf_ids);
+
+    // A quarter of the leaves donate half their share.
+    std::vector<core::DonorTarget> donors;
+    for (size_t i = 0; i < leaf_ids.size(); i += 4) {
+        donors.push_back(core::DonorTarget{
+            leaf_ids[i], tree.hweightActive(leaf_ids[i]) * 0.5});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::applyDonation(tree, donors));
+    }
+    state.SetItemsProcessed(state.iterations() * leaves);
+}
+
+void
+BM_HweightCached(benchmark::State &state)
+{
+    std::vector<cgroup::CgroupId> leaf_ids;
+    cgroup::CgroupTree tree = buildTree(256, leaf_ids);
+    tree.hweightInuse(leaf_ids[17]); // warm the cache
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.hweightInuse(leaf_ids[17]));
+    }
+}
+
+void
+BM_HweightRecompute(benchmark::State &state)
+{
+    std::vector<cgroup::CgroupId> leaf_ids;
+    cgroup::CgroupTree tree = buildTree(256, leaf_ids);
+    uint32_t w = 100;
+    for (auto _ : state) {
+        // Invalidate the tree-wide cache each round.
+        tree.setWeight(leaf_ids[3], 100 + (w++ % 7));
+        benchmark::DoNotOptimize(tree.hweightInuse(leaf_ids[17]));
+    }
+}
+
+void
+BM_CostModelEvaluate(benchmark::State &state)
+{
+    const core::CostModel model =
+        core::CostModel::fromConfig(core::LinearModelConfig{});
+    uint32_t size = 4096;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.cost(blk::Op::Read, (size & 1) == 0, size));
+        size = (size % 262144) + 4096;
+    }
+}
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    stat::Histogram h;
+    sim::Rng rng(5);
+    for (auto _ : state) {
+        h.record(static_cast<int64_t>(rng.below(10'000'000)));
+    }
+}
+
+void
+BM_HistogramQuantile(benchmark::State &state)
+{
+    stat::Histogram h;
+    sim::Rng rng(6);
+    for (int i = 0; i < 100000; ++i)
+        h.record(static_cast<int64_t>(rng.logNormal(100e3, 1.0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(h.quantile(0.99));
+    }
+}
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i) {
+            q.scheduleAt(i * 7 % 997, [&sink] { ++sink; });
+        }
+        q.runAll();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+BENCHMARK(BM_DonationPass)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_HweightCached);
+BENCHMARK(BM_HweightRecompute);
+BENCHMARK(BM_CostModelEvaluate);
+BENCHMARK(BM_HistogramRecord);
+BENCHMARK(BM_HistogramQuantile);
+BENCHMARK(BM_EventQueueScheduleRun);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Example: the offline configuration pipeline — profile a device
+ * (§3.2) and tune its QoS parameters with the
+ * ResourceControlBench procedure (§3.4), then print the resulting
+ * io.cost.model / io.cost.qos style configuration lines.
+ *
+ * This is what runs once per device model before fleet deployment;
+ * workloads afterwards only need cgroup weights.
+ *
+ * Build & run:  ./build/examples/profile_and_tune
+ */
+
+#include <cstdio>
+
+#include "device/device_profiles.hh"
+#include "profile/device_profiler.hh"
+#include "profile/qos_tuner.hh"
+
+int
+main()
+{
+    using namespace iocost;
+
+    const device::SsdSpec spec = device::newGenSsd();
+    std::printf("Profiling %s ...\n", spec.name.c_str());
+    const auto &prof = profile::DeviceProfiler::profileSsd(spec);
+
+    std::printf("\nMeasured envelope:\n");
+    std::printf("  4k rand read  %8.0f IOPS  (p50 %.0f us)\n",
+                prof.randReadIops,
+                sim::toMicros(prof.readLatency));
+    std::printf("  4k seq  read  %8.0f IOPS\n", prof.seqReadIops);
+    std::printf("  4k rand write %8.0f IOPS  (p50 %.0f us)\n",
+                prof.randWriteIops,
+                sim::toMicros(prof.writeLatency));
+    std::printf("  4k seq  write %8.0f IOPS\n", prof.seqWriteIops);
+
+    std::printf("\nTuning QoS with ResourceControlBench (two "
+                "scenarios, vrate sweep) ...\n");
+    const auto tuned = profile::QosTuner::tune(spec);
+    for (const auto &p : tuned.sweep) {
+        std::printf("  vrate %3.0f%%: alone %4.0f rps, stacked "
+                    "p95 %8.2f ms\n",
+                    100 * p.vrate, p.aloneRps,
+                    sim::toMillis(p.stackedP95));
+    }
+
+    std::printf("\nDeployable configuration:\n");
+    std::printf("  io.cost.model: rbps=%.0f rseqiops=%.0f "
+                "rrandiops=%.0f wbps=%.0f wseqiops=%.0f "
+                "wrandiops=%.0f\n",
+                prof.model.rbps, prof.model.rseqiops,
+                prof.model.rrandiops, prof.model.wbps,
+                prof.model.wseqiops, prof.model.wrandiops);
+    std::printf("  io.cost.qos:   rpct=%.0f rlat=%.0fus "
+                "wpct=%.0f wlat=%.0fus min=%.0f max=%.0f\n",
+                100 * tuned.qos.readLatQuantile,
+                sim::toMicros(tuned.qos.readLatTarget),
+                100 * tuned.qos.writeLatQuantile,
+                sim::toMicros(tuned.qos.writeLatTarget),
+                100 * tuned.qos.vrateMin,
+                100 * tuned.qos.vrateMax);
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Example: capture a workload's IO trace and replay it under
+ * different controllers.
+ *
+ * The Fig. 4 methodology in miniature: a workload signature is
+ * captured once (here from a mixed fio job; in practice from
+ * blktrace on a production host), serialized, and then replayed —
+ * open loop, identical arrival times and offsets — against stacks
+ * with different IO control mechanisms, comparing the latency each
+ * delivers to the *same* demand.
+ *
+ * Build & run:  ./build/examples/trace_replay
+ */
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+
+#include "controllers/factory.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "host/host.hh"
+#include "profile/device_profiler.hh"
+#include "workload/fio_workload.hh"
+#include "workload/trace.hh"
+
+int
+main()
+{
+    using namespace iocost;
+
+    // --- capture ----------------------------------------------------
+    workload::Trace trace;
+    {
+        sim::Simulator sim(5);
+        device::SsdModel device(sim, device::oldGenSsd());
+        cgroup::CgroupTree tree;
+        blk::BlockLayer layer(sim, device, tree);
+        const auto cg = tree.create(cgroup::kRoot, "captured-app");
+        workload::TraceRecorder recorder(layer);
+
+        workload::FioConfig cfg;
+        cfg.arrival = workload::Arrival::Rate;
+        cfg.ratePerSec = 5000;
+        cfg.readFraction = 0.7;
+        cfg.randomFraction = 0.6;
+        cfg.blockSize = 16384;
+        workload::FioWorkload job(sim, layer, cg, cfg);
+        // Route the job's bios through the recorder by replaying
+        // its submissions: simplest is to capture at the layer via
+        // wrap() — here we submit a mirror stream explicitly.
+        job.start();
+        sim::PeriodicTimer mirror(sim, 200 * sim::kUsec, [&] {
+            recorder.submit(blk::Bio::make(
+                blk::Op::Read, (sim.now() % (1 << 30)), 16384,
+                cg));
+        });
+        mirror.start();
+        sim.runUntil(5 * sim::kSec);
+        trace = recorder.take();
+    }
+    std::printf("captured %zu records, %.1f MB read, %.1f MB "
+                "written, %.2fs span\n",
+                trace.size(), trace.readBytes() / 1e6,
+                trace.writeBytes() / 1e6,
+                sim::toSeconds(trace.duration()));
+
+    // Round-trip through the text format, as a file would.
+    std::stringstream file;
+    trace.save(file);
+    trace = workload::Trace::load(file);
+
+    // --- replay under each mechanism --------------------------------
+    std::printf("\n%-14s %10s %12s %12s\n", "controller",
+                "completed", "p50", "p99");
+    for (const std::string name :
+         {"none", "bfq", "iocost"}) {
+        sim::Simulator sim(6);
+        const device::SsdSpec spec = device::oldGenSsd();
+        host::HostOptions opts;
+        opts.controller = name;
+        opts.iocostConfig.model = core::CostModel::fromConfig(
+            profile::DeviceProfiler::profileSsd(spec).model);
+        host::Host host(
+            sim, std::make_unique<device::SsdModel>(sim, spec),
+            opts);
+
+        // An antagonist loads the device while the trace replays.
+        const auto noisy = host.addWorkload("noisy", 100);
+        workload::FioConfig antagonist;
+        antagonist.readFraction = 0.0;
+        antagonist.blockSize = 256 * 1024;
+        antagonist.iodepth = 8;
+        workload::FioWorkload noise(sim, host.layer(), noisy,
+                                    antagonist);
+        noise.start();
+
+        workload::ReplayConfig rcfg;
+        rcfg.fallbackParent = host.workload();
+        workload::TraceReplayer replay(sim, host.layer(), trace,
+                                       rcfg);
+
+        // Measure replay latencies via a recorder on the same layer.
+        stat::Histogram lat;
+        sim::Time t0 = sim.now();
+        (void)t0;
+        replay.start();
+        sim.runUntil(8 * sim::kSec);
+
+        // Latency statistics come from the layer's per-cgroup
+        // accounting of the replayed cgroup.
+        cgroup::CgroupId replayed = cgroup::kNone;
+        auto &tree = host.tree();
+        for (cgroup::CgroupId id = 0; id < tree.size(); ++id) {
+            if (tree.name(id) == "captured-app")
+                replayed = id;
+        }
+        const auto &st = host.layer().stats(replayed);
+        std::printf("%-14s %10llu %10.0fus %10.0fus\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(
+                        replay.completed()),
+                    sim::toMicros(st.totalLatency.quantile(0.5)),
+                    sim::toMicros(st.totalLatency.quantile(0.99)));
+    }
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The bio: the unit of block IO flowing through the simulated stack.
+ *
+ * Mirrors the kernel's struct bio at the granularity IO controllers
+ * care about: operation type, byte offset and size, the issuing
+ * cgroup, and flags identifying swap and filesystem-metadata IO
+ * (which get special priority-inversion treatment, paper §3.5).
+ */
+
+#ifndef IOCOST_BLK_BIO_HH
+#define IOCOST_BLK_BIO_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "cgroup/cgroup_tree.hh"
+#include "sim/time.hh"
+
+namespace iocost::blk {
+
+/** Block IO operation direction. */
+enum class Op : uint8_t
+{
+    Read,
+    Write,
+};
+
+/** @return "read" / "write". */
+inline const char *
+opName(Op op)
+{
+    return op == Op::Read ? "read" : "write";
+}
+
+struct Bio;
+
+/** Bios are owned uniquely and moved through the pipeline. */
+using BioPtr = std::unique_ptr<Bio>;
+
+/** Completion callback delivered to the submitter. */
+using BioEndFn = std::function<void(const Bio &)>;
+
+/**
+ * One block IO request.
+ */
+struct Bio
+{
+    /** Monotonic id, assigned by the block layer at submission. */
+    uint64_t id = 0;
+
+    /** Operation direction. */
+    Op op = Op::Read;
+
+    /** Byte offset on the device. */
+    uint64_t offset = 0;
+
+    /** Transfer size in bytes. */
+    uint32_t size = 0;
+
+    /** Issuing (charged) cgroup. */
+    cgroup::CgroupId cgroup = cgroup::kRoot;
+
+    /**
+     * Swap-out / swap-in IO issued by memory reclaim on behalf of the
+     * charged cgroup; must not be throttled synchronously (§3.5).
+     */
+    bool swap = false;
+
+    /**
+     * Filesystem metadata/journal IO; shares the swap path's debt
+     * treatment because other groups can be blocked behind it.
+     */
+    bool meta = false;
+
+    /** When the bio entered the block layer. */
+    sim::Time submitTime = 0;
+
+    /** When the bio was dispatched to the device. */
+    sim::Time dispatchTime = 0;
+
+    /** Invoked by the block layer when the bio completes. */
+    BioEndFn onComplete;
+
+    /**
+     * Scratch slot for the installed controller (IOCost stores the
+     * absolute cost computed at submission so queued bios are not
+     * re-classified). Mirrors the kernel's per-bio blkcg annotations.
+     */
+    double controllerScratch = 0.0;
+
+    /** Convenience factory. */
+    static BioPtr
+    make(Op op, uint64_t offset, uint32_t size,
+         cgroup::CgroupId cg, BioEndFn on_complete = nullptr)
+    {
+        auto bio = std::make_unique<Bio>();
+        bio->op = op;
+        bio->offset = offset;
+        bio->size = size;
+        bio->cgroup = cg;
+        bio->onComplete = std::move(on_complete);
+        return bio;
+    }
+};
+
+} // namespace iocost::blk
+
+#endif // IOCOST_BLK_BIO_HH

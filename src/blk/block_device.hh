@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract block device consumed by the block layer.
+ *
+ * A device accepts bios up to its queue depth (the driver/hardware
+ * queue slots) and completes them asynchronously on the simulated
+ * event queue, reporting the dispatch-to-completion latency. The
+ * "slots" abstraction is what IOCost's saturation detection watches
+ * (request depletion, paper §3.3).
+ */
+
+#ifndef IOCOST_BLK_BLOCK_DEVICE_HH
+#define IOCOST_BLK_BLOCK_DEVICE_HH
+
+#include <functional>
+#include <string>
+
+#include "blk/bio.hh"
+#include "sim/time.hh"
+
+namespace iocost::blk {
+
+/** Invoked by a device when a request finishes. */
+using DeviceEndFn =
+    std::function<void(BioPtr, sim::Time device_latency)>;
+
+/**
+ * Abstract block device.
+ */
+class BlockDevice
+{
+  public:
+    virtual ~BlockDevice() = default;
+
+    /**
+     * Try to accept a request.
+     *
+     * @return true and take ownership if a queue slot was free,
+     *         false (leaving the bio with the caller) otherwise.
+     */
+    virtual bool submit(BioPtr &bio) = 0;
+
+    /** Hardware/driver queue depth (max in-flight requests). */
+    virtual uint32_t queueDepth() const = 0;
+
+    /** Currently in-flight requests. */
+    virtual uint32_t inFlight() const = 0;
+
+    /** Marketing name for reports. */
+    virtual std::string modelName() const = 0;
+
+    /** Register the completion sink (set once by the BlockLayer). */
+    void
+    setCompletionFn(DeviceEndFn fn)
+    {
+        complete_ = std::move(fn);
+    }
+
+  protected:
+    /** Deliver a completion to the block layer. */
+    void
+    finish(BioPtr bio, sim::Time device_latency)
+    {
+        if (complete_)
+            complete_(std::move(bio), device_latency);
+    }
+
+  private:
+    DeviceEndFn complete_;
+};
+
+} // namespace iocost::blk
+
+#endif // IOCOST_BLK_BLOCK_DEVICE_HH

@@ -1,0 +1,164 @@
+#include "blk/block_layer.hh"
+
+#include <utility>
+
+namespace iocost::blk {
+
+BlockLayer::BlockLayer(sim::Simulator &sim, BlockDevice &device,
+                       cgroup::CgroupTree &tree)
+    : sim_(sim), device_(device), tree_(tree)
+{
+    device_.setCompletionFn(
+        [this](BioPtr bio, sim::Time device_latency) {
+            onDeviceComplete(std::move(bio), device_latency);
+        });
+}
+
+void
+BlockLayer::setController(std::unique_ptr<IoController> controller)
+{
+    controller_ = std::move(controller);
+    if (controller_)
+        controller_->attach(*this);
+}
+
+void
+BlockLayer::submit(BioPtr bio)
+{
+    bio->id = nextBioId_++;
+    bio->submitTime = sim_.now();
+    ++submitted_;
+
+    if (!cpuEnabled_) {
+        deliverToController(std::move(bio));
+        return;
+    }
+
+    // Submissions serialize on one simulated CPU for the
+    // controller's per-bio issue-path cost; this is what bounds
+    // throughput for heavyweight schedulers in the Fig. 9 bench.
+    const sim::Time cost = controller_ ? controller_->issueCpuCost()
+                                       : kNoControllerCpuCost;
+    cpuBusyUntil_ = std::max(sim_.now(), cpuBusyUntil_) + cost;
+    auto owned = std::make_shared<BioPtr>(std::move(bio));
+    sim_.at(cpuBusyUntil_, [this, owned] {
+        deliverToController(std::move(*owned));
+    });
+}
+
+void
+BlockLayer::deliverToController(BioPtr bio)
+{
+    if (controller_) {
+        controller_->onSubmit(std::move(bio));
+    } else {
+        dispatch(std::move(bio));
+    }
+}
+
+void
+BlockLayer::dispatch(BioPtr bio)
+{
+    bio->dispatchTime = sim_.now();
+    if (dispatchQueue_.empty() && device_.submit(bio))
+        return;
+
+    // Device queue saturated: try to back-merge with a recently
+    // parked bio it extends (same direction and cgroup, bounded
+    // size), else park in FIFO order. Only the tail of the queue is
+    // scanned — the kernel's plug/merge window is equally shallow —
+    // which keeps dispatch O(1) even when the backlog is deep.
+    ++queueFullEvents_;
+    const size_t scan_from =
+        dispatchQueue_.size() > kMergeScanWindow
+            ? dispatchQueue_.size() - kMergeScanWindow
+            : 0;
+    for (size_t i = scan_from; i < dispatchQueue_.size(); ++i) {
+        BioPtr &parked = dispatchQueue_[i];
+        if (parked->op == bio->op &&
+            parked->cgroup == bio->cgroup &&
+            parked->offset + parked->size == bio->offset &&
+            parked->size + bio->size <= kMaxMergedBytes) {
+            parked->size += bio->size;
+            ++mergedBios_;
+            if (bio->onComplete) {
+                if (parked->onComplete) {
+                    auto fa = std::move(parked->onComplete);
+                    auto fb = std::move(bio->onComplete);
+                    parked->onComplete =
+                        [fa = std::move(fa),
+                         fb = std::move(fb)](const Bio &b) {
+                            fa(b);
+                            fb(b);
+                        };
+                } else {
+                    parked->onComplete = std::move(bio->onComplete);
+                }
+            }
+            return;
+        }
+    }
+    dispatchQueue_.push_back(std::move(bio));
+}
+
+void
+BlockLayer::drainDispatchQueue()
+{
+    while (!dispatchQueue_.empty()) {
+        BioPtr &front = dispatchQueue_.front();
+        front->dispatchTime = sim_.now();
+        if (!device_.submit(front))
+            break;
+        dispatchQueue_.pop_front();
+    }
+}
+
+void
+BlockLayer::onDeviceComplete(BioPtr bio, sim::Time device_latency)
+{
+    ++completed_;
+
+    CgroupIoStats &st = statsMutable(bio->cgroup);
+    if (bio->op == Op::Read) {
+        ++st.reads;
+        st.readBytes += bio->size;
+    } else {
+        ++st.writes;
+        st.writeBytes += bio->size;
+    }
+    st.totalLatency.record(sim_.now() - bio->submitTime);
+    st.deviceLatency.record(device_latency);
+
+    if (controller_)
+        controller_->onComplete(*bio, device_latency);
+
+    // A completed request frees a device slot: feed parked bios in.
+    drainDispatchQueue();
+
+    if (bio->onComplete)
+        bio->onComplete(*bio);
+}
+
+CgroupIoStats &
+BlockLayer::statsMutable(cgroup::CgroupId cg)
+{
+    if (cg >= stats_.size())
+        stats_.resize(cg + 1);
+    return stats_[cg];
+}
+
+const CgroupIoStats &
+BlockLayer::stats(cgroup::CgroupId cg) const
+{
+    if (cg >= stats_.size())
+        stats_.resize(cg + 1);
+    return stats_[cg];
+}
+
+void
+BlockLayer::resetStats()
+{
+    stats_.clear();
+}
+
+} // namespace iocost::blk

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The block layer: glue between submitters, the IO controller, and
+ * the device.
+ *
+ * Responsibilities (mirroring the kernel's):
+ *  - accept bios from workloads / the memory manager;
+ *  - hand every bio to the installed controller (which may hold it);
+ *  - dispatch controller-released bios to the device, parking them in
+ *    a FIFO when the device queue is full;
+ *  - fan completions back out (controller notification, per-cgroup
+ *    accounting, submitter callback).
+ */
+
+#ifndef IOCOST_BLK_BLOCK_LAYER_HH
+#define IOCOST_BLK_BLOCK_LAYER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "blk/bio.hh"
+#include "blk/block_device.hh"
+#include "blk/io_controller.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "sim/simulator.hh"
+#include "stat/histogram.hh"
+
+namespace iocost::blk {
+
+/**
+ * Per-cgroup IO accounting kept by the block layer.
+ */
+struct CgroupIoStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t readBytes = 0;
+    uint64_t writeBytes = 0;
+    /** Submission-to-completion latency (what the app observes). */
+    stat::Histogram totalLatency;
+    /** Dispatch-to-completion latency (what the device delivered). */
+    stat::Histogram deviceLatency;
+};
+
+/**
+ * The block layer for one device.
+ */
+class BlockLayer
+{
+  public:
+    /**
+     * @param sim Simulation context.
+     * @param device The backing device (not owned).
+     * @param tree The cgroup hierarchy (not owned).
+     */
+    BlockLayer(sim::Simulator &sim, BlockDevice &device,
+               cgroup::CgroupTree &tree);
+
+    /** Install the IO controller (nullptr = no control, direct). */
+    void setController(std::unique_ptr<IoController> controller);
+
+    /** The installed controller, or nullptr. */
+    IoController *controller() { return controller_.get(); }
+
+    /** Submit a bio into the stack. */
+    void submit(BioPtr bio);
+
+    /**
+     * Enable the submission-path CPU model: each submitted bio
+     * serializes on one simulated CPU for the controller's
+     * issueCpuCost() before reaching the controller. Off by default;
+     * the Fig. 9 overhead bench turns it on.
+     */
+    void setSubmissionCpuEnabled(bool enabled)
+    {
+        cpuEnabled_ = enabled;
+    }
+
+    /** CPU cost charged per bio when no controller is installed. */
+    static constexpr sim::Time kNoControllerCpuCost = 150;
+
+    /**
+     * Dispatch a controller-released bio toward the device. Parks it
+     * in the elevator FIFO if the device is saturated; while parked,
+     * contiguous same-direction bios of one cgroup are back-merged
+     * into larger requests (the kernel's plug/elevator merging),
+     * which is what keeps interleaved sequential streams efficient
+     * on seek-bound media.
+     */
+    void dispatch(BioPtr bio);
+
+    /** Upper bound on a merged request's size. */
+    static constexpr uint32_t kMaxMergedBytes = 512 * 1024;
+
+    /** Parked bios scanned for a back-merge (plug-list window). */
+    static constexpr size_t kMergeScanWindow = 64;
+
+    /** Bios absorbed into merged requests so far. */
+    uint64_t mergedBios() const { return mergedBios_; }
+
+    /** Simulation context. */
+    sim::Simulator &sim() { return sim_; }
+
+    /** The cgroup hierarchy. */
+    cgroup::CgroupTree &cgroups() { return tree_; }
+
+    /** The device. */
+    BlockDevice &device() { return device_; }
+
+    /** Per-cgroup accounting (grows on demand). */
+    const CgroupIoStats &stats(cgroup::CgroupId cg) const;
+
+    /** Reset all per-cgroup accounting (benches reuse stacks). */
+    void resetStats();
+
+    /** Bios accepted so far. */
+    uint64_t submitted() const { return submitted_; }
+
+    /** Bios completed so far. */
+    uint64_t completed() const { return completed_; }
+
+    /** Bios sitting in the post-controller dispatch FIFO. */
+    size_t dispatchQueueDepth() const { return dispatchQueue_.size(); }
+
+    /**
+     * Count of dispatch attempts that found the device queue full
+     * since the last readAndResetQueueFullEvents() call. IOCost's
+     * planning path consumes this as its request-depletion signal.
+     */
+    uint64_t
+    readAndResetQueueFullEvents()
+    {
+        const uint64_t n = queueFullEvents_;
+        queueFullEvents_ = 0;
+        return n;
+    }
+
+  private:
+    void onDeviceComplete(BioPtr bio, sim::Time device_latency);
+    void drainDispatchQueue();
+    void deliverToController(BioPtr bio);
+    CgroupIoStats &statsMutable(cgroup::CgroupId cg);
+
+    sim::Simulator &sim_;
+    BlockDevice &device_;
+    cgroup::CgroupTree &tree_;
+    std::unique_ptr<IoController> controller_;
+    std::deque<BioPtr> dispatchQueue_;
+    mutable std::vector<CgroupIoStats> stats_;
+    uint64_t nextBioId_ = 1;
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t queueFullEvents_ = 0;
+    uint64_t mergedBios_ = 0;
+    bool cpuEnabled_ = false;
+    sim::Time cpuBusyUntil_ = 0;
+};
+
+} // namespace iocost::blk
+
+#endif // IOCOST_BLK_BLOCK_LAYER_HH

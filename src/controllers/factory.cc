@@ -1,0 +1,50 @@
+#include "controllers/factory.hh"
+
+#include "controllers/bfq.hh"
+#include "controllers/blk_throttle.hh"
+#include "controllers/io_latency.hh"
+#include "controllers/kyber.hh"
+#include "controllers/mq_deadline.hh"
+#include "controllers/noop.hh"
+#include "sim/logging.hh"
+
+namespace iocost::controllers {
+
+std::unique_ptr<blk::IoController>
+makeController(const std::string &name,
+               const core::IoCostConfig &iocost_config)
+{
+    if (name == "none")
+        return std::make_unique<NoopScheduler>();
+    if (name == "mq-deadline")
+        return std::make_unique<MqDeadline>();
+    if (name == "kyber")
+        return std::make_unique<Kyber>();
+    if (name == "bfq")
+        return std::make_unique<Bfq>();
+    if (name == "blk-throttle")
+        return std::make_unique<BlkThrottle>();
+    if (name == "iolatency")
+        return std::make_unique<IoLatency>();
+    if (name == "iocost")
+        return std::make_unique<core::IoCost>(iocost_config);
+    sim::fatal("unknown IO control mechanism: " + name);
+}
+
+std::vector<std::string>
+allMechanisms()
+{
+    return {"none",         "mq-deadline", "kyber", "blk-throttle",
+            "bfq",          "iolatency",   "iocost"};
+}
+
+std::vector<blk::ControllerCaps>
+allCapabilities()
+{
+    std::vector<blk::ControllerCaps> out;
+    for (const std::string &name : allMechanisms())
+        out.push_back(makeController(name)->caps());
+    return out;
+}
+
+} // namespace iocost::controllers

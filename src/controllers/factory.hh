@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Controller factory: build any IO control mechanism by name.
+ *
+ * Benches sweep mechanisms ("none", "mq-deadline", "kyber", "bfq",
+ * "blk-throttle", "iolatency", "iocost") against identical stacks;
+ * the factory centralizes construction and the Table 1 capability
+ * listing.
+ */
+
+#ifndef IOCOST_CONTROLLERS_FACTORY_HH
+#define IOCOST_CONTROLLERS_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blk/io_controller.hh"
+#include "core/iocost.hh"
+
+namespace iocost::controllers {
+
+/**
+ * Construct a controller by mechanism name.
+ *
+ * @param name One of: none, mq-deadline, kyber, bfq, blk-throttle,
+ *        iolatency, iocost.
+ * @param iocost_config Configuration used when name == "iocost".
+ * @return The controller, or nullptr for the literal "none-null"
+ *         (no controller object at all).
+ */
+std::unique_ptr<blk::IoController>
+makeController(const std::string &name,
+               const core::IoCostConfig &iocost_config = {});
+
+/** All mechanism names in Table 1 order. */
+std::vector<std::string> allMechanisms();
+
+/** Capability rows for Table 1 (same order as allMechanisms()). */
+std::vector<blk::ControllerCaps> allCapabilities();
+
+} // namespace iocost::controllers
+
+#endif // IOCOST_CONTROLLERS_FACTORY_HH

@@ -1,0 +1,72 @@
+#include "controllers/kyber.hh"
+
+#include <algorithm>
+
+namespace iocost::controllers {
+
+void
+Kyber::attach(blk::BlockLayer &layer)
+{
+    IoController::attach(layer);
+    timer_.emplace(layer.sim(), cfg_.window, [this] { adjust(); });
+    timer_->start();
+}
+
+void
+Kyber::onSubmit(blk::BioPtr bio)
+{
+    if (bio->op == blk::Op::Read) {
+        // Synchronous reads are never held back.
+        layer().dispatch(std::move(bio));
+        return;
+    }
+    writes_.push_back(std::move(bio));
+    pump();
+}
+
+void
+Kyber::onComplete(const blk::Bio &bio, sim::Time device_latency)
+{
+    if (bio.op == blk::Op::Read) {
+        windowReadLat_.record(device_latency);
+    } else {
+        windowWriteLat_.record(device_latency);
+        if (writeInFlight_ > 0)
+            --writeInFlight_;
+        pump();
+    }
+}
+
+void
+Kyber::pump()
+{
+    while (!writes_.empty() && writeInFlight_ < writeDepth_) {
+        blk::BioPtr bio = std::move(writes_.front());
+        writes_.pop_front();
+        ++writeInFlight_;
+        layer().dispatch(std::move(bio));
+    }
+}
+
+void
+Kyber::adjust()
+{
+    const bool reads_hurt =
+        windowReadLat_.count() >= 8 &&
+        windowReadLat_.quantile(0.90) > cfg_.readTarget;
+    const bool writes_hurt =
+        windowWriteLat_.count() >= 8 &&
+        windowWriteLat_.quantile(0.90) > cfg_.writeTarget;
+
+    if (reads_hurt) {
+        writeDepth_ = std::max(1u, writeDepth_ / 2);
+    } else if (!writes_hurt && writeDepth_ < cfg_.maxWriteDepth) {
+        // Additive recovery once latencies are healthy again.
+        writeDepth_ = std::min(cfg_.maxWriteDepth, writeDepth_ + 4);
+    }
+    windowReadLat_.reset();
+    windowWriteLat_.reset();
+    pump();
+}
+
+} // namespace iocost::controllers

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The "none" configuration: no scheduler, no controller.
+ *
+ * Bios pass straight to the device. Serves as the Fig. 9 baseline
+ * (raw block-layer throughput) and the no-isolation comparison point
+ * everywhere else.
+ */
+
+#ifndef IOCOST_CONTROLLERS_NOOP_HH
+#define IOCOST_CONTROLLERS_NOOP_HH
+
+#include "blk/block_layer.hh"
+#include "blk/io_controller.hh"
+
+namespace iocost::controllers {
+
+/** Pass-through "scheduler". */
+class NoopScheduler : public blk::IoController
+{
+  public:
+    blk::ControllerCaps
+    caps() const override
+    {
+        return blk::ControllerCaps{
+            .name = "none",
+            .lowOverhead = true,
+            .workConserving = true,
+            .memoryManagementAware = false,
+            .proportionalFairness = false,
+            .cgroupControl = false,
+        };
+    }
+
+    sim::Time issueCpuCost() const override { return 150; }
+
+    void
+    onSubmit(blk::BioPtr bio) override
+    {
+        layer().dispatch(std::move(bio));
+    }
+};
+
+} // namespace iocost::controllers
+
+#endif // IOCOST_CONTROLLERS_NOOP_HH

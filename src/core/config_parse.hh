@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parsers for the kernel's io.cost configuration interfaces.
+ *
+ * Production iocost is configured through two cgroup files whose
+ * payloads are space-separated key=value lines:
+ *
+ *   io.cost.model:  8:0 ctrl=user model=linear rbps=... rseqiops=...
+ *                   rrandiops=... wbps=... wseqiops=... wrandiops=...
+ *   io.cost.qos:    8:0 enable=1 ctrl=user rpct=95.00 rlat=5000
+ *                   wpct=95.00 wlat=5000 min=50.00 max=150.00
+ *
+ * These helpers parse and emit that exact format so model/QoS
+ * configurations round-trip between this library and a real kernel
+ * (percent-denominated min/max and microsecond-denominated
+ * latencies included).
+ */
+
+#ifndef IOCOST_CORE_CONFIG_PARSE_HH
+#define IOCOST_CORE_CONFIG_PARSE_HH
+
+#include <optional>
+#include <string>
+
+#include "core/cost_model.hh"
+#include "core/qos.hh"
+
+namespace iocost::core {
+
+/**
+ * Parse an io.cost.model line.
+ *
+ * Unknown keys are ignored (forward compatibility); a leading
+ * device number ("8:0") and ctrl=/model= markers are accepted and
+ * skipped. Returns std::nullopt on malformed key=value syntax or a
+ * non-positive rate.
+ */
+std::optional<LinearModelConfig>
+parseModelLine(const std::string &line);
+
+/** Emit the io.cost.model payload for @p cfg (without dev number). */
+std::string formatModelLine(const LinearModelConfig &cfg);
+
+/**
+ * Parse an io.cost.qos line (rpct/rlat/wpct/wlat/min/max keys;
+ * percentiles in percent, latencies in microseconds, min/max in
+ * percent of the model rate). Missing keys keep their defaults.
+ */
+std::optional<QosParams> parseQosLine(const std::string &line);
+
+/** Emit the io.cost.qos payload for @p qos (without dev number). */
+std::string formatQosLine(const QosParams &qos);
+
+} // namespace iocost::core
+
+#endif // IOCOST_CORE_CONFIG_PARSE_HH

@@ -1,0 +1,58 @@
+#include "core/cost_model.hh"
+
+#include "sim/logging.hh"
+
+namespace iocost::core {
+
+namespace {
+
+/** Eq. 2: per-byte cost in ns from a bytes/sec peak. */
+double
+sizeCostRate(double bps)
+{
+    sim::panicIf(bps <= 0, "cost model: non-positive bps");
+    return 1e9 / bps;
+}
+
+/** Eq. 3: base cost in ns from a 4k IOPS peak and a per-byte rate. */
+double
+baseCost(double iops_4k, double rate_ns_per_byte)
+{
+    sim::panicIf(iops_4k <= 0, "cost model: non-positive iops");
+    const double per_io = 1e9 / iops_4k;
+    const double base = per_io - rate_ns_per_byte * 4096.0;
+    // A device whose 4k IOPS is entirely transfer-bound has no fixed
+    // overhead; clamp at zero rather than going negative.
+    return base > 0.0 ? base : 0.0;
+}
+
+} // namespace
+
+CostModel
+CostModel::fromConfig(const LinearModelConfig &cfg)
+{
+    CostModel m;
+    m.readNsPerByte_ = sizeCostRate(cfg.rbps);
+    m.writeNsPerByte_ = sizeCostRate(cfg.wbps);
+    m.readBaseSeq_ = baseCost(cfg.rseqiops, m.readNsPerByte_);
+    m.readBaseRand_ = baseCost(cfg.rrandiops, m.readNsPerByte_);
+    m.writeBaseSeq_ = baseCost(cfg.wseqiops, m.writeNsPerByte_);
+    m.writeBaseRand_ = baseCost(cfg.wrandiops, m.writeNsPerByte_);
+    return m;
+}
+
+void
+CostModel::scaleCapability(double factor)
+{
+    sim::panicIf(factor <= 0, "cost model: non-positive scale");
+    // Claiming a device k-times as capable makes every IO cost 1/k
+    // as much occupancy.
+    readBaseSeq_ /= factor;
+    readBaseRand_ /= factor;
+    writeBaseSeq_ /= factor;
+    writeBaseRand_ /= factor;
+    readNsPerByte_ /= factor;
+    writeNsPerByte_ /= factor;
+}
+
+} // namespace iocost::core

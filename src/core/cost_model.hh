@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The IOCost linear device cost model (paper §3.2).
+ *
+ * The absolute cost of a bio estimates its *device occupancy* — not
+ * its latency — in nanoseconds of device time:
+ *
+ *     io_cost = base_cost(op, sequential) + size_cost_rate(op) * size
+ *
+ * Six parameters: four base costs (read/write x rand/seq) and two
+ * per-byte rates (read/write). The user-facing configuration format
+ * matches the kernel's io.cost.model knobs (Fig. 6 of the paper):
+ * read/write bytes-per-second plus 4k sequential/random IOPS, which
+ * translate internally via Eqs. 2-3:
+ *
+ *     size_cost_rate = 1 sec / Bps
+ *     base_cost      = 1 sec / IOPS_4k - size_cost_rate * 4096
+ */
+
+#ifndef IOCOST_CORE_COST_MODEL_HH
+#define IOCOST_CORE_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "blk/bio.hh"
+#include "sim/time.hh"
+
+namespace iocost::core {
+
+/**
+ * User-facing model configuration (what the profiler emits and the
+ * administrator deploys). All rates are sustainable peaks.
+ */
+struct LinearModelConfig
+{
+    /** Peak read throughput, bytes/sec. */
+    double rbps = 488636629;
+    /** Peak sequential 4k read IOPS. */
+    double rseqiops = 8932;
+    /** Peak random 4k read IOPS. */
+    double rrandiops = 8518;
+    /** Peak write throughput, bytes/sec. */
+    double wbps = 427891549;
+    /** Peak sequential 4k write IOPS. */
+    double wseqiops = 28755;
+    /** Peak random 4k write IOPS. */
+    double wrandiops = 21940;
+};
+
+/**
+ * Compiled linear cost model.
+ */
+class CostModel
+{
+  public:
+    /** Identity-ish default; use fromConfig() in real setups. */
+    CostModel() = default;
+
+    /** Compile the six internal parameters from a configuration. */
+    static CostModel fromConfig(const LinearModelConfig &cfg);
+
+    /**
+     * Absolute cost (device occupancy, ns) of one IO.
+     *
+     * @param op Direction.
+     * @param sequential Whether the IO continues the issuing
+     *        cgroup's previous IO.
+     * @param size Transfer size in bytes.
+     */
+    sim::Time
+    cost(blk::Op op, bool sequential, uint32_t size) const
+    {
+        const bool read = op == blk::Op::Read;
+        const double base =
+            read ? (sequential ? readBaseSeq_ : readBaseRand_)
+                 : (sequential ? writeBaseSeq_ : writeBaseRand_);
+        const double rate = read ? readNsPerByte_ : writeNsPerByte_;
+        const double c = base + rate * static_cast<double>(size);
+        return c < 1.0 ? 1 : static_cast<sim::Time>(c);
+    }
+
+    /**
+     * Scale every parameter's implied device capability by
+     * @p factor (>1 claims a faster device, so costs shrink).
+     * Models the online parameter updates of Fig. 13.
+     */
+    void scaleCapability(double factor);
+
+    /** @name Internal parameters (ns / ns-per-byte), for tests.
+     *  @{ */
+    double readBaseSeq() const { return readBaseSeq_; }
+    double readBaseRand() const { return readBaseRand_; }
+    double writeBaseSeq() const { return writeBaseSeq_; }
+    double writeBaseRand() const { return writeBaseRand_; }
+    double readNsPerByte() const { return readNsPerByte_; }
+    double writeNsPerByte() const { return writeNsPerByte_; }
+    /** @} */
+
+  private:
+    double readBaseSeq_ = 100e3;
+    double readBaseRand_ = 110e3;
+    double writeBaseSeq_ = 30e3;
+    double writeBaseRand_ = 40e3;
+    double readNsPerByte_ = 2.0;
+    double writeNsPerByte_ = 2.0;
+};
+
+} // namespace iocost::core
+
+#endif // IOCOST_CORE_COST_MODEL_HH

@@ -1,0 +1,111 @@
+#include "core/donation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iocost::core {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+} // namespace
+
+size_t
+applyDonation(cgroup::CgroupTree &tree,
+              const std::vector<DonorTarget> &donors)
+{
+    using cgroup::CgroupId;
+    using cgroup::kRoot;
+
+    const size_t n = tree.size();
+
+    // Start each period from the configured weights: donation is
+    // recomputed from scratch every planning pass, never compounded.
+    for (CgroupId id = 0; id < n; ++id)
+        tree.setInuse(id, tree.weight(id));
+
+    // Accumulate d (donated hweight before) and d' (after) bottom-up.
+    std::vector<double> d(n, 0.0), dp(n, 0.0);
+    size_t applied = 0;
+    for (const DonorTarget &don : donors) {
+        const CgroupId leaf = don.leaf;
+        if (!tree.subtreeActive(leaf))
+            continue;
+        const double h = tree.hweightActive(leaf);
+        const double target =
+            std::max(don.targetHweight, kEps);
+        if (target >= h - kEps)
+            continue;
+        ++applied;
+        for (CgroupId cur = leaf;; cur = tree.parent(cur)) {
+            d[cur] += h;
+            dp[cur] += target;
+            if (cur == kRoot)
+                break;
+        }
+    }
+    if (applied == 0)
+        return 0;
+
+    // Walk donor paths top-down computing h' and the lowered w'.
+    // hprime[] is only meaningful for nodes on donor paths plus the
+    // root.
+    std::vector<double> hprime(n, 0.0);
+    hprime[kRoot] = 1.0;
+
+    // Iterative preorder over donor-path nodes.
+    std::vector<CgroupId> stack;
+    stack.push_back(kRoot);
+    while (!stack.empty()) {
+        const CgroupId node = stack.back();
+        stack.pop_back();
+
+        const double hp = tree.hweightActive(node);
+        const double hp_new = hprime[node];
+        const double d_p = d[node];
+        const double dp_p = dp[node];
+
+        // Sibling weight sum among active children (s in the paper).
+        double s = 0.0;
+        for (CgroupId child : tree.children(node)) {
+            if (tree.subtreeActive(child))
+                s += static_cast<double>(tree.weight(child));
+        }
+
+        // New sibling weight sum (invariant 5). When the parent's
+        // entire hweight is donated the denominator vanishes and the
+        // old sum carries over (every child is recomputed anyway).
+        double s_new = s;
+        if (hp_new - dp_p > kEps && hp > kEps) {
+            s_new = s * ((hp - d_p) / hp) *
+                    (hp_new / (hp_new - dp_p));
+        }
+
+        for (CgroupId child : tree.children(node)) {
+            if (d[child] <= kEps || !tree.subtreeActive(child))
+                continue;
+            const double h = tree.hweightActive(child);
+            double h_new;
+            if (hp - d_p > kEps) {
+                h_new = (h - d[child]) / (hp - d_p) *
+                            (hp_new - dp_p) +
+                        dp[child];
+            } else {
+                // Fully donating subtree: h' collapses to d'.
+                h_new = dp[child];
+            }
+            hprime[child] = h_new;
+
+            const double w_new =
+                hp_new > kEps ? s_new * h_new / hp_new : kEps;
+            tree.setInuse(child, w_new);
+
+            if (!tree.children(child).empty())
+                stack.push_back(child);
+        }
+    }
+    return applied;
+}
+
+} // namespace iocost::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The work-conserving budget-donation weight-tree update (paper §3.6).
+ *
+ * Given a set of donor leaves and the hweight each wants to shrink
+ * to, compute the lowered `inuse` weights along the paths from the
+ * donors to the root such that:
+ *
+ *  - every donor leaf's hweight becomes exactly its target;
+ *  - every other node's weight is untouched, yet its recomputed
+ *    hweight absorbs the freed share proportionally to its original
+ *    hweight.
+ *
+ * The update maintains the paper's two invariants:
+ *
+ *   (4)  (h - d) / (h_p - d_p) is preserved: the proportion of a
+ *        parent's non-donating hweight held by each child does not
+ *        change;
+ *   (5)  s * (h_p - d_p) / h_p is preserved: the total sibling
+ *        weight attributable to non-donating shares does not change;
+ *
+ * giving the per-node derivations
+ *
+ *   h' = (h - d) / (h_p - d_p) * (h'_p - d'_p) + d'
+ *   s' = s * ((h_p - d_p) / h_p) * (h'_p / (h'_p - d'_p))
+ *   w' = s' * h' / h'_p
+ *
+ * applied top-down along donor paths only, which is what keeps the
+ * planning path cheap on large hierarchies.
+ */
+
+#ifndef IOCOST_CORE_DONATION_HH
+#define IOCOST_CORE_DONATION_HH
+
+#include <vector>
+
+#include "cgroup/cgroup_tree.hh"
+
+namespace iocost::core {
+
+/** One donor: a leaf and the hweight share it should shrink to. */
+struct DonorTarget
+{
+    cgroup::CgroupId leaf;
+    /** Desired post-donation hweight; must be < current hweight. */
+    double targetHweight;
+};
+
+/**
+ * Apply the donation weight-tree update.
+ *
+ * Resets every node's inuse to its configured weight, then lowers
+ * inuse along the donor paths so that each donor's hweightInuse
+ * equals its target. Donors whose target is not strictly below their
+ * current hweightActive are ignored. Inactive donors are ignored.
+ *
+ * @param tree The hierarchy to update.
+ * @param donors Donor leaves with their target hweights.
+ * @return Number of donors actually applied.
+ */
+size_t applyDonation(cgroup::CgroupTree &tree,
+                     const std::vector<DonorTarget> &donors);
+
+} // namespace iocost::core
+
+#endif // IOCOST_CORE_DONATION_HH

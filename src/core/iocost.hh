@@ -1,0 +1,262 @@
+/**
+ * @file
+ * The IOCost IO controller (paper §3).
+ *
+ * Control is split into two paths:
+ *
+ *  - the **issue path** runs synchronously per bio: compute the
+ *    absolute cost from the device model, divide by the issuing
+ *    cgroup's cached hierarchical weight to get the relative cost,
+ *    and compare against the budget implied by how far the local
+ *    vtime trails the global vtime. Bios that fit are dispatched
+ *    immediately; the rest wait on a per-cgroup queue with a timer
+ *    armed for when the budget will suffice.
+ *
+ *  - the **planning path** runs once per period: it deactivates idle
+ *    cgroups, adjusts the global vrate from the device feedback
+ *    signals (completion-latency targets and request depletion), and
+ *    runs the budget-donation algorithm so under-consuming cgroups
+ *    lend their share to the rest.
+ *
+ * Swap and filesystem-metadata bios are never throttled
+ * synchronously; their cost becomes per-cgroup *debt* repaid from
+ * future budget, with a return-to-userspace delay hook for cgroups
+ * that generate "free" IO only (§3.5).
+ */
+
+#ifndef IOCOST_CORE_IOCOST_HH
+#define IOCOST_CORE_IOCOST_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "blk/block_layer.hh"
+#include "blk/io_controller.hh"
+#include "core/cost_model.hh"
+#include "core/qos.hh"
+#include "sim/simulator.hh"
+#include "stat/histogram.hh"
+#include "stat/time_series.hh"
+
+namespace iocost::core {
+
+/**
+ * How swap/metadata IO is charged — the production debt mechanism
+ * plus the two deliberately broken variants evaluated in Fig. 15.
+ */
+enum class DebtMode
+{
+    /** §3.5: issue immediately, charge debt to the owning cgroup. */
+    Production,
+    /** Charge swap IO to the root: never throttled at all. */
+    RootCharge,
+    /** Throttle swap IO like normal IO: priority inversion. */
+    Inversion,
+};
+
+/**
+ * Custom cost program (the paper's "arbitrary eBPF program" hook,
+ * §3.2): receives the bio and the sequentiality classification and
+ * returns the absolute cost in device-occupancy nanoseconds. When
+ * set, it replaces the built-in linear model on the issue path.
+ */
+using CostProgram =
+    std::function<sim::Time(const blk::Bio &, bool sequential)>;
+
+/** Static configuration for one IoCost instance. */
+struct IoCostConfig
+{
+    CostModel model;
+    QosParams qos;
+    bool donationEnabled = true;
+    DebtMode debtMode = DebtMode::Production;
+    /** Optional programmable cost model overriding `model`. */
+    CostProgram costProgram;
+};
+
+/**
+ * The IOCost controller.
+ */
+class IoCost : public blk::IoController
+{
+  public:
+    explicit IoCost(IoCostConfig config);
+    ~IoCost() override;
+
+    blk::ControllerCaps caps() const override;
+    void attach(blk::BlockLayer &layer) override;
+    void onSubmit(blk::BioPtr bio) override;
+    void onComplete(const blk::Bio &bio,
+                    sim::Time device_latency) override;
+    sim::Time userspaceDelay(cgroup::CgroupId cg) override;
+
+    /** Online model update (Fig. 13). Takes effect immediately. */
+    void setModel(const CostModel &model) { config_.model = model; }
+
+    /**
+     * Install or clear (pass nullptr) a programmable cost model;
+     * takes effect for the next submitted bio.
+     */
+    void
+    setCostProgram(CostProgram program)
+    {
+        config_.costProgram = std::move(program);
+    }
+
+    /** The active model. */
+    const CostModel &model() const { return config_.model; }
+
+    /** Current vrate multiplier (1.0 = 100%). */
+    double vrate() const { return vrate_; }
+
+    /** Global vtime (ns of modeled device occupancy granted). */
+    double gvtime() const { return gvtime_; }
+
+    /** Outstanding absolute debt of @p cg (device-occupancy ns). */
+    double debt(cgroup::CgroupId cg) const;
+
+    /** Bios currently throttled (waiting) for @p cg. */
+    size_t waitingCount(cgroup::CgroupId cg) const;
+
+    /**
+     * Cumulative per-cgroup statistics, mirroring the cost.* keys
+     * the kernel exposes in io.stat.
+     */
+    struct IocgStat
+    {
+        /** Total absolute cost charged (device-occupancy usec). */
+        uint64_t usageUs = 0;
+        /** Total time bios spent throttled in the waitq (usec). */
+        uint64_t waitUs = 0;
+        /** Total time the cgroup carried unpaid debt (usec). */
+        uint64_t indebtUs = 0;
+        /** Total return-to-userspace delay handed out (usec). */
+        uint64_t indelayUs = 0;
+    };
+
+    /** Read @p cg's cumulative statistics. */
+    IocgStat stat(cgroup::CgroupId cg) const;
+
+    /**
+     * io.stat-format line for @p cg:
+     * "cost.vrate=... cost.usage=... cost.wait=... cost.indebt=...
+     *  cost.indelay=...".
+     */
+    std::string statLine(cgroup::CgroupId cg) const;
+
+    /** vrate samples recorded at every planning pass. */
+    const stat::TimeSeries &vrateSeries() const
+    {
+        return vrateSeries_;
+    }
+
+    /** Effective planning period. */
+    sim::Time period() const
+    {
+        return config_.qos.effectivePeriod();
+    }
+
+    /** Run one planning pass now (tests drive this directly). */
+    void runPlanning();
+
+  private:
+    /** Per-cgroup controller state ("iocg"). */
+    struct Iocg
+    {
+        /** Local vtime; budget = gvtime - vtime. */
+        double vtime = 0.0;
+        /** Unpaid absolute cost from swap/metadata IO. */
+        double absDebt = 0.0;
+        /** Absolute cost charged during the current period. */
+        double absUsage = 0.0;
+        /** Last submission, for idle detection. */
+        sim::Time lastIo = 0;
+        /** Whether the cgroup is currently activated. */
+        bool active = false;
+        /** True if any bio waited during the current period. */
+        bool hadWait = false;
+        /** End offset of the last IO, for sequential detection. */
+        uint64_t lastEnd = UINT64_MAX;
+        /** Bios dispatched to the device and not yet completed. */
+        unsigned outstanding = 0;
+        /** Time the cgroup last transitioned to outstanding > 0. */
+        sim::Time busySince = 0;
+        /** Accumulated busy (outstanding > 0) time this period. */
+        sim::Time busyAccum = 0;
+        /** Throttled bios in submission order. */
+        std::deque<blk::BioPtr> waiting;
+        /** Pending wakeup for the waiting queue. */
+        sim::EventHandle kick;
+
+        /** @name Cumulative io.stat counters (ns internally).
+         *  @{ */
+        double statUsage = 0.0;
+        sim::Time statWait = 0;
+        sim::Time statIndebt = 0;
+        sim::Time statIndelay = 0;
+        /** Start of the current in-debt episode (debt > 0). */
+        sim::Time debtSince = 0;
+        /** @} */
+    };
+
+    Iocg &iocg(cgroup::CgroupId cg);
+    const Iocg *iocgIfPresent(cgroup::CgroupId cg) const;
+
+    /** Advance gvtime to now at the current vrate. */
+    void updateGvtime();
+
+    /** Budget cap in gvtime units. */
+    double budgetCap() const;
+
+    /** Activate an idle cgroup, granting a fresh initial budget. */
+    void activate(cgroup::CgroupId cg, Iocg &st);
+
+    /** Pay outstanding debt from available budget. */
+    void payDebt(cgroup::CgroupId cg, Iocg &st);
+
+    /** Try to dispatch waiting bios; re-arm the kick timer. */
+    void kickWaiters(cgroup::CgroupId cg);
+
+    /** Dispatch one bio, maintaining busy-time accounting. */
+    void dispatchTracked(blk::BioPtr bio, Iocg &st);
+
+    /** Charge and dispatch one bio unconditionally. */
+    void chargeAndDispatch(blk::BioPtr bio, Iocg &st,
+                           double abs_cost, double hw);
+
+    /** Planning-path vrate adjustment from device feedback. */
+    void adjustVrate(sim::Time elapsed);
+
+    /** Planning-path donation pass. */
+    void planDonation(double avg_vrate, sim::Time elapsed);
+
+    IoCostConfig config_;
+    sim::Simulator *sim_ = nullptr;
+    cgroup::CgroupTree *tree_ = nullptr;
+
+    std::deque<Iocg> iocgs_;
+
+    double gvtime_ = 0.0;
+    double vrate_ = 1.0;
+    sim::Time lastGvtimeUpdate_ = 0;
+
+    sim::Time lastPlanning_ = 0;
+    double gvtimeAtPlanning_ = 0.0;
+
+    /** Completion latencies within the current period. */
+    stat::Histogram periodReadLat_;
+    stat::Histogram periodWriteLat_;
+    /** Whether the last planning pass consumed each histogram. */
+    bool latReadReady_ = false;
+    bool latWriteReady_ = false;
+
+    stat::TimeSeries vrateSeries_;
+
+    std::optional<sim::PeriodicTimer> planningTimer_;
+};
+
+} // namespace iocost::core
+
+#endif // IOCOST_CORE_IOCOST_HH

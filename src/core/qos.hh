@@ -1,0 +1,101 @@
+/**
+ * @file
+ * IOCost QoS parameters (paper §3.3-§3.4).
+ *
+ * QoS parameters regulate *device-level* behaviour: the completion-
+ * latency targets that define saturation, and the bounds within which
+ * the dynamic vrate adjustment may move. They are tuned per device
+ * model (by profile::QosTuner, reproducing the ResourceControlBench
+ * procedure) and deployed fleet-wide; workloads themselves are
+ * configured only with weights.
+ */
+
+#ifndef IOCOST_CORE_QOS_HH
+#define IOCOST_CORE_QOS_HH
+
+#include "sim/time.hh"
+
+namespace iocost::core {
+
+/**
+ * Per-device QoS configuration, mirroring the kernel's io.cost.qos
+ * knobs (rpct/rlat/wpct/wlat/min/max) plus the planning-path tunables
+ * the kernel hard-codes.
+ */
+struct QosParams
+{
+    /** Read completion-latency quantile watched for saturation. */
+    double readLatQuantile = 0.90;
+    /** Read latency above which the device counts as saturated. */
+    sim::Time readLatTarget = 5 * sim::kMsec;
+
+    /** Write completion-latency quantile watched for saturation. */
+    double writeLatQuantile = 0.90;
+    /** Write latency above which the device counts as saturated. */
+    sim::Time writeLatTarget = 5 * sim::kMsec;
+
+    /** Lower bound on vrate (1.0 = 100%: model-specified rate). */
+    double vrateMin = 0.25;
+    /** Upper bound on vrate. */
+    double vrateMax = 4.00;
+
+    /**
+     * Planning period. Zero derives it from the latency targets
+     * ("a multiple of the latency targets", §3.1.2).
+     */
+    sim::Time period = 0;
+
+    /**
+     * Budget a cgroup may hoard, in periods of its fair share.
+     * Bounds how far a local vtime may lag the global vtime.
+     */
+    double budgetCapPeriods = 1.5;
+
+    /**
+     * Headroom multiplier applied to measured usage when computing
+     * donation targets, so donors keep room to grow before needing
+     * to rescind.
+     */
+    double donationMargin = 1.25;
+
+    /** A donor never shrinks below this hweight share. */
+    double minShare = 1.0 / 65536.0;
+
+    /**
+     * Absolute (device-occupancy) debt beyond which a cgroup's
+     * threads are delayed at return-to-userspace (§3.5).
+     */
+    sim::Time debtThreshold = 10 * sim::kMsec;
+
+    /** Cap on one return-to-userspace delay. */
+    sim::Time maxUserspaceDelay = 100 * sim::kMsec;
+
+    /** Multiplicative vrate step when raising (budget deficient). */
+    double vrateStepUp = 0.05;
+
+    /** Max multiplicative vrate step when lowering (saturated). */
+    double vrateStepDown = 0.125;
+
+    /** Effective planning period after derivation. */
+    sim::Time
+    effectivePeriod() const
+    {
+        if (period > 0)
+            return period;
+        const sim::Time t =
+            readLatTarget > writeLatTarget ? readLatTarget
+                                           : writeLatTarget;
+        // A small multiple of the latency target, clamped to stay
+        // responsive on very fast and very slow devices alike.
+        sim::Time p = 2 * t;
+        if (p < 5 * sim::kMsec)
+            p = 5 * sim::kMsec;
+        if (p > 100 * sim::kMsec)
+            p = 100 * sim::kMsec;
+        return p;
+    }
+};
+
+} // namespace iocost::core
+
+#endif // IOCOST_CORE_QOS_HH

@@ -1,0 +1,43 @@
+#include "device/remote_model.hh"
+
+#include <algorithm>
+
+namespace iocost::device {
+
+RemoteModel::RemoteModel(sim::Simulator &sim, RemoteSpec spec)
+    : sim_(sim), spec_(std::move(spec)), rng_(sim.forkRng())
+{}
+
+bool
+RemoteModel::submit(blk::BioPtr &bio)
+{
+    if (inFlight_ >= spec_.queueDepth)
+        return false;
+
+    const sim::Time now = sim_.now();
+
+    // Provisioned-rate pacing: the backend admits one request per
+    // 1/iopsCap plus the byte cost against the throughput cap.
+    const double slot_ns =
+        1e9 / spec_.iopsCap +
+        static_cast<double>(bio->size) / spec_.bpsCap * 1e9;
+    const sim::Time admitted = std::max(now, limiterNext_);
+    limiterNext_ = admitted + static_cast<sim::Time>(slot_ns);
+
+    const double rtt = rng_.logNormal(
+        static_cast<double>(spec_.baseRtt), spec_.rttSigma);
+    const double backend =
+        spec_.nsPerByte * static_cast<double>(bio->size);
+    const sim::Time done =
+        admitted + static_cast<sim::Time>(rtt + backend);
+
+    ++inFlight_;
+    auto owned = std::make_shared<blk::BioPtr>(std::move(bio));
+    sim_.at(std::max(done, now + 1), [this, owned, now] {
+        --inFlight_;
+        finish(std::move(*owned), sim_.now() - now);
+    });
+    return true;
+}
+
+} // namespace iocost::device

@@ -1,0 +1,129 @@
+#include "device/ssd_model.hh"
+
+#include <algorithm>
+
+namespace iocost::device {
+
+SsdModel::SsdModel(sim::Simulator &sim, SsdSpec spec)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      rng_(sim.forkRng()),
+      channelFree_(spec_.channels, 0),
+      writeCredit_(static_cast<double>(spec_.writeBufferBytes))
+{
+    if (spec_.hiccupMeanInterval > 0) {
+        nextHiccup_ = static_cast<sim::Time>(rng_.exponential(
+            static_cast<double>(spec_.hiccupMeanInterval)));
+    }
+}
+
+void
+SsdModel::refillWriteCredit()
+{
+    const sim::Time now = sim_.now();
+    if (now <= lastRefill_)
+        return;
+    writeCredit_ += sim::toSeconds(now - lastRefill_) *
+                    spec_.sustainedWriteBps;
+    writeCredit_ = std::min(
+        writeCredit_, static_cast<double>(spec_.writeBufferBytes));
+    lastRefill_ = now;
+}
+
+sim::Time
+SsdModel::serviceTime(const blk::Bio &bio)
+{
+    refillWriteCredit();
+
+    const bool sequential = bio.offset == lastEndOffset_;
+    const bool gc = gcActive();
+
+    double base;
+    double per_byte;
+    if (bio.op == blk::Op::Read) {
+        base = static_cast<double>(sequential ? spec_.readBaseSeq
+                                              : spec_.readBaseRand);
+        per_byte = spec_.readNsPerByte;
+        if (gc)
+            base *= spec_.gcReadMult;
+    } else {
+        base = static_cast<double>(sequential ? spec_.writeBaseSeq
+                                              : spec_.writeBaseRand);
+        per_byte = spec_.writeNsPerByte;
+        if (gc) {
+            base *= spec_.gcWriteMult;
+            per_byte *= spec_.gcWriteMult;
+        }
+        // Writes drain buffer credit. The floor at zero reflects
+        // that GC pacing (below) keeps admission at the drain rate
+        // once the buffer is empty.
+        writeCredit_ = std::max(
+            0.0, writeCredit_ - static_cast<double>(bio.size));
+    }
+
+    double svc = base + per_byte * static_cast<double>(bio.size);
+    if (spec_.jitterSigma > 0.0)
+        svc = rng_.logNormal(svc, spec_.jitterSigma);
+    return std::max<sim::Time>(1, static_cast<sim::Time>(svc));
+}
+
+bool
+SsdModel::submit(blk::BioPtr &bio)
+{
+    if (inFlight_ >= spec_.queueDepth)
+        return false;
+
+    const sim::Time now = sim_.now();
+
+    // Injected firmware hiccup: freeze every service unit for the
+    // hiccup duration (requests already accepted finish late, new
+    // ones queue behind the stall).
+    while (now >= nextHiccup_) {
+        const sim::Time stall_end =
+            nextHiccup_ + spec_.hiccupDuration;
+        for (sim::Time &free_at : channelFree_)
+            free_at = std::max(free_at, stall_end);
+        gcNext_ = std::max(gcNext_, stall_end);
+        ++hiccups_;
+        nextHiccup_ =
+            stall_end + static_cast<sim::Time>(rng_.exponential(
+                            static_cast<double>(
+                                spec_.hiccupMeanInterval)));
+    }
+
+    const bool was_gc = gcActive();
+    const sim::Time svc = serviceTime(*bio);
+    lastEndOffset_ = bio->offset + bio->size;
+
+    // Pick the earliest-free channel; the request occupies it for the
+    // service time starting no earlier than now.
+    auto it = std::min_element(channelFree_.begin(),
+                               channelFree_.end());
+    sim::Time start = std::max(now, *it);
+
+    if (bio->op == blk::Op::Write && was_gc) {
+        // With the buffer depleted, writes admit no faster than the
+        // garbage collector frees blocks: they serialize on the
+        // sustained drain rate regardless of channel parallelism.
+        const auto pace = static_cast<sim::Time>(
+            static_cast<double>(bio->size) /
+            spec_.sustainedWriteBps * 1e9);
+        gcNext_ = std::max(gcNext_, start);
+        start = gcNext_;
+        gcNext_ += pace;
+    }
+
+    const sim::Time done = start + svc;
+    *it = done;
+
+    ++inFlight_;
+    // Move ownership into the completion event.
+    auto owned = std::make_shared<blk::BioPtr>(std::move(bio));
+    sim_.at(done, [this, owned, now] {
+        --inFlight_;
+        finish(std::move(*owned), sim_.now() - now);
+    });
+    return true;
+}
+
+} // namespace iocost::device

@@ -1,0 +1,241 @@
+#include "fleet/fleet_sim.hh"
+
+#include <memory>
+
+#include "controllers/io_latency.hh"
+#include "core/iocost.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "host/host.hh"
+#include "profile/device_profiler.hh"
+#include "sim/rng.hh"
+#include "workload/fio_workload.hh"
+
+namespace iocost::fleet {
+
+namespace {
+
+/**
+ * Package fetch: per chunk, a metadata/verification read followed by
+ * a sequential payload write (dependent pair), a couple of chunk
+ * streams in flight; flags its completion time.
+ */
+struct FetchAgent
+{
+    blk::BlockLayer &layer;
+    cgroup::CgroupId cg;
+    uint64_t left;
+    uint64_t cursor = 0;
+    sim::Time doneAt = sim::kTimeNever;
+    unsigned inFlight = 0;
+    sim::Rng rng;
+
+    static constexpr uint32_t kChunk = 256 * 1024;
+    static constexpr uint32_t kReadChunk = 64 * 1024;
+    static constexpr unsigned kDepth = 2;
+
+    FetchAgent(blk::BlockLayer &l, cgroup::CgroupId c,
+               uint64_t bytes, uint64_t seed)
+        : layer(l), cg(c), left(bytes), rng(seed)
+    {}
+
+    void
+    start()
+    {
+        for (unsigned i = 0; i < kDepth; ++i)
+            issue();
+    }
+
+    void
+    issue()
+    {
+        if (left == 0) {
+            if (inFlight == 0 && doneAt == sim::kTimeNever)
+                doneAt = layer.sim().now();
+            return;
+        }
+        const uint32_t chunk = static_cast<uint32_t>(
+            std::min<uint64_t>(kChunk, left));
+        left -= chunk;
+        ++inFlight;
+        // Verification/metadata read, then the payload write.
+        layer.submit(blk::Bio::make(
+            blk::Op::Read, (6ull << 40) + rng.below(8ull << 30),
+            kReadChunk, cg, [this, chunk](const blk::Bio &) {
+                layer.submit(blk::Bio::make(
+                    blk::Op::Write, (6ull << 41) + cursor, chunk,
+                    cg, [this](const blk::Bio &) {
+                        --inFlight;
+                        issue();
+                    }));
+                cursor += chunk;
+            }));
+    }
+};
+
+/**
+ * Serialized chain of small alternating metadata reads/writes (the
+ * btrfs container-cleanup walk).
+ */
+struct CleanupAgent
+{
+    blk::BlockLayer &layer;
+    cgroup::CgroupId cg;
+    unsigned opsLeft;
+    uint32_t ioBytes;
+    sim::Rng rng;
+    sim::Time doneAt = sim::kTimeNever;
+
+    CleanupAgent(blk::BlockLayer &l, cgroup::CgroupId c,
+                 unsigned ops, uint32_t bytes, uint64_t seed)
+        : layer(l), cg(c), opsLeft(ops), ioBytes(bytes), rng(seed)
+    {}
+
+    void
+    step()
+    {
+        if (opsLeft == 0) {
+            doneAt = layer.sim().now();
+            return;
+        }
+        --opsLeft;
+        const bool read = opsLeft % 2 == 0;
+        const uint64_t offset =
+            (7ull << 40) + rng.below(64ull << 30);
+        auto bio = blk::Bio::make(
+            read ? blk::Op::Read : blk::Op::Write, offset, ioBytes,
+            cg, [this](const blk::Bio &) { step(); });
+        // Cleanup touches shared filesystem metadata.
+        bio->meta = true;
+        layer.submit(std::move(bio));
+    }
+};
+
+} // namespace
+
+unsigned
+FleetSim::migrationDay(unsigned host, const FleetConfig &cfg)
+{
+    const unsigned span =
+        cfg.migrationEndDay - cfg.migrationStartDay;
+    if (span == 0 || cfg.hosts == 0)
+        return cfg.migrationStartDay;
+    return cfg.migrationStartDay + host * span / cfg.hosts;
+}
+
+HostDayOutcome
+FleetSim::runHostDay(const std::string &controller, int host_kind,
+                     uint64_t seed, const FleetConfig &cfg)
+{
+    sim::Simulator sim(seed);
+    const device::SsdSpec spec =
+        host_kind == 0 ? device::oldGenSsd() : device::newGenSsd();
+
+    host::HostOptions opts;
+    opts.controller = controller;
+    if (controller == "iocost") {
+        const auto &prof =
+            profile::DeviceProfiler::profileSsd(spec);
+        opts.iocostConfig.model =
+            core::CostModel::fromConfig(prof.model);
+        opts.iocostConfig.qos.readLatTarget = 2 * sim::kMsec;
+        opts.iocostConfig.qos.writeLatTarget = 4 * sim::kMsec;
+        opts.iocostConfig.qos.period = 10 * sim::kMsec;
+        opts.iocostConfig.qos.vrateMin = 0.5;
+        opts.iocostConfig.qos.vrateMax = 2.0;
+    }
+    host::Host host(sim,
+                    std::make_unique<device::SsdModel>(sim, spec),
+                    opts);
+
+    const auto main_cg = host.addWorkload("main", 100);
+    const auto fetch_cg = host.addSystemService("package-fetcher");
+    const auto cleanup_cg = host.tree().create(
+        host.hostCritical(), "container-agent", 100);
+
+    if (controller == "iolatency") {
+        // Production IOLatency setups protect the workload with a
+        // tight latency target; system services run unprotected.
+        auto *iolat = dynamic_cast<controllers::IoLatency *>(
+            host.layer().controller());
+        iolat->setTarget(main_cg, 400 * sim::kUsec);
+    }
+
+    // Main workload: a saturating mix — deep random reads plus a
+    // stream of large writes that drains the device's burst buffer
+    // into its GC regime. Intensity varies per host-day.
+    sim::Rng knobs(seed ^ 0x5bd1e995);
+    workload::FioConfig reads;
+    reads.arrival = workload::Arrival::Saturating;
+    reads.iodepth = 32 + static_cast<unsigned>(knobs.below(64));
+    workload::FioWorkload read_job(sim, host.layer(), main_cg,
+                                   reads);
+
+    workload::FioConfig writes;
+    writes.arrival = workload::Arrival::Saturating;
+    writes.readFraction = 0.0;
+    writes.blockSize = 1 << 20;
+    writes.iodepth = 2 + static_cast<unsigned>(knobs.below(8));
+    workload::FioWorkload write_job(sim, host.layer(), main_cg,
+                                    writes);
+
+    FetchAgent fetch(host.layer(), fetch_cg, cfg.fetchBytes,
+                     seed ^ 0xabcdef12);
+    CleanupAgent cleanup(host.layer(), cleanup_cg, cfg.cleanupOps,
+                         cfg.cleanupIoBytes, seed ^ 0x9e3779b9);
+
+    read_job.start();
+    write_job.start();
+    // Agents start once the workload has pushed the device into its
+    // sustained (buffer-drained) regime.
+    const sim::Time agent_start = cfg.warmup;
+    sim.after(agent_start, [&] {
+        fetch.start();
+        cleanup.step();
+    });
+
+    sim.runUntil(agent_start + cfg.slice);
+    read_job.stop();
+    write_job.stop();
+
+    HostDayOutcome out;
+    out.fetchTime = fetch.doneAt == sim::kTimeNever
+                        ? sim::kTimeNever
+                        : fetch.doneAt - agent_start;
+    out.cleanupTime = cleanup.doneAt == sim::kTimeNever
+                          ? sim::kTimeNever
+                          : cleanup.doneAt - agent_start;
+    out.fetchFailed = out.fetchTime > cfg.fetchDeadline;
+    out.cleanupFailed = out.cleanupTime > cfg.cleanupDeadline;
+    return out;
+}
+
+std::vector<FleetDayResult>
+FleetSim::run(const FleetConfig &cfg)
+{
+    std::vector<FleetDayResult> out;
+    for (unsigned day = 0; day < cfg.days; ++day) {
+        FleetDayResult r;
+        r.day = day;
+        unsigned migrated = 0;
+        for (unsigned h = 0; h < cfg.hosts; ++h) {
+            const bool on_iocost = day >= migrationDay(h, cfg);
+            migrated += on_iocost ? 1 : 0;
+            const uint64_t seed =
+                cfg.seed * 1000003ull + day * 10007ull + h;
+            const HostDayOutcome o = runHostDay(
+                on_iocost ? "iocost" : "iolatency",
+                static_cast<int>(h % 2), seed, cfg);
+            ++r.fetchAttempts;
+            ++r.cleanupAttempts;
+            r.fetchFailures += o.fetchFailed ? 1 : 0;
+            r.cleanupFailures += o.cleanupFailed ? 1 : 0;
+        }
+        r.fractionOnIoCost =
+            static_cast<double>(migrated) / cfg.hosts;
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace iocost::fleet

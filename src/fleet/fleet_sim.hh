@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fleet-scale Monte-Carlo for the migration studies (paper §4.8,
+ * Figs. 18/19).
+ *
+ * The paper reports package-fetching and container-cleanup failure
+ * rates across a region of hundreds of thousands of hosts over a
+ * two-month staged migration from IOLatency to IOCost. We reproduce
+ * the mechanism at reduced scale: every host-day runs a short
+ * simulation slice in which a host-critical cleanup agent and a
+ * system-slice package fetcher race their (scaled-down) deadlines
+ * while the main workload saturates the device; the host's
+ * controller — IOLatency before its migration day, IOCost after —
+ * decides whether the agents starve. Daily failure counts across
+ * the simulated fleet reproduce the migration shape.
+ */
+
+#ifndef IOCOST_FLEET_FLEET_SIM_HH
+#define IOCOST_FLEET_FLEET_SIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace iocost::fleet {
+
+/** Fleet/migration configuration. */
+struct FleetConfig
+{
+    /** Hosts in the simulated region. */
+    unsigned hosts = 60;
+
+    /** Days simulated. */
+    unsigned days = 24;
+
+    /** Hosts migrate IOLatency -> IOCost staggered across
+     *  [migrationStartDay, migrationEndDay). */
+    unsigned migrationStartDay = 6;
+    unsigned migrationEndDay = 18;
+
+    /** Wall length of one host-day sample slice. */
+    sim::Time slice = 2 * sim::kSec;
+
+    /**
+     * Warmup before the agents start: long enough that the main
+     * workload's write stream has drained the device's burst buffer
+     * (the contended regime the agents really run in).
+     */
+    sim::Time warmup = 2500 * sim::kMsec;
+
+    /** Package fetch: bytes written by the system service. */
+    uint64_t fetchBytes = 16ull << 20;
+    /** Scaled stand-in for the fetch timeout. */
+    sim::Time fetchDeadline = 1 * sim::kSec;
+
+    /** Cleanup: number of small metadata operations. */
+    unsigned cleanupOps = 200;
+    uint32_t cleanupIoBytes = 16 * 1024;
+    /** Scaled stand-in for the 5s cleanup threshold. */
+    sim::Time cleanupDeadline = 500 * sim::kMsec;
+
+    /** Base RNG seed. */
+    uint64_t seed = 2022;
+};
+
+/** One day's aggregate outcome. */
+struct FleetDayResult
+{
+    unsigned day = 0;
+    double fractionOnIoCost = 0.0;
+    unsigned fetchAttempts = 0;
+    unsigned fetchFailures = 0;
+    unsigned cleanupAttempts = 0;
+    unsigned cleanupFailures = 0;
+};
+
+/** Outcome of a single host-day slice. */
+struct HostDayOutcome
+{
+    bool fetchFailed = false;
+    bool cleanupFailed = false;
+    sim::Time fetchTime = 0;
+    sim::Time cleanupTime = 0;
+};
+
+/**
+ * The fleet simulator.
+ */
+class FleetSim
+{
+  public:
+    /**
+     * Run one host-day slice.
+     *
+     * @param controller "iolatency" or "iocost".
+     * @param host_kind 0 = old-gen SSD host, 1 = new-gen SSD host.
+     * @param seed Determinism seed for this slice.
+     * @param cfg Fleet configuration (deadlines etc.).
+     */
+    static HostDayOutcome runHostDay(const std::string &controller,
+                                     int host_kind, uint64_t seed,
+                                     const FleetConfig &cfg);
+
+    /** Run the full migration study. */
+    static std::vector<FleetDayResult> run(const FleetConfig &cfg);
+
+    /** Day a given host migrates (staggered across the window). */
+    static unsigned migrationDay(unsigned host,
+                                 const FleetConfig &cfg);
+};
+
+} // namespace iocost::fleet
+
+#endif // IOCOST_FLEET_FLEET_SIM_HH

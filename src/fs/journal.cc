@@ -1,0 +1,118 @@
+#include "fs/journal.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace iocost::fs {
+
+Journal::Journal(sim::Simulator &sim, blk::BlockLayer &layer,
+                 JournalConfig cfg)
+    : sim_(sim),
+      layer_(layer),
+      cfg_(cfg),
+      timer_(sim, cfg.commitInterval, [this] {
+          if (running_.bytes > 0 || !running_.waiters.empty())
+              maybeCommit(cgroup::kRoot);
+      })
+{
+    timer_.start();
+}
+
+Journal::~Journal() = default;
+
+void
+Journal::logMetadata(cgroup::CgroupId cg, uint64_t bytes)
+{
+    (void)cg; // contributors are anonymous inside a transaction
+    running_.bytes += bytes;
+    if (running_.bytes >= cfg_.maxTxnBytes)
+        maybeCommit(cg);
+}
+
+void
+Journal::fsync(cgroup::CgroupId cg, DoneFn done)
+{
+    // The caller's metadata lives in the running transaction (or an
+    // earlier one already committing, whose completion happens
+    // before the running one — waiting for the running txn is
+    // always sufficient and matches jbd2's coarse semantics).
+    running_.waiters.push_back(Waiter{std::move(done), sim_.now()});
+    maybeCommit(cg);
+}
+
+void
+Journal::maybeCommit(cgroup::CgroupId committer)
+{
+    if (commitInFlight_) {
+        // jbd2 allows one running + one committing transaction; a
+        // second commit request queues until the current finishes.
+        commitPending_ = true;
+        pendingCommitter_ = committer;
+        return;
+    }
+    if (running_.bytes == 0 && running_.waiters.empty())
+        return;
+
+    committing_ = std::move(running_);
+    running_ = Txn{};
+    commitInFlight_ = true;
+    ++commits_;
+
+    // Write the transaction's blocks plus one commit record,
+    // sequentially in the journal area, all charged to the
+    // committing cgroup and flagged as metadata so the §3.5 debt
+    // path applies. The commit record is written after the data
+    // blocks complete (write barrier), like a real journal.
+    const uint64_t payload =
+        std::max<uint64_t>(committing_.bytes, 1);
+    const unsigned n_ios = static_cast<unsigned>(
+        (payload + cfg_.ioBytes - 1) / cfg_.ioBytes);
+
+    auto remaining = std::make_shared<unsigned>(n_ios);
+    auto write_commit_record = [this, committer] {
+        auto record = blk::Bio::make(
+            blk::Op::Write, cfg_.areaOffset + cursor_, 4096,
+            committer,
+            [this](const blk::Bio &) { commitDone(); });
+        record->meta = true;
+        cursor_ = (cursor_ + 4096) % cfg_.areaBytes;
+        layer_.submit(std::move(record));
+    };
+
+    uint64_t left = payload;
+    for (unsigned i = 0; i < n_ios; ++i) {
+        const uint32_t chunk = static_cast<uint32_t>(
+            std::min<uint64_t>(cfg_.ioBytes, left));
+        left -= chunk;
+        bytesWritten_ += chunk;
+        auto bio = blk::Bio::make(
+            blk::Op::Write, cfg_.areaOffset + cursor_, chunk,
+            committer,
+            [remaining,
+             write_commit_record](const blk::Bio &) {
+                if (--*remaining == 0)
+                    write_commit_record();
+            });
+        bio->meta = true;
+        cursor_ = (cursor_ + chunk) % cfg_.areaBytes;
+        layer_.submit(std::move(bio));
+    }
+}
+
+void
+Journal::commitDone()
+{
+    bytesWritten_ += 4096; // the commit record
+    for (Waiter &w : committing_.waiters) {
+        fsyncLat_.record(sim_.now() - w.since);
+        w.done();
+    }
+    committing_ = Txn{};
+    commitInFlight_ = false;
+    if (commitPending_) {
+        commitPending_ = false;
+        maybeCommit(pendingCommitter_);
+    }
+}
+
+} // namespace iocost::fs

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Shared write-ahead journal (jbd2-style) on top of the block layer.
+ *
+ * The filesystem journal is the second priority-inversion source the
+ * paper's debt mechanism handles (§3.5): metadata from *all* cgroups
+ * serializes into one transaction stream, and an fsync by cgroup B
+ * cannot complete until the running transaction — which may be full
+ * of cgroup A's metadata — commits. If the commit IO were throttled
+ * against A's (exhausted) budget, B would stall on A's debt: the
+ * classic journal inversion. The journal therefore tags its IO with
+ * the bio `meta` flag, which IOCost's production mode issues
+ * immediately and charges as debt to the committing cgroup.
+ *
+ * Model (following jbd2's essentials):
+ *  - one *running* transaction accumulates metadata bytes from any
+ *    number of cgroups;
+ *  - at most one transaction *commits* at a time: its data blocks
+ *    are written, then a commit record; fsync waiters of that
+ *    transaction fire when the commit record is durable;
+ *  - a commit is triggered by the periodic commit timer, by the
+ *    running transaction reaching its size cap, or by an fsync;
+ *  - an fsync issued while a commit is in flight joins the *next*
+ *    transaction's waiters if the running transaction has its data
+ *    (jbd2's "wait for the running transaction" semantics are
+ *    simplified to: fsync waits for the transaction that holds the
+ *    caller's most recent metadata, or for an empty-commit barrier
+ *    when the caller logged nothing).
+ */
+
+#ifndef IOCOST_FS_JOURNAL_HH
+#define IOCOST_FS_JOURNAL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "blk/block_layer.hh"
+#include "sim/simulator.hh"
+#include "stat/histogram.hh"
+
+namespace iocost::fs {
+
+/** Static journal configuration. */
+struct JournalConfig
+{
+    /** Byte offset of the journal area on the device. */
+    uint64_t areaOffset = 2ull << 40;
+
+    /** Journal area size (log wraps around). */
+    uint64_t areaBytes = 1ull << 30;
+
+    /** Periodic commit interval (jbd2's 5s scaled down). */
+    sim::Time commitInterval = 50 * sim::kMsec;
+
+    /** Running transaction size that forces a commit. */
+    uint64_t maxTxnBytes = 8ull << 20;
+
+    /** Size of each journal write bio. */
+    uint32_t ioBytes = 256 * 1024;
+};
+
+/**
+ * The shared journal.
+ */
+class Journal
+{
+  public:
+    using DoneFn = std::function<void()>;
+
+    Journal(sim::Simulator &sim, blk::BlockLayer &layer,
+            JournalConfig cfg);
+    ~Journal();
+
+    /**
+     * Record @p bytes of metadata dirtied by @p cg into the running
+     * transaction. Returns immediately (the buffer is in memory
+     * until commit).
+     */
+    void logMetadata(cgroup::CgroupId cg, uint64_t bytes);
+
+    /**
+     * Make @p cg's logged metadata durable: forces the transaction
+     * holding it to commit and fires @p done once the commit record
+     * is on stable storage. The commit IO is charged to @p cg (the
+     * committing cgroup) with the bio meta flag.
+     */
+    void fsync(cgroup::CgroupId cg, DoneFn done);
+
+    /** Transactions committed so far. */
+    uint64_t commits() const { return commits_; }
+
+    /** Journal bytes written so far. */
+    uint64_t bytesWritten() const { return bytesWritten_; }
+
+    /** fsync latency distribution. */
+    const stat::Histogram &fsyncLatency() const
+    {
+        return fsyncLat_;
+    }
+
+    /** Bytes buffered in the running transaction. */
+    uint64_t runningBytes() const { return running_.bytes; }
+
+  private:
+    struct Waiter
+    {
+        DoneFn done;
+        sim::Time since;
+    };
+
+    struct Txn
+    {
+        uint64_t bytes = 0;
+        std::vector<Waiter> waiters;
+    };
+
+    /** Begin committing the running transaction (if allowed). */
+    void maybeCommit(cgroup::CgroupId committer);
+
+    /** Completion of the in-flight commit. */
+    void commitDone();
+
+    sim::Simulator &sim_;
+    blk::BlockLayer &layer_;
+    JournalConfig cfg_;
+
+    Txn running_;
+    Txn committing_;
+    bool commitInFlight_ = false;
+    /** A commit was requested while one was in flight. */
+    bool commitPending_ = false;
+    cgroup::CgroupId pendingCommitter_ = cgroup::kRoot;
+
+    uint64_t cursor_ = 0;
+    uint64_t commits_ = 0;
+    uint64_t bytesWritten_ = 0;
+    stat::Histogram fsyncLat_;
+    sim::PeriodicTimer timer_;
+};
+
+} // namespace iocost::fs
+
+#endif // IOCOST_FS_JOURNAL_HH

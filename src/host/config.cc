@@ -1,0 +1,165 @@
+#include "host/config.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace iocost::host {
+
+std::optional<uint64_t>
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        return std::nullopt;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || v < 0)
+        return std::nullopt;
+    uint64_t mult = 1;
+    if (*end != '\0') {
+        switch (*end) {
+          case 'K':
+          case 'k':
+            mult = 1ull << 10;
+            break;
+          case 'M':
+          case 'm':
+            mult = 1ull << 20;
+            break;
+          case 'G':
+          case 'g':
+            mult = 1ull << 30;
+            break;
+          default:
+            return std::nullopt;
+        }
+        if (*(end + 1) != '\0')
+            return std::nullopt;
+    }
+    return static_cast<uint64_t>(v * static_cast<double>(mult));
+}
+
+namespace {
+
+/** Split a path into components, ignoring leading '/'. */
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string part;
+    std::istringstream in(path);
+    while (std::getline(in, part, '/')) {
+        if (!part.empty())
+            parts.push_back(part);
+    }
+    return parts;
+}
+
+cgroup::CgroupId
+childByName(cgroup::CgroupTree &tree, cgroup::CgroupId parent,
+            const std::string &name)
+{
+    for (cgroup::CgroupId child : tree.children(parent)) {
+        if (tree.name(child) == name)
+            return child;
+    }
+    return cgroup::kNone;
+}
+
+} // namespace
+
+cgroup::CgroupId
+findCgroup(cgroup::CgroupTree &tree, const std::string &path)
+{
+    cgroup::CgroupId cur = cgroup::kRoot;
+    for (const std::string &part : splitPath(path)) {
+        cur = childByName(tree, cur, part);
+        if (cur == cgroup::kNone)
+            return cgroup::kNone;
+    }
+    return cur;
+}
+
+cgroup::CgroupId
+ensureCgroup(cgroup::CgroupTree &tree, const std::string &path)
+{
+    cgroup::CgroupId cur = cgroup::kRoot;
+    for (const std::string &part : splitPath(path)) {
+        const cgroup::CgroupId next = childByName(tree, cur, part);
+        cur = next != cgroup::kNone ? next : tree.create(cur, part);
+    }
+    return cur;
+}
+
+ApplyResult
+applyConfig(Host &host, const std::string &config)
+{
+    ApplyResult result;
+    std::istringstream lines(config);
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        // Strip comments.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream in(line);
+        std::string path;
+        if (!(in >> path))
+            continue; // blank line
+
+        const cgroup::CgroupId cg =
+            ensureCgroup(host.tree(), path);
+        std::string setting;
+        bool any = false;
+        while (in >> setting) {
+            const auto eq = setting.find('=');
+            if (eq == std::string::npos) {
+                result.error = "line " + std::to_string(line_no) +
+                               ": expected key=value, got '" +
+                               setting + "'";
+                return result;
+            }
+            const std::string key = setting.substr(0, eq);
+            const std::string value = setting.substr(eq + 1);
+            if (key == "io.weight") {
+                const auto weight = parseSize(value);
+                if (!weight || *weight == 0 ||
+                    *weight > 10000) {
+                    result.error =
+                        "line " + std::to_string(line_no) +
+                        ": bad io.weight '" + value + "'";
+                    return result;
+                }
+                host.tree().setWeight(
+                    cg, static_cast<uint32_t>(*weight));
+            } else if (key == "memory.low") {
+                const auto bytes = parseSize(value);
+                if (!bytes) {
+                    result.error =
+                        "line " + std::to_string(line_no) +
+                        ": bad memory.low '" + value + "'";
+                    return result;
+                }
+                if (!host.hasMemory()) {
+                    result.error =
+                        "line " + std::to_string(line_no) +
+                        ": memory.low requires enableMemory";
+                    return result;
+                }
+                host.mm().setProtection(cg, *bytes);
+            } else {
+                result.error = "line " + std::to_string(line_no) +
+                               ": unknown key '" + key + "'";
+                return result;
+            }
+            any = true;
+        }
+        if (any)
+            ++result.applied;
+    }
+    return result;
+}
+
+} // namespace iocost::host

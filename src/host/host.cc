@@ -1,0 +1,27 @@
+#include "host/host.hh"
+
+namespace iocost::host {
+
+Host::Host(sim::Simulator &sim,
+           std::unique_ptr<blk::BlockDevice> device, HostOptions opts)
+    : sim_(sim), device_(std::move(device))
+{
+    system_ = tree_.create(cgroup::kRoot, "system.slice",
+                           opts.systemWeight);
+    hostCritical_ = tree_.create(cgroup::kRoot, "hostcritical.slice",
+                                 opts.hostCriticalWeight);
+    workload_ = tree_.create(cgroup::kRoot, "workload.slice",
+                             opts.workloadWeight);
+
+    layer_ = std::make_unique<blk::BlockLayer>(sim_, *device_, tree_);
+    layer_->setSubmissionCpuEnabled(opts.submissionCpu);
+    layer_->setController(controllers::makeController(
+        opts.controller, opts.iocostConfig));
+
+    if (opts.enableMemory) {
+        mm_ = std::make_unique<mm::MemoryManager>(sim_, *layer_,
+                                                  opts.memoryConfig);
+    }
+}
+
+} // namespace iocost::host

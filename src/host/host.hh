@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Host: one simulated machine assembled from the substrate modules.
+ *
+ * Bundles a block device, the block layer, the cgroup hierarchy in
+ * Meta's production shape (Fig. 1: system / hostcritical /
+ * workload slices), an IO controller selected by name, and an
+ * optional memory manager. Benches and examples construct Hosts
+ * instead of wiring the pieces by hand.
+ */
+
+#ifndef IOCOST_HOST_HOST_HH
+#define IOCOST_HOST_HOST_HH
+
+#include <memory>
+#include <string>
+
+#include "blk/block_device.hh"
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "controllers/factory.hh"
+#include "core/iocost.hh"
+#include "mm/memory_manager.hh"
+#include "sim/simulator.hh"
+
+namespace iocost::host {
+
+/** Host assembly options. */
+struct HostOptions
+{
+    /** Mechanism name (see controllers::makeController). */
+    std::string controller = "iocost";
+
+    /** IOCost configuration when controller == "iocost". */
+    core::IoCostConfig iocostConfig;
+
+    /** Construct a MemoryManager backed by this host's device. */
+    bool enableMemory = false;
+    mm::MemoryConfig memoryConfig;
+
+    /** Enable the submission-path CPU model (Fig. 9). */
+    bool submissionCpu = false;
+
+    /** Weights for the three top-level slices. */
+    uint32_t workloadWeight = 500;
+    uint32_t hostCriticalWeight = 100;
+    uint32_t systemWeight = 50;
+};
+
+/**
+ * One simulated machine.
+ */
+class Host
+{
+  public:
+    /**
+     * @param sim Shared simulation context (multiple Hosts may share
+     *        one simulator, e.g. the ZooKeeper cluster bench).
+     * @param device The backing block device (ownership taken).
+     * @param opts Assembly options.
+     */
+    Host(sim::Simulator &sim,
+         std::unique_ptr<blk::BlockDevice> device, HostOptions opts);
+
+    /**
+     * Non-copyable and non-movable: the block layer holds a
+     * reference to the member cgroup tree, so relocating a Host
+     * would dangle it. Heap-allocate Hosts that must outlive a
+     * scope.
+     */
+    Host(const Host &) = delete;
+    Host &operator=(const Host &) = delete;
+
+    blk::BlockLayer &layer() { return *layer_; }
+    cgroup::CgroupTree &tree() { return tree_; }
+    blk::BlockDevice &device() { return *device_; }
+    sim::Simulator &sim() { return sim_; }
+
+    /** The memory manager; requires enableMemory. */
+    mm::MemoryManager &mm() { return *mm_; }
+    bool hasMemory() const { return mm_ != nullptr; }
+
+    /** Top-level slices (Fig. 1). */
+    cgroup::CgroupId system() const { return system_; }
+    cgroup::CgroupId hostCritical() const { return hostCritical_; }
+    cgroup::CgroupId workload() const { return workload_; }
+
+    /** Create a container cgroup under the workload slice. */
+    cgroup::CgroupId
+    addWorkload(const std::string &name, uint32_t weight = 100)
+    {
+        return tree_.create(workload_, name, weight);
+    }
+
+    /** Create a service cgroup under the system slice. */
+    cgroup::CgroupId
+    addSystemService(const std::string &name, uint32_t weight = 100)
+    {
+        return tree_.create(system_, name, weight);
+    }
+
+    /** The installed IoCost, or nullptr for other mechanisms. */
+    core::IoCost *
+    iocost()
+    {
+        return dynamic_cast<core::IoCost *>(layer_->controller());
+    }
+
+  private:
+    sim::Simulator &sim_;
+    std::unique_ptr<blk::BlockDevice> device_;
+    cgroup::CgroupTree tree_;
+    std::unique_ptr<blk::BlockLayer> layer_;
+    std::unique_ptr<mm::MemoryManager> mm_;
+    cgroup::CgroupId system_ = cgroup::kNone;
+    cgroup::CgroupId hostCritical_ = cgroup::kNone;
+    cgroup::CgroupId workload_ = cgroup::kNone;
+};
+
+} // namespace iocost::host
+
+#endif // IOCOST_HOST_HOST_HH

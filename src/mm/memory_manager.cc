@@ -1,0 +1,368 @@
+#include "mm/memory_manager.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace iocost::mm {
+
+MemoryManager::MemoryManager(sim::Simulator &sim,
+                             blk::BlockLayer &layer, MemoryConfig cfg)
+    : sim_(sim), layer_(layer), cfg_(cfg), rng_(sim.forkRng())
+{
+    kswapdTimer_.emplace(sim_, cfg_.kswapdInterval,
+                         [this] { kswapd(); });
+    kswapdTimer_->start();
+}
+
+MemCgroupStats &
+MemoryManager::st(cgroup::CgroupId cg)
+{
+    if (cg >= stats_.size())
+        stats_.resize(cg + 1);
+    return stats_[cg];
+}
+
+const MemCgroupStats &
+MemoryManager::stats(cgroup::CgroupId cg) const
+{
+    static const MemCgroupStats empty;
+    if (cg >= stats_.size())
+        return empty;
+    return stats_[cg];
+}
+
+void
+MemoryManager::setProtection(cgroup::CgroupId cg, uint64_t bytes)
+{
+    st(cg).protectedBytes = bytes;
+}
+
+namespace {
+
+/** Reclaim weight of one cgroup: unprotected resident bytes, with
+ *  recently touched (hot) cgroups strongly discounted. */
+double
+reclaimWeight(const MemCgroupStats &s, sim::Time now,
+              const MemoryConfig &cfg)
+{
+    if (s.resident == 0)
+        return 0.0;
+    const uint64_t exposed = s.resident > s.protectedBytes
+                                 ? s.resident - s.protectedBytes
+                                 : 0;
+    if (exposed == 0)
+        return 0.0;
+    const bool hot = now - s.lastTouch < cfg.activeWindow;
+    return static_cast<double>(exposed) *
+           (hot ? cfg.activeProtection : 1.0);
+}
+
+} // namespace
+
+cgroup::CgroupId
+MemoryManager::pickVictim()
+{
+    // Weighted sample over cgroups by exposed (unprotected) resident
+    // size — a cheap stand-in for global LRU + memory.low: cold
+    // leaked pages go first, protected working sets last.
+    const sim::Time now = sim_.now();
+    double total_weight = 0.0;
+    for (cgroup::CgroupId cg = 0; cg < stats_.size(); ++cg)
+        total_weight += reclaimWeight(stats_[cg], now, cfg_);
+    if (total_weight <= 0.0) {
+        // Everything protected: fall back to ignoring protection
+        // (memory.low is a soft guarantee).
+        cgroup::CgroupId biggest = cgroup::kNone;
+        uint64_t worst = 0;
+        for (cgroup::CgroupId cg = 0; cg < stats_.size(); ++cg) {
+            if (stats_[cg].resident > worst) {
+                worst = stats_[cg].resident;
+                biggest = cg;
+            }
+        }
+        return biggest;
+    }
+
+    double pick = rng_.uniform() * total_weight;
+    for (cgroup::CgroupId cg = 0; cg < stats_.size(); ++cg) {
+        const double w = reclaimWeight(stats_[cg], now, cfg_);
+        if (w <= 0.0)
+            continue;
+        pick -= w;
+        if (pick <= 0.0)
+            return cg;
+    }
+    return cgroup::kNone;
+}
+
+bool
+MemoryManager::oomKill()
+{
+    cgroup::CgroupId victim = cgroup::kNone;
+    uint64_t worst = 0;
+    for (cgroup::CgroupId cg = 0; cg < stats_.size(); ++cg) {
+        const uint64_t usage =
+            stats_[cg].resident + stats_[cg].swapped;
+        if (usage > worst) {
+            worst = usage;
+            victim = cg;
+        }
+    }
+    if (victim == cgroup::kNone || worst == 0)
+        return false;
+
+    MemCgroupStats &s = stats_[victim];
+    totalResident_ -= s.resident;
+    totalSwapped_ -= s.swapped;
+    s.resident = 0;
+    s.swapped = 0;
+    ++s.oomKills;
+    if (oomHandler_)
+        oomHandler_(victim);
+    return true;
+}
+
+uint64_t
+MemoryManager::reclaim(uint64_t bytes,
+                       const std::shared_ptr<uint64_t> &barrier,
+                       DoneFn done)
+{
+    uint64_t reclaimed = 0;
+    while (reclaimed < bytes) {
+        if (totalSwapped_ >= cfg_.swapBytes) {
+            // Swap exhausted: reclaim cannot make progress.
+            if (!oomKill())
+                break;
+            continue;
+        }
+        const cgroup::CgroupId victim = pickVictim();
+        if (victim == cgroup::kNone)
+            break;
+
+        MemCgroupStats &vs = st(victim);
+        const uint64_t chunk = std::min<uint64_t>(
+            {bytes - reclaimed,
+             static_cast<uint64_t>(cfg_.swapOutIoBytes),
+             vs.resident, cfg_.swapBytes - totalSwapped_});
+        if (chunk == 0)
+            break;
+
+        vs.resident -= chunk;
+        vs.swapped += chunk;
+        vs.swapOutBytes += chunk;
+        totalResident_ -= chunk;
+        totalSwapped_ += chunk;
+        // The page stays in memory until the writeback completes.
+        writebackBytes_ += chunk;
+        reclaimed += chunk;
+
+        // Swap-out write charged to the page owner (§3.5) or, for
+        // stacks without MM integration, issued at root attribution
+        // (historical kswapd behaviour). Swap writes are reasonably
+        // sequential (swap-slot clustering).
+        const cgroup::CgroupId charge =
+            cfg_.chargeSwapToOwner ? victim : cgroup::kRoot;
+        const uint64_t offset =
+            cfg_.swapAreaOffset + swapCursor_;
+        swapCursor_ = (swapCursor_ + chunk) % cfg_.swapBytes;
+
+        blk::BioPtr bio;
+        if (barrier) {
+            ++*barrier;
+            bio = blk::Bio::make(
+                blk::Op::Write, offset,
+                static_cast<uint32_t>(chunk), charge,
+                [this, chunk, barrier, done](const blk::Bio &) {
+                    writebackBytes_ -= chunk;
+                    if (--*barrier == 0)
+                        done();
+                });
+        } else {
+            bio = blk::Bio::make(
+                blk::Op::Write, offset,
+                static_cast<uint32_t>(chunk), charge,
+                [this, chunk](const blk::Bio &) {
+                    writebackBytes_ -= chunk;
+                });
+        }
+        bio->swap = true;
+        layer_.submit(std::move(bio));
+    }
+    return reclaimed;
+}
+
+void
+MemoryManager::finishWithDebtDelay(cgroup::CgroupId cg, DoneFn done)
+{
+    sim::Time delay = 0;
+    if (blk::IoController *ctl = layer_.controller())
+        delay = ctl->userspaceDelay(cg);
+    if (delay > 0) {
+        sim_.after(delay, std::move(done));
+    } else {
+        done();
+    }
+}
+
+void
+MemoryManager::allocate(cgroup::CgroupId cg, uint64_t bytes,
+                        DoneFn done)
+{
+    MemCgroupStats &s = st(cg);
+    s.resident += bytes;
+    s.lastTouch = sim_.now();
+    totalResident_ += bytes;
+
+    const auto high = static_cast<uint64_t>(
+        cfg_.highWatermark * static_cast<double>(cfg_.totalBytes));
+    const auto low = static_cast<uint64_t>(
+        cfg_.lowWatermark * static_cast<double>(cfg_.totalBytes));
+
+    auto barrier = std::make_shared<uint64_t>(1);
+    DoneFn fire = [this, cg, done = std::move(done)] {
+        finishWithDebtDelay(cg, done);
+    };
+
+    if (effectiveResident() > high) {
+        // Direct reclaim: the allocator stalls on a bounded batch of
+        // swap-out IO (kswapd drains the rest in the background).
+        const uint64_t want = std::min<uint64_t>(
+            effectiveResident() - low,
+            std::max(bytes, cfg_.directReclaimBatch));
+        directReclaim(want, barrier, fire);
+    }
+    if (--*barrier == 0)
+        fire();
+}
+
+void
+MemoryManager::directReclaim(
+    uint64_t want, const std::shared_ptr<uint64_t> &barrier,
+    DoneFn fire)
+{
+    if (writebackBytes_ <= cfg_.maxWriteback) {
+        reclaim(want, barrier, fire);
+        return;
+    }
+    // Writeback congested: the reclaimer sleeps until the in-flight
+    // swap writes drain, then retries. A throttled swap-write path
+    // therefore stalls every direct reclaimer on the host.
+    ++*barrier;
+    auto retry = std::make_shared<std::function<void()>>();
+    *retry = [this, want, barrier, fire, retry] {
+        if (writebackBytes_ <= cfg_.maxWriteback) {
+            reclaim(want, barrier, fire);
+            if (--*barrier == 0)
+                fire();
+            return;
+        }
+        sim_.after(cfg_.congestionWait, [retry] { (*retry)(); });
+    };
+    sim_.after(cfg_.congestionWait, [retry] { (*retry)(); });
+}
+
+void
+MemoryManager::touch(cgroup::CgroupId cg, uint64_t bytes, DoneFn done)
+{
+    MemCgroupStats &s = st(cg);
+    s.lastTouch = sim_.now();
+
+    const uint64_t footprint = s.resident + s.swapped;
+    uint64_t fault_bytes = 0;
+    if (footprint > 0 && s.swapped > 0) {
+        const double swapped_frac =
+            static_cast<double>(s.swapped) /
+            static_cast<double>(footprint);
+        fault_bytes = std::min<uint64_t>(
+            s.swapped, static_cast<uint64_t>(
+                           swapped_frac *
+                           static_cast<double>(
+                               std::min(bytes, footprint))));
+    }
+
+    auto barrier = std::make_shared<uint64_t>(1);
+    DoneFn fire = [this, cg, done = std::move(done)] {
+        finishWithDebtDelay(cg, done);
+    };
+
+    if (fault_bytes > 0) {
+        // Fault the swapped portion back in: page-in reads charged
+        // to the faulting cgroup as ordinary throttleable IO.
+        s.swapped -= fault_bytes;
+        s.resident += fault_bytes;
+        s.pageInBytes += fault_bytes;
+        totalSwapped_ -= fault_bytes;
+        totalResident_ += fault_bytes;
+
+        uint64_t left = fault_bytes;
+        while (left > 0) {
+            const uint32_t chunk = static_cast<uint32_t>(
+                std::min<uint64_t>(left, cfg_.pageInIoBytes));
+            left -= chunk;
+            const uint64_t offset =
+                cfg_.swapAreaOffset +
+                rng_.below(cfg_.swapBytes);
+            ++*barrier;
+            blk::BioPtr bio = blk::Bio::make(
+                blk::Op::Read, offset, chunk, cg,
+                [barrier, fire](const blk::Bio &) {
+                    if (--*barrier == 0)
+                        fire();
+                });
+            layer_.submit(std::move(bio));
+        }
+
+        // Faulting back in can itself push usage over the high
+        // watermark; the faulting thread then enters direct reclaim
+        // and synchronously waits for the swap-out writes — which
+        // are charged to the *page owner's* cgroup. This is the
+        // §3.5 priority-inversion hazard: if those writes are
+        // throttled at the owner's pace, an innocent toucher stalls
+        // behind the offender's budget.
+        const auto high = static_cast<uint64_t>(
+            cfg_.highWatermark *
+            static_cast<double>(cfg_.totalBytes));
+        const auto low = static_cast<uint64_t>(
+            cfg_.lowWatermark *
+            static_cast<double>(cfg_.totalBytes));
+        if (effectiveResident() > high) {
+            const uint64_t want = std::min<uint64_t>(
+                effectiveResident() - low,
+                std::max(fault_bytes, cfg_.directReclaimBatch));
+            directReclaim(want, barrier, fire);
+        }
+    }
+
+    if (--*barrier == 0)
+        fire();
+}
+
+void
+MemoryManager::free(cgroup::CgroupId cg, uint64_t bytes)
+{
+    MemCgroupStats &s = st(cg);
+    const uint64_t from_resident = std::min(bytes, s.resident);
+    s.resident -= from_resident;
+    totalResident_ -= from_resident;
+    bytes -= from_resident;
+    const uint64_t from_swap = std::min(bytes, s.swapped);
+    s.swapped -= from_swap;
+    totalSwapped_ -= from_swap;
+}
+
+void
+MemoryManager::kswapd()
+{
+    const auto low = static_cast<uint64_t>(
+        cfg_.lowWatermark * static_cast<double>(cfg_.totalBytes));
+    if (writebackBytes_ > cfg_.maxWriteback)
+        return; // writeback congested; wait for the device
+    if (effectiveResident() > low && totalResident_ > 0) {
+        const uint64_t want = std::min<uint64_t>(
+            {cfg_.kswapdBatch, effectiveResident() - low,
+             totalResident_});
+        reclaim(want, nullptr, nullptr);
+    }
+}
+
+} // namespace iocost::mm

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Simplified memory-management subsystem.
+ *
+ * Models the slice of Linux MM that interacts with IO control
+ * (paper §3.5, Figs. 14/15/17):
+ *
+ *  - per-cgroup resident and swapped page accounting;
+ *  - background (kswapd-style) and direct reclaim that pick victim
+ *    pages from *cold* cgroups and emit swap-out writes **charged to
+ *    the page owner** with the bio swap flag set — the attribution
+ *    that creates the priority-inversion hazard IOCost's debt
+ *    mechanism resolves;
+ *  - page faults: touching partially-swapped memory emits page-in
+ *    reads charged to the *faulting* cgroup as ordinary throttleable
+ *    IO (this is how thrashing slows a cgroup down);
+ *  - an OOM killer invoked when reclaim cannot make progress;
+ *  - the return-to-userspace debt hook: after every allocate/touch,
+ *    the installed controller is asked for a userspace delay for the
+ *    cgroup, which is added to the operation's stall.
+ *
+ * All operations are asynchronous: callers pass a completion
+ * callback fired once any reclaim/fault IO and debt stalls resolved.
+ */
+
+#ifndef IOCOST_MM_MEMORY_MANAGER_HH
+#define IOCOST_MM_MEMORY_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+
+namespace iocost::mm {
+
+/** Static MM configuration. */
+struct MemoryConfig
+{
+    /** Physical memory size. */
+    uint64_t totalBytes = 8ull << 30;
+
+    /** Swap device capacity. */
+    uint64_t swapBytes = 16ull << 30;
+
+    /** Background reclaim starts above this fraction of total. */
+    double lowWatermark = 0.96;
+
+    /** Allocations stall in direct reclaim above this fraction. */
+    double highWatermark = 0.99;
+
+    /** Background reclaim batch per wakeup. */
+    uint64_t kswapdBatch = 16ull << 20;
+
+    /** Background reclaim wakeup interval. */
+    sim::Time kswapdInterval = 5 * sim::kMsec;
+
+    /**
+     * Direct-reclaim batch: an allocator over the high watermark
+     * synchronously reclaims (and waits for) about this much, like
+     * the kernel's SWAP_CLUSTER_MAX-bounded direct reclaim; kswapd
+     * handles the bulk asynchronously.
+     */
+    uint64_t directReclaimBatch = 4ull << 20;
+
+    /** Size of one swap-out write bio. */
+    uint32_t swapOutIoBytes = 256 * 1024;
+
+    /** Size of one page-in (fault) read bio. */
+    uint32_t pageInIoBytes = 64 * 1024;
+
+    /**
+     * Victim-selection protection: cgroups touched within this
+     * window have their reclaim weight scaled down by
+     * activeProtection.
+     */
+    sim::Time activeWindow = 1 * sim::kSec;
+    double activeProtection = 0.1;
+
+    /**
+     * Writeback congestion limit: reclaim stops issuing (and direct
+     * reclaimers sleep-wait, the kernel's throttle_vm_writeout)
+     * while more than this much swap writeback is in flight. This
+     * is where a throttled swap-write path turns into memory-
+     * allocation stalls for everyone.
+     */
+    uint64_t maxWriteback = 64ull << 20;
+
+    /** Congestion re-check interval for sleeping reclaimers. */
+    sim::Time congestionWait = 2 * sim::kMsec;
+
+    /** Byte offset region where swap lives on the device. */
+    uint64_t swapAreaOffset = 1ull << 40;
+
+    /**
+     * Whether swap-out writes are charged to the page owner's
+     * cgroup (cgroup-writeback + MM-integrated controllers, §3.5)
+     * or issued at root attribution like historical kswapd IO —
+     * which is what controllers without memory-management
+     * integration actually see, and why a reclaim flood runs at
+     * root priority under them.
+     */
+    bool chargeSwapToOwner = true;
+};
+
+/** Per-cgroup MM counters, exposed for benches and tests. */
+struct MemCgroupStats
+{
+    uint64_t resident = 0;
+    uint64_t swapped = 0;
+    uint64_t swapOutBytes = 0;
+    uint64_t pageInBytes = 0;
+    uint64_t oomKills = 0;
+    sim::Time lastTouch = 0;
+    /** memory.low-style reclaim protection. */
+    uint64_t protectedBytes = 0;
+};
+
+/**
+ * The memory manager.
+ */
+class MemoryManager
+{
+  public:
+    /** Callback invoked when an MM operation's stall resolves. */
+    using DoneFn = std::function<void()>;
+
+    /** Invoked when the OOM killer selects a victim. */
+    using OomFn = std::function<void(cgroup::CgroupId)>;
+
+    MemoryManager(sim::Simulator &sim, blk::BlockLayer &layer,
+                  MemoryConfig cfg);
+
+    /**
+     * Allocate (and implicitly touch) @p bytes for @p cg. May enter
+     * direct reclaim; @p done fires when the allocation would have
+     * returned to userspace (including any controller debt delay).
+     */
+    void allocate(cgroup::CgroupId cg, uint64_t bytes, DoneFn done);
+
+    /**
+     * Touch @p bytes of @p cg's memory, uniformly across its
+     * resident+swapped footprint. Swapped portions fault in via
+     * page-in reads; @p done fires when all faults completed.
+     */
+    void touch(cgroup::CgroupId cg, uint64_t bytes, DoneFn done);
+
+    /** Release @p bytes (resident first, then swap). */
+    void free(cgroup::CgroupId cg, uint64_t bytes);
+
+    /** Install the OOM victim callback. */
+    void setOomHandler(OomFn fn) { oomHandler_ = std::move(fn); }
+
+    /**
+     * Protect the first @p bytes of @p cg's resident memory from
+     * reclaim (cgroup v2 memory.low): only the excess is considered
+     * by victim selection.
+     */
+    void setProtection(cgroup::CgroupId cg, uint64_t bytes);
+
+    /** Per-cgroup counters. */
+    const MemCgroupStats &stats(cgroup::CgroupId cg) const;
+
+    /** Total resident bytes across all cgroups. */
+    uint64_t totalResident() const { return totalResident_; }
+
+    /** Bytes under swap writeback (still occupying memory). */
+    uint64_t underWriteback() const { return writebackBytes_; }
+
+    /**
+     * Memory effectively in use: resident plus pages whose swap
+     * write has been issued but not completed — they are freed
+     * only when the IO finishes, which is how throttled swap IO
+     * throttles reclaim progress itself.
+     */
+    uint64_t
+    effectiveResident() const
+    {
+        return totalResident_ + writebackBytes_;
+    }
+
+    /** Total swapped bytes across all cgroups. */
+    uint64_t totalSwapped() const { return totalSwapped_; }
+
+    /** The static configuration. */
+    const MemoryConfig &config() const { return cfg_; }
+
+  private:
+    MemCgroupStats &st(cgroup::CgroupId cg);
+
+    /** Reclaim up to @p bytes; returns bytes of swap-out IO issued
+     *  and arranges for @p barrier to be released per completion. */
+    uint64_t reclaim(uint64_t bytes,
+                     const std::shared_ptr<uint64_t> &barrier,
+                     DoneFn done);
+
+    /** Pick the next victim cgroup, cold-biased. */
+    cgroup::CgroupId pickVictim();
+
+    /** Run the OOM killer; @return true if memory was freed. */
+    bool oomKill();
+
+    /** Background reclaim tick. */
+    void kswapd();
+
+    /** Direct reclaim with writeback-congestion sleep-wait. */
+    void directReclaim(uint64_t want,
+                       const std::shared_ptr<uint64_t> &barrier,
+                       DoneFn fire);
+
+    /** Apply the controller's return-to-userspace delay, then done. */
+    void finishWithDebtDelay(cgroup::CgroupId cg, DoneFn done);
+
+    sim::Simulator &sim_;
+    blk::BlockLayer &layer_;
+    MemoryConfig cfg_;
+    sim::Rng rng_;
+
+    std::deque<MemCgroupStats> stats_;
+    uint64_t totalResident_ = 0;
+    uint64_t totalSwapped_ = 0;
+    uint64_t writebackBytes_ = 0;
+    uint64_t swapCursor_ = 0;
+
+    OomFn oomHandler_;
+    std::optional<sim::PeriodicTimer> kswapdTimer_;
+};
+
+} // namespace iocost::mm
+
+#endif // IOCOST_MM_MEMORY_MANAGER_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Offline device profiling (paper §3.2).
+ *
+ * Reproduces the fio-based methodology the authors upstreamed with
+ * iocost: run saturating synthetic workloads against a device —
+ * 4k random/sequential reads and writes for the IOPS anchors, large
+ * sequential transfers for the byte rates — and emit the six-
+ * parameter linear model configuration. Profiling runs in a private
+ * simulator instance per dimension, exactly as the real tool runs
+ * fio jobs back to back on an idle device.
+ */
+
+#ifndef IOCOST_PROFILE_DEVICE_PROFILER_HH
+#define IOCOST_PROFILE_DEVICE_PROFILER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "blk/block_device.hh"
+#include "core/cost_model.hh"
+#include "device/hdd_model.hh"
+#include "device/remote_model.hh"
+#include "device/ssd_model.hh"
+#include "sim/simulator.hh"
+
+namespace iocost::profile {
+
+/** Factory producing a fresh device inside a given simulator. */
+using DeviceFactory = std::function<std::unique_ptr<blk::BlockDevice>(
+    sim::Simulator &)>;
+
+/** Everything a profiling pass learns about a device. */
+struct ProfileResult
+{
+    std::string deviceName;
+
+    /** The six-parameter model configuration (Fig. 6 format). */
+    core::LinearModelConfig model;
+
+    /** 4k random read IOPS at saturation. */
+    double randReadIops = 0;
+    /** 4k sequential read IOPS at saturation. */
+    double seqReadIops = 0;
+    /** 4k random write IOPS at saturation (sustained). */
+    double randWriteIops = 0;
+    /** 4k sequential write IOPS at saturation (sustained). */
+    double seqWriteIops = 0;
+
+    /** Median completion latency of a lone 4k random read. */
+    sim::Time readLatency = 0;
+    /** Median completion latency of a lone 4k random write. */
+    sim::Time writeLatency = 0;
+};
+
+/**
+ * The profiler.
+ */
+class DeviceProfiler
+{
+  public:
+    /**
+     * Profile an arbitrary device.
+     *
+     * @param name Reported device name.
+     * @param factory Constructs the device under test.
+     * @param seed Determinism seed.
+     * @param run_seconds Measurement duration per dimension (after a
+     *        warmup that places write-buffered devices in steady
+     *        state).
+     */
+    static ProfileResult profile(const std::string &name,
+                                 const DeviceFactory &factory,
+                                 uint64_t seed = 42,
+                                 double run_seconds = 4.0);
+
+    /** Convenience: profile an SSD spec (cached by spec name). */
+    static const ProfileResult &profileSsd(const device::SsdSpec &s);
+
+    /** Convenience: profile an HDD spec (cached by spec name). */
+    static const ProfileResult &profileHdd(const device::HddSpec &s);
+
+    /** Convenience: profile a remote volume (cached by name). */
+    static const ProfileResult &
+    profileRemote(const device::RemoteSpec &s);
+};
+
+} // namespace iocost::profile
+
+#endif // IOCOST_PROFILE_DEVICE_PROFILER_HH

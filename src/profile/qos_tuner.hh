@@ -1,0 +1,75 @@
+/**
+ * @file
+ * QoS parameter tuning with ResourceControlBench (paper §3.4).
+ *
+ * Reproduces the two-scenario procedure the authors use to bound
+ * vrate per device model:
+ *
+ *  1. The latency-sensitive benchmark runs *alone* with a working
+ *     set larger than memory, so paging/swap throughput limits its
+ *     performance. Sweeping pinned vrates from above, the smallest
+ *     vrate that still delivers (nearly) the best throughput becomes
+ *     vrateMax — above it, extra throughput buys nothing for memory
+ *     overcommit.
+ *
+ *  2. The benchmark runs *next to a memory leak* in another
+ *     container. Sweeping pinned vrates from below, IO control keeps
+ *     improving latency as vrate drops until the benchmark is
+ *     sufficiently protected; the largest vrate that achieves
+ *     (nearly) the best latency becomes vrateMin — below it there is
+ *     no further isolation benefit, only lost throughput.
+ *
+ * Latency targets are derived from the device profile.
+ */
+
+#ifndef IOCOST_PROFILE_QOS_TUNER_HH
+#define IOCOST_PROFILE_QOS_TUNER_HH
+
+#include <vector>
+
+#include "core/qos.hh"
+#include "device/ssd_model.hh"
+
+namespace iocost::profile {
+
+/** One sweep point. */
+struct QosSweepPoint
+{
+    double vrate = 1.0;
+    /** Scenario 1 metric: delivered RPS with paging-bound memory. */
+    double aloneRps = 0.0;
+    /** Scenario 2 metric: p95 request latency next to a leaker. */
+    sim::Time stackedP95 = 0;
+};
+
+/** Tuning output. */
+struct QosTuneResult
+{
+    core::QosParams qos;
+    std::vector<QosSweepPoint> sweep;
+};
+
+/**
+ * The tuner.
+ */
+class QosTuner
+{
+  public:
+    /**
+     * Tune QoS parameters for @p spec.
+     *
+     * @param spec Device model to tune for.
+     * @param vrates Pinned vrate sweep points (sorted ascending).
+     * @param run_seconds Simulated seconds per scenario run.
+     * @param seed Determinism seed.
+     */
+    static QosTuneResult
+    tune(const device::SsdSpec &spec,
+         const std::vector<double> &vrates = {0.25, 0.5, 0.75, 1.0,
+                                              1.5, 2.0},
+         double run_seconds = 6.0, uint64_t seed = 7);
+};
+
+} // namespace iocost::profile
+
+#endif // IOCOST_PROFILE_QOS_TUNER_HH

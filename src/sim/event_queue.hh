@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Discrete-event queue.
+ *
+ * The event queue is the heart of the simulation kernel: a priority
+ * queue of (time, sequence, callback) triples. Ties in time are broken
+ * by insertion order so that the simulation is fully deterministic.
+ * Events can be cancelled via the EventHandle returned at scheduling
+ * time; cancellation is O(1) (a tombstone flag) and the queue skips
+ * dead events lazily when they reach the top of the heap.
+ */
+
+#ifndef IOCOST_SIM_EVENT_QUEUE_HH
+#define IOCOST_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace iocost::sim {
+
+/** Callback type invoked when an event fires. */
+using EventCallback = std::function<void()>;
+
+/**
+ * Cancellation handle for a scheduled event.
+ *
+ * Copies share the underlying tombstone, so any copy may cancel. A
+ * default-constructed handle refers to no event and is inert.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Cancel the event if it has not fired yet. */
+    void
+    cancel()
+    {
+        if (alive_)
+            *alive_ = false;
+    }
+
+    /** @return true if the handle refers to a not-yet-fired event. */
+    bool
+    pending() const
+    {
+        return alive_ && *alive_;
+    }
+
+  private:
+    friend class EventQueue;
+
+    explicit EventHandle(std::shared_ptr<bool> alive)
+        : alive_(std::move(alive))
+    {}
+
+    std::shared_ptr<bool> alive_;
+};
+
+/**
+ * Deterministic discrete-event priority queue.
+ *
+ * Not thread safe: the entire simulation is single threaded by design
+ * (see DESIGN.md, "Deterministic DES").
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule a callback at an absolute simulated time.
+     *
+     * @param when Absolute firing time; must be >= now().
+     * @param cb Callback to invoke.
+     * @return Handle usable to cancel the event.
+     */
+    EventHandle
+    scheduleAt(Time when, EventCallback cb)
+    {
+        auto alive = std::make_shared<bool>(true);
+        heap_.push(Entry{when, nextSeq_++, alive, std::move(cb)});
+        return EventHandle(std::move(alive));
+    }
+
+    /** Schedule a callback a relative delay from now. */
+    EventHandle
+    scheduleAfter(Time delay, EventCallback cb)
+    {
+        return scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /** @return true if no live events remain (prunes tombstones). */
+    bool
+    empty()
+    {
+        prune();
+        return heap_.empty();
+    }
+
+    /** Firing time of the next live event, or kTimeNever. */
+    Time
+    nextEventTime()
+    {
+        prune();
+        return heap_.empty() ? kTimeNever : heap_.top().when;
+    }
+
+    /**
+     * Pop and run the next live event, advancing the clock.
+     *
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        prune();
+        if (heap_.empty())
+            return false;
+        Entry e = heap_.top();
+        heap_.pop();
+        *e.alive = false;
+        now_ = e.when;
+        e.cb();
+        return true;
+    }
+
+    /**
+     * Run events with firing time <= @p until, then advance the clock
+     * to @p until.
+     *
+     * @return number of events executed.
+     */
+    uint64_t
+    runUntil(Time until)
+    {
+        uint64_t executed = 0;
+        while (nextEventTime() <= until) {
+            if (!step())
+                break;
+            ++executed;
+        }
+        if (now_ < until)
+            now_ = until;
+        return executed;
+    }
+
+    /** Run until no live events remain. @return events executed. */
+    uint64_t
+    runAll()
+    {
+        uint64_t executed = 0;
+        while (step())
+            ++executed;
+        return executed;
+    }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        uint64_t seq;
+        std::shared_ptr<bool> alive;
+        EventCallback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries sitting at the top of the heap. */
+    void
+    prune()
+    {
+        while (!heap_.empty() && !*heap_.top().alive)
+            heap_.pop();
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Time now_ = 0;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace iocost::sim
+
+#endif // IOCOST_SIM_EVENT_QUEUE_HH

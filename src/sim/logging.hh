@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Error and status reporting helpers (gem5-style panic/fatal/warn).
+ *
+ * panic() flags a simulator bug (aborts); fatal() flags a user /
+ * configuration error (clean exit with an error code); warn() and
+ * inform() provide status without stopping the run.
+ */
+
+#ifndef IOCOST_SIM_LOGGING_HH
+#define IOCOST_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace iocost::sim {
+
+/** Abort the simulation: something that should never happen did. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Exit the simulation: unrecoverable user/configuration error. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Non-fatal warning about questionable configuration or behavior. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informative status message. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** panic() unless the condition holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace iocost::sim
+
+#endif // IOCOST_SIM_LOGGING_HH

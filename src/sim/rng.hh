@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every source of randomness in the simulation flows through a Rng
+ * seeded from the experiment configuration, so that all tests and
+ * benchmarks are bit-for-bit reproducible. The generator is
+ * xoshiro256** seeded via SplitMix64, which is fast, has a long
+ * period, and passes the usual statistical batteries.
+ */
+
+#ifndef IOCOST_SIM_RNG_HH
+#define IOCOST_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace iocost::sim {
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be
+ * used with standard distributions, though the convenience members
+ * below cover everything the simulator needs.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via SplitMix64. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            // SplitMix64 step: decorrelates consecutive seeds.
+            x += 0x9E3779B97F4A7C15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return UINT64_MAX; }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high bits give a uniformly distributed mantissa.
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Multiplicative range reduction; bias is negligible for the
+        // ranges the simulator uses (n << 2^64).
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponentially distributed double with the given mean. */
+    double
+    exponential(double mean)
+    {
+        // Clamp away from 0 to avoid log(0).
+        double u = uniform();
+        if (u < 1e-18)
+            u = 1e-18;
+        return -mean * std::log(u);
+    }
+
+    /** Normally distributed double (Box-Muller, one value per call). */
+    double
+    normal(double mean, double stddev)
+    {
+        double u1 = uniform();
+        if (u1 < 1e-18)
+            u1 = 1e-18;
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+    }
+
+    /**
+     * Log-normally distributed value parameterized by the desired
+     * median and a shape sigma (in log space). Used for latency jitter.
+     */
+    double
+    logNormal(double median, double sigma)
+    {
+        return median * std::exp(sigma * normal(0.0, 1.0));
+    }
+
+    /** Fork an independent, deterministically derived generator. */
+    Rng
+    fork()
+    {
+        return Rng((*this)());
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace iocost::sim
+
+#endif // IOCOST_SIM_RNG_HH

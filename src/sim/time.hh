@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simulated time representation.
+ *
+ * All simulation timestamps are signed 64-bit nanosecond counts. A
+ * signed representation makes interval arithmetic (deadlines, budget
+ * deltas) safe without ad-hoc casts. Helper constants express common
+ * units so call sites read naturally (e.g. 250 * kUsec).
+ */
+
+#ifndef IOCOST_SIM_TIME_HH
+#define IOCOST_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace iocost::sim {
+
+/** Simulated time in nanoseconds since simulation start. */
+using Time = int64_t;
+
+/** One nanosecond. */
+inline constexpr Time kNsec = 1;
+/** One microsecond in nanoseconds. */
+inline constexpr Time kUsec = 1000;
+/** One millisecond in nanoseconds. */
+inline constexpr Time kMsec = 1000 * 1000;
+/** One second in nanoseconds. */
+inline constexpr Time kSec = 1000 * 1000 * 1000;
+
+/** Sentinel for "no deadline" / "never". */
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/** Convert simulated time to floating point seconds (for reporting). */
+inline constexpr double
+toSeconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert simulated time to floating point milliseconds. */
+inline constexpr double
+toMillis(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMsec);
+}
+
+/** Convert simulated time to floating point microseconds. */
+inline constexpr double
+toMicros(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kUsec);
+}
+
+} // namespace iocost::sim
+
+#endif // IOCOST_SIM_TIME_HH

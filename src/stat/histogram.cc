@@ -1,0 +1,153 @@
+#include "stat/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace iocost::stat {
+
+Histogram::Histogram(unsigned sub_bucket_bits)
+    : subBits_(sub_bucket_bits)
+{
+    // 64 octaves x subBuckets linear slots covers the full uint64
+    // range; latency values in ns never exceed ~2^45 in practice.
+    buckets_.assign((64u + 1u) << subBits_, 0);
+}
+
+unsigned
+Histogram::bucketIndex(uint64_t value) const
+{
+    // Octave o scales the value down so it fits in one sub-bucket
+    // span; values below 2^subBits are exact (o = 0). The resulting
+    // relative quantization error is bounded by 2^(1 - subBits).
+    if (value == 0)
+        return 0;
+    const unsigned msb = 63u - std::countl_zero(value);
+    const unsigned octave =
+        msb < subBits_ ? 0u : msb - subBits_ + 1u;
+    const auto sub = static_cast<unsigned>(value >> octave);
+    return (octave << subBits_) + sub;
+}
+
+uint64_t
+Histogram::bucketUpperEdge(unsigned index) const
+{
+    const unsigned sub_count = 1u << subBits_;
+    const unsigned octave = index >> subBits_;
+    const uint64_t sub = index & (sub_count - 1u);
+    return ((sub + 1u) << octave) - 1u;
+}
+
+void
+Histogram::record(int64_t value)
+{
+    record(value, 1);
+}
+
+void
+Histogram::record(int64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    if (value < 0)
+        value = 0;
+    const unsigned idx =
+        std::min<unsigned>(bucketIndex(static_cast<uint64_t>(value)),
+                           static_cast<unsigned>(buckets_.size() - 1));
+    buckets_[idx] += count;
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += count;
+    total_ += value * static_cast<int64_t>(count);
+    sumSquares_ += static_cast<double>(value) *
+                   static_cast<double>(value) *
+                   static_cast<double>(count);
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(total_) / static_cast<double>(count_);
+}
+
+double
+Histogram::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var =
+        sumSquares_ / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+int64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the target observation (1-based, ceil).
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            const int64_t edge =
+                static_cast<int64_t>(bucketUpperEdge(i));
+            return std::min(edge, max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    total_ = 0;
+    sumSquares_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (other.subBits_ == subBits_) {
+        for (size_t i = 0; i < buckets_.size(); ++i)
+            buckets_[i] += other.buckets_[i];
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+        count_ += other.count_;
+        total_ += other.total_;
+        sumSquares_ += other.sumSquares_;
+        return;
+    }
+    // Differing resolutions: re-record representative values.
+    for (unsigned i = 0; i < other.buckets_.size(); ++i) {
+        if (other.buckets_[i]) {
+            record(static_cast<int64_t>(other.bucketUpperEdge(i)),
+                   other.buckets_[i]);
+        }
+    }
+}
+
+} // namespace iocost::stat

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Log-linear histogram for latency percentile tracking.
+ *
+ * Buckets are organized HDR-histogram style: values are grouped by
+ * their power-of-two magnitude, and each magnitude is split into a
+ * fixed number of linear sub-buckets, bounding relative quantile error
+ * by 1/subBuckets. Recording is O(1); percentile queries are O(number
+ * of buckets). This mirrors what the kernel's iocost implementation
+ * does with its completion-latency percentile estimation, and is the
+ * backbone of every latency statistic in the simulator.
+ */
+
+#ifndef IOCOST_STAT_HISTOGRAM_HH
+#define IOCOST_STAT_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace iocost::stat {
+
+/**
+ * Fixed-memory log-linear histogram over non-negative 64-bit values.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param sub_bucket_bits Linear sub-buckets per octave as a power
+     *        of two (default 5 -> 32 sub-buckets, ~3% relative error).
+     */
+    explicit Histogram(unsigned sub_bucket_bits = 5);
+
+    /** Record one observation. Negative values clamp to zero. */
+    void record(int64_t value);
+
+    /** Record @p count identical observations. */
+    void record(int64_t value, uint64_t count);
+
+    /** Number of recorded observations. */
+    uint64_t count() const { return count_; }
+
+    /** Sum of recorded values (saturating in practice, not checked). */
+    int64_t total() const { return total_; }
+
+    /** Arithmetic mean, 0 when empty. */
+    double mean() const;
+
+    /** Standard deviation (population), 0 when empty. */
+    double stddev() const;
+
+    /** Minimum recorded value, 0 when empty. */
+    int64_t minValue() const { return count_ ? min_ : 0; }
+
+    /** Maximum recorded value, 0 when empty. */
+    int64_t maxValue() const { return count_ ? max_ : 0; }
+
+    /**
+     * Value at quantile @p q in [0, 1]; e.g. q = 0.5 is the median.
+     * Returns the representative (upper-edge) value of the bucket
+     * containing the quantile. 0 when empty.
+     */
+    int64_t quantile(double q) const;
+
+    /** Convenience: value at percentile p in [0, 100]. */
+    int64_t percentile(double p) const { return quantile(p / 100.0); }
+
+    /** Remove all observations. */
+    void reset();
+
+    /** Merge another histogram's observations into this one. */
+    void merge(const Histogram &other);
+
+  private:
+    unsigned bucketIndex(uint64_t value) const;
+    uint64_t bucketUpperEdge(unsigned index) const;
+
+    unsigned subBits_;
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    int64_t total_ = 0;
+    double sumSquares_ = 0.0;
+    int64_t min_ = 0;
+    int64_t max_ = 0;
+};
+
+} // namespace iocost::stat
+
+#endif // IOCOST_STAT_HISTOGRAM_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Rate meters and simple counters over simulated time.
+ */
+
+#ifndef IOCOST_STAT_METER_HH
+#define IOCOST_STAT_METER_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace iocost::stat {
+
+/**
+ * Accumulates a count over simulated time and reports the average
+ * rate per second between reset points. Used for IOPS / bytes-per-
+ * second reporting in workloads and benches.
+ */
+class RateMeter
+{
+  public:
+    /** Begin (or restart) the measurement window at time @p now. */
+    void
+    start(sim::Time now)
+    {
+        windowStart_ = now;
+        count_ = 0;
+    }
+
+    /** Add @p n to the count. */
+    void add(uint64_t n = 1) { count_ += n; }
+
+    /** Total accumulated count since start(). */
+    uint64_t count() const { return count_; }
+
+    /** Average rate per second across [start, now]. */
+    double
+    perSecond(sim::Time now) const
+    {
+        const sim::Time elapsed = now - windowStart_;
+        if (elapsed <= 0)
+            return 0.0;
+        return static_cast<double>(count_) /
+               sim::toSeconds(elapsed);
+    }
+
+  private:
+    sim::Time windowStart_ = 0;
+    uint64_t count_ = 0;
+};
+
+/**
+ * Exponentially weighted moving average with a configurable time
+ * constant, evaluated lazily against the simulated clock. Used for
+ * smoothed utilization / rate signals inside controllers.
+ */
+class Ewma
+{
+  public:
+    /** @param time_constant Time for a step input to reach ~63%. */
+    explicit Ewma(sim::Time time_constant)
+        : tau_(time_constant)
+    {}
+
+    /** Fold in a new sample observed at time @p now. */
+    void
+    sample(sim::Time now, double value)
+    {
+        if (!initialized_) {
+            value_ = value;
+            last_ = now;
+            initialized_ = true;
+            return;
+        }
+        const sim::Time dt = now - last_;
+        last_ = now;
+        if (dt <= 0) {
+            // Same-instant samples average equally.
+            value_ = 0.5 * value_ + 0.5 * value;
+            return;
+        }
+        // alpha = 1 - exp(-dt / tau), first-order approximation is
+        // fine for dt << tau and exact enough elsewhere.
+        const double x = static_cast<double>(dt) /
+                         static_cast<double>(tau_);
+        const double alpha = x >= 20.0 ? 1.0 : 1.0 - fastExpNeg(x);
+        value_ += alpha * (value - value_);
+    }
+
+    /** Current smoothed value. */
+    double value() const { return value_; }
+
+    /** @return true once at least one sample has been folded in. */
+    bool initialized() const { return initialized_; }
+
+  private:
+    static double
+    fastExpNeg(double x)
+    {
+        // 4th-order rational approximation of exp(-x), adequate for a
+        // smoothing filter (max error < 1% on [0, 20]).
+        const double d = 1.0 + x * (1.0 + x * (0.5 + x * (1.0 / 6.0 +
+                         x / 24.0)));
+        return 1.0 / d;
+    }
+
+    sim::Time tau_;
+    sim::Time last_ = 0;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+} // namespace iocost::stat
+
+#endif // IOCOST_STAT_METER_HH

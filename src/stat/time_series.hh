@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Time-series recording for benchmark figure output.
+ *
+ * Benches that reproduce time-axis figures (vrate adjustment, SLO
+ * violations, fleet migrations) record named series of (time, value)
+ * points and print them in a uniform layout.
+ */
+
+#ifndef IOCOST_STAT_TIME_SERIES_HH
+#define IOCOST_STAT_TIME_SERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace iocost::stat {
+
+/** One sample in a series. */
+struct SeriesPoint
+{
+    sim::Time when;
+    double value;
+};
+
+/**
+ * A named sequence of timestamped samples.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(std::string name = {})
+        : name_(std::move(name))
+    {}
+
+    /** Append a sample. Timestamps are expected non-decreasing. */
+    void
+    record(sim::Time when, double value)
+    {
+        points_.push_back(SeriesPoint{when, value});
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<SeriesPoint> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+    size_t size() const { return points_.size(); }
+
+    /** Mean of all sample values, 0 when empty. */
+    double
+    mean() const
+    {
+        if (points_.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const auto &p : points_)
+            sum += p.value;
+        return sum / static_cast<double>(points_.size());
+    }
+
+    /** Largest sample value, 0 when empty. */
+    double
+    maxValue() const
+    {
+        double mx = 0.0;
+        for (const auto &p : points_)
+            mx = p.value > mx ? p.value : mx;
+        return mx;
+    }
+
+    /**
+     * Downsample to at most @p max_points by averaging fixed-size
+     * chunks; used to keep printed figure output readable.
+     */
+    TimeSeries
+    downsample(size_t max_points) const
+    {
+        TimeSeries out(name_);
+        if (points_.size() <= max_points) {
+            out.points_ = points_;
+            return out;
+        }
+        const size_t chunk =
+            (points_.size() + max_points - 1) / max_points;
+        for (size_t i = 0; i < points_.size(); i += chunk) {
+            const size_t end =
+                i + chunk < points_.size() ? i + chunk
+                                           : points_.size();
+            double sum = 0.0;
+            for (size_t j = i; j < end; ++j)
+                sum += points_[j].value;
+            out.record(points_[(i + end - 1) / 2].when,
+                       sum / static_cast<double>(end - i));
+        }
+        return out;
+    }
+
+  private:
+    std::string name_;
+    std::vector<SeriesPoint> points_;
+};
+
+} // namespace iocost::stat
+
+#endif // IOCOST_STAT_TIME_SERIES_HH

@@ -1,0 +1,220 @@
+#include "workload/latency_server.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace iocost::workload {
+
+LatencyServer::LatencyServer(sim::Simulator &sim,
+                             blk::BlockLayer &layer,
+                             mm::MemoryManager &mm,
+                             cgroup::CgroupId cg,
+                             LatencyServerConfig cfg)
+    : sim_(sim),
+      layer_(layer),
+      mm_(mm),
+      cg_(cg),
+      cfg_(std::move(cfg)),
+      rng_(sim.forkRng()),
+      rpsSeries_(cfg_.name + ".rps")
+{}
+
+void
+LatencyServer::prepare(std::function<void()> ready)
+{
+    // Allocate the working set in chunks so reclaim interleaves
+    // naturally instead of one giant stall.
+    static constexpr uint64_t kChunk = 16ull << 20;
+    auto left = std::make_shared<uint64_t>(cfg_.workingSetBytes);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, left, step, ready = std::move(ready)] {
+        if (*left == 0) {
+            ready();
+            return;
+        }
+        const uint64_t chunk = std::min(kChunk, *left);
+        *left -= chunk;
+        wsAllocated_ += chunk;
+        mm_.allocate(cg_, chunk, [step] { (*step)(); });
+    };
+    (*step)();
+}
+
+void
+LatencyServer::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    statsStart_ = sim_.now();
+    scheduleArrival();
+    windowTimer_ = sim_.after(cfg_.window, [this] { windowTick(); });
+}
+
+void
+LatencyServer::stop()
+{
+    running_ = false;
+    nextArrival_.cancel();
+    windowTimer_.cancel();
+}
+
+double
+LatencyServer::deliveredRps() const
+{
+    const sim::Time elapsed = sim_.now() - statsStart_;
+    if (elapsed <= 0)
+        return 0.0;
+    return static_cast<double>(completed_) / sim::toSeconds(elapsed);
+}
+
+void
+LatencyServer::resetStats()
+{
+    completed_ = 0;
+    shed_ = 0;
+    statsStart_ = sim_.now();
+    latency_.reset();
+}
+
+void
+LatencyServer::scheduleArrival()
+{
+    if (!running_)
+        return;
+    const sim::Time delay = std::max<sim::Time>(
+        1, static_cast<sim::Time>(
+               rng_.exponential(1e9 / std::max(1.0,
+                                               cfg_.offeredRps))));
+    nextArrival_ = sim_.after(delay, [this] {
+        arrival();
+        scheduleArrival();
+    });
+}
+
+void
+LatencyServer::arrival()
+{
+    if (inFlight_ >= cfg_.maxConcurrency) {
+        ++shed_;
+        return;
+    }
+    ++inFlight_;
+    const sim::Time started = sim_.now();
+
+    auto stage1 = [this, started] { touchStage(started); };
+
+    // Stage 0: grow the working set toward the load-dependent
+    // target; the allocation may enter direct reclaim and stall
+    // this request on swap-out IO (§3.5).
+    const uint64_t ws_target =
+        cfg_.workingSetBytes +
+        static_cast<uint64_t>(cfg_.offeredRps) *
+            cfg_.workingSetGrowthPerRps;
+    uint64_t alloc = cfg_.allocPerRequest;
+    if (wsAllocated_ < ws_target) {
+        const uint64_t grow = std::min<uint64_t>(
+            4ull << 20, ws_target - wsAllocated_);
+        wsAllocated_ += grow;
+        alloc += grow;
+    }
+    if (alloc > 0) {
+        mm_.allocate(cg_, alloc, stage1);
+        return;
+    }
+    stage1();
+}
+
+void
+LatencyServer::touchStage(sim::Time started)
+{
+    // Stage 1: touch the working-set slice (may fault in pages).
+    mm_.touch(cg_, cfg_.touchPerRequest, [this, started] {
+        // Stage 2: data reads, issued concurrently.
+        if (cfg_.readsPerRequest == 0 && cfg_.logWriteSize == 0) {
+            finishRequest(started);
+            return;
+        }
+        auto barrier = std::make_shared<unsigned>(
+            (cfg_.serialReads && cfg_.readsPerRequest > 0
+                 ? 1u
+                 : cfg_.readsPerRequest) +
+            (cfg_.logWriteSize > 0 ? 1 : 0));
+        auto fire = [this, started, barrier] {
+            if (--*barrier == 0)
+                finishRequest(started);
+        };
+        auto random_offset = [this] {
+            const uint64_t blocks =
+                cfg_.dataSpanBytes / cfg_.readSize;
+            return rng_.below(std::max<uint64_t>(1, blocks)) *
+                   cfg_.readSize;
+        };
+        if (cfg_.serialReads && cfg_.readsPerRequest > 0) {
+            // Dependent lookups: read k completes before read k+1
+            // is issued.
+            auto chain =
+                std::make_shared<std::function<void(unsigned)>>();
+            *chain = [this, fire, chain,
+                      random_offset](unsigned left) {
+                if (left == 0) {
+                    fire();
+                    return;
+                }
+                layer_.submit(blk::Bio::make(
+                    blk::Op::Read, random_offset(), cfg_.readSize,
+                    cg_, [chain, left](const blk::Bio &) {
+                        (*chain)(left - 1);
+                    }));
+            };
+            (*chain)(cfg_.readsPerRequest);
+        } else {
+            for (unsigned i = 0; i < cfg_.readsPerRequest; ++i) {
+                layer_.submit(blk::Bio::make(
+                    blk::Op::Read, random_offset(), cfg_.readSize,
+                    cg_, [fire](const blk::Bio &) { fire(); }));
+            }
+        }
+        if (cfg_.logWriteSize > 0) {
+            // Log appends are sequential journal-style writes.
+            static constexpr uint64_t kLogBase = 3ull << 40;
+            const uint64_t log_offset = kLogBase + logCursor_;
+            logCursor_ += cfg_.logWriteSize;
+            layer_.submit(blk::Bio::make(
+                blk::Op::Write, log_offset, cfg_.logWriteSize, cg_,
+                [fire](const blk::Bio &) { fire(); }));
+        }
+    });
+}
+
+void
+LatencyServer::finishRequest(sim::Time started)
+{
+    if (inFlight_ > 0)
+        --inFlight_;
+    if (cfg_.allocPerRequest > 0)
+        mm_.free(cg_, cfg_.allocPerRequest);
+    ++completed_;
+    ++windowCompleted_;
+    const sim::Time lat = sim_.now() - started;
+    latency_.record(lat);
+    windowLat_.record(lat);
+}
+
+void
+LatencyServer::windowTick()
+{
+    const double rps = static_cast<double>(windowCompleted_) /
+                       sim::toSeconds(cfg_.window);
+    rpsSeries_.record(sim_.now(), rps);
+    if (onWindow_)
+        onWindow_(rps, windowLat_.percentile(95));
+    windowCompleted_ = 0;
+    windowLat_.reset();
+    if (running_) {
+        windowTimer_ = sim_.after(cfg_.window,
+                                  [this] { windowTick(); });
+    }
+}
+
+} // namespace iocost::workload

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Latency-sensitive request-serving workload.
+ *
+ * Stands in for the paper's production web server and for
+ * ResourceControlBench (§3.4): an open-loop request arrival process
+ * where each request touches a slice of the service's working set
+ * (faulting in any swapped-out pages), performs a few disk reads,
+ * and optionally appends to a log. Requests past the concurrency cap
+ * are shed — so sustained IO/memory interference shows up as lost
+ * requests per second, the metric Figs. 14/17 report.
+ */
+
+#ifndef IOCOST_WORKLOAD_LATENCY_SERVER_HH
+#define IOCOST_WORKLOAD_LATENCY_SERVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "blk/block_layer.hh"
+#include "mm/memory_manager.hh"
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+#include "stat/histogram.hh"
+#include "stat/time_series.hh"
+
+namespace iocost::workload {
+
+/** Configuration of a latency-sensitive server. */
+struct LatencyServerConfig
+{
+    std::string name = "server";
+
+    /** Offered request rate (open loop, Poisson arrivals). */
+    double offeredRps = 500.0;
+
+    /** Resident working set allocated during prepare(). */
+    uint64_t workingSetBytes = 2ull << 30;
+
+    /**
+     * Additional working set per offered request/sec (the paper's
+     * Fig. 15 dynamic: higher load pushes up demand for resident
+     * memory). Growth allocations happen inline in request handling
+     * and may enter direct reclaim — the §3.5 stall.
+     */
+    uint64_t workingSetGrowthPerRps = 0;
+
+    /** Memory touched per request (uniform over the working set). */
+    uint64_t touchPerRequest = 1ull << 20;
+
+    /**
+     * Transient memory allocated per request and freed at
+     * completion (request buffers). Under memory pressure this is
+     * what drags every request through direct reclaim — the §3.5
+     * stall path.
+     */
+    uint64_t allocPerRequest = 0;
+
+    /** Disk reads issued per request. */
+    unsigned readsPerRequest = 2;
+    uint32_t readSize = 16 * 1024;
+    uint64_t dataSpanBytes = 32ull << 30;
+
+    /**
+     * Issue the reads one after another (dependent lookups, e.g.
+     * index then data) instead of concurrently; device congestion
+     * then compounds into request latency.
+     */
+    bool serialReads = false;
+
+    /** Log append per request (0 disables). */
+    uint32_t logWriteSize = 4096;
+
+    /** Requests in flight beyond this are shed. */
+    unsigned maxConcurrency = 64;
+
+    /** RPS reporting window. */
+    sim::Time window = 1 * sim::kSec;
+};
+
+/**
+ * The server workload.
+ */
+class LatencyServer
+{
+  public:
+    LatencyServer(sim::Simulator &sim, blk::BlockLayer &layer,
+                  mm::MemoryManager &mm, cgroup::CgroupId cg,
+                  LatencyServerConfig cfg);
+
+    /**
+     * Allocate the working set (chunked, through reclaim if needed)
+     * then invoke @p ready.
+     */
+    void prepare(std::function<void()> ready);
+
+    /** Begin serving. */
+    void start();
+
+    /** Stop serving. */
+    void stop();
+
+    /** Change the offered load (Fig. 15's ramp controller). */
+    void setOfferedRps(double rps) { cfg_.offeredRps = rps; }
+    double offeredRps() const { return cfg_.offeredRps; }
+
+    /** Completed requests. */
+    uint64_t completed() const { return completed_; }
+
+    /** Shed (dropped) requests. */
+    uint64_t shed() const { return shed_; }
+
+    /** Delivered requests/sec, averaged since the last reset. */
+    double deliveredRps() const;
+
+    /** Per-window delivered RPS samples. */
+    const stat::TimeSeries &rpsSeries() const { return rpsSeries_; }
+
+    /** Request latency histogram since the last reset. */
+    const stat::Histogram &latency() const { return latency_; }
+
+    /** Request latency within the current window (for controllers
+     *  like the Fig. 15 load ramp). */
+    const stat::Histogram &windowLatency() const
+    {
+        return windowLat_;
+    }
+
+    void resetStats();
+
+    /**
+     * Install a per-window observer invoked with the window's
+     * delivered RPS and p95 latency (before the window stats reset).
+     * Fig. 15's load-ramp controller hangs off this hook.
+     */
+    void
+    setWindowObserver(
+        std::function<void(double rps, sim::Time p95)> fn)
+    {
+        onWindow_ = std::move(fn);
+    }
+
+    cgroup::CgroupId cg() const { return cg_; }
+
+  private:
+    void arrival();
+    void touchStage(sim::Time started);
+    void scheduleArrival();
+    void finishRequest(sim::Time started);
+    void windowTick();
+
+    sim::Simulator &sim_;
+    blk::BlockLayer &layer_;
+    mm::MemoryManager &mm_;
+    cgroup::CgroupId cg_;
+    LatencyServerConfig cfg_;
+    sim::Rng rng_;
+
+    bool running_ = false;
+    unsigned inFlight_ = 0;
+    uint64_t wsAllocated_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t shed_ = 0;
+    uint64_t windowCompleted_ = 0;
+    sim::Time statsStart_ = 0;
+    stat::Histogram latency_;
+    stat::Histogram windowLat_;
+    stat::TimeSeries rpsSeries_;
+    std::function<void(double, sim::Time)> onWindow_;
+    uint64_t logCursor_ = 0;
+    sim::EventHandle nextArrival_;
+    sim::EventHandle windowTimer_;
+};
+
+} // namespace iocost::workload
+
+#endif // IOCOST_WORKLOAD_LATENCY_SERVER_HH

@@ -1,0 +1,107 @@
+#include "workload/memory_hog.hh"
+
+#include <algorithm>
+
+namespace iocost::workload {
+
+MemoryHog::MemoryHog(sim::Simulator &sim, mm::MemoryManager &mm,
+                     cgroup::CgroupId cg, MemoryHogConfig cfg)
+    : sim_(sim), mm_(mm), cg_(cg), cfg_(std::move(cfg))
+{}
+
+void
+MemoryHog::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    ++epoch_;
+    if (cfg_.mode == HogMode::Leak) {
+        leakStep();
+    } else {
+        stressSetup(cfg_.workingSetBytes);
+    }
+}
+
+void
+MemoryHog::stop()
+{
+    running_ = false;
+    ++epoch_;
+}
+
+void
+MemoryHog::notifyOomKilled()
+{
+    ++kills_;
+    ++epoch_;
+    if (!running_)
+        return;
+    const uint64_t epoch = epoch_;
+    sim_.after(cfg_.restartDelay, [this, epoch] {
+        if (!running_ || epoch != epoch_)
+            return;
+        if (cfg_.mode == HogMode::Leak) {
+            leakStep();
+        } else {
+            stressSetup(cfg_.workingSetBytes);
+        }
+    });
+}
+
+void
+MemoryHog::leakStep()
+{
+    if (!running_)
+        return;
+    const uint64_t epoch = epoch_;
+    const sim::Time interval = std::max<sim::Time>(
+        1, static_cast<sim::Time>(
+               static_cast<double>(cfg_.leakChunk) /
+               cfg_.leakBytesPerSec * 1e9));
+    sim_.after(interval, [this, epoch] {
+        if (!running_ || epoch != epoch_)
+            return;
+        allocated_ += cfg_.leakChunk;
+        mm_.allocate(cg_, cfg_.leakChunk, [this, epoch] {
+            if (running_ && epoch == epoch_)
+                leakStep();
+        });
+    });
+}
+
+void
+MemoryHog::stressSetup(uint64_t remaining)
+{
+    if (!running_)
+        return;
+    if (remaining == 0) {
+        stressStep();
+        return;
+    }
+    const uint64_t epoch = epoch_;
+    const uint64_t chunk = std::min<uint64_t>(16ull << 20, remaining);
+    allocated_ += chunk;
+    mm_.allocate(cg_, chunk, [this, epoch, remaining, chunk] {
+        if (running_ && epoch == epoch_)
+            stressSetup(remaining - chunk);
+    });
+}
+
+void
+MemoryHog::stressStep()
+{
+    if (!running_)
+        return;
+    const uint64_t epoch = epoch_;
+    mm_.touch(cg_, cfg_.touchChunk, [this, epoch] {
+        if (!running_ || epoch != epoch_)
+            return;
+        sim_.after(cfg_.touchInterval, [this, epoch] {
+            if (running_ && epoch == epoch_)
+                stressStep();
+        });
+    });
+}
+
+} // namespace iocost::workload

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Memory-consuming antagonist workloads.
+ *
+ * Two modes, matching the paper's evaluation antagonists:
+ *
+ *  - Leak: allocate continuously and never touch again (the
+ *    system-slice memory leak of Figs. 14/17/18). Leaked pages are
+ *    cold, so reclaim swaps them out — generating swap-out writes
+ *    charged to this cgroup. Restarts after an OOM kill, like a
+ *    leaking service under a supervisor.
+ *
+ *  - Stress: allocate a fixed working set and touch it continuously
+ *    (the `stress` consumer of Fig. 15), keeping its pages
+ *    permanently hot and competing for residency.
+ */
+
+#ifndef IOCOST_WORKLOAD_MEMORY_HOG_HH
+#define IOCOST_WORKLOAD_MEMORY_HOG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mm/memory_manager.hh"
+#include "sim/simulator.hh"
+
+namespace iocost::workload {
+
+/** Antagonist behaviour. */
+enum class HogMode
+{
+    Leak,
+    Stress,
+};
+
+/** Configuration of a memory hog. */
+struct MemoryHogConfig
+{
+    std::string name = "hog";
+    HogMode mode = HogMode::Leak;
+
+    /** Leak: allocation rate. */
+    double leakBytesPerSec = 64e6;
+    /** Leak: chunk per allocation call. */
+    uint64_t leakChunk = 8ull << 20;
+    /** Leak: delay before restarting after an OOM kill. */
+    sim::Time restartDelay = 1 * sim::kSec;
+
+    /** Stress: resident working set to keep hot. */
+    uint64_t workingSetBytes = 2ull << 30;
+    /** Stress: bytes touched per loop iteration. */
+    uint64_t touchChunk = 32ull << 20;
+    /** Stress: pause between loop iterations. */
+    sim::Time touchInterval = 5 * sim::kMsec;
+};
+
+/**
+ * The antagonist.
+ */
+class MemoryHog
+{
+  public:
+    MemoryHog(sim::Simulator &sim, mm::MemoryManager &mm,
+              cgroup::CgroupId cg, MemoryHogConfig cfg);
+
+    void start();
+    void stop();
+
+    /**
+     * Notify that the OOM killer removed this cgroup's memory; the
+     * hog pauses and (in Leak mode) starts leaking afresh.
+     */
+    void notifyOomKilled();
+
+    /** Total bytes allocated over the run (across restarts). */
+    uint64_t allocated() const { return allocated_; }
+
+    /** Number of OOM kills absorbed. */
+    unsigned kills() const { return kills_; }
+
+    cgroup::CgroupId cg() const { return cg_; }
+
+  private:
+    void leakStep();
+    void stressSetup(uint64_t remaining);
+    void stressStep();
+
+    sim::Simulator &sim_;
+    mm::MemoryManager &mm_;
+    cgroup::CgroupId cg_;
+    MemoryHogConfig cfg_;
+
+    bool running_ = false;
+    /** Guards against stale async completions after an OOM kill. */
+    uint64_t epoch_ = 0;
+    uint64_t allocated_ = 0;
+    unsigned kills_ = 0;
+};
+
+} // namespace iocost::workload
+
+#endif // IOCOST_WORKLOAD_MEMORY_HOG_HH

@@ -1,0 +1,144 @@
+#include "workload/trace.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace iocost::workload {
+
+uint64_t
+Trace::readBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &r : records_) {
+        if (r.op == blk::Op::Read)
+            sum += r.size;
+    }
+    return sum;
+}
+
+uint64_t
+Trace::writeBytes() const
+{
+    uint64_t sum = 0;
+    for (const auto &r : records_) {
+        if (r.op == blk::Op::Write)
+            sum += r.size;
+    }
+    return sum;
+}
+
+sim::Time
+Trace::duration() const
+{
+    if (records_.empty())
+        return 0;
+    return records_.back().when - records_.front().when;
+}
+
+void
+Trace::save(std::ostream &out) const
+{
+    for (const auto &r : records_) {
+        out << r.when << ' ' << (r.op == blk::Op::Read ? 'R' : 'W')
+            << ' ' << r.offset << ' ' << r.size << ' '
+            << (r.cgroupName.empty() ? "/" : r.cgroupName) << '\n';
+    }
+}
+
+Trace
+Trace::load(std::istream &in)
+{
+    Trace trace;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        TraceRecord rec;
+        char op = 0;
+        if (!(fields >> rec.when >> op >> rec.offset >> rec.size >>
+              rec.cgroupName)) {
+            continue; // malformed line: skip
+        }
+        if (op != 'R' && op != 'W')
+            continue;
+        rec.op = op == 'R' ? blk::Op::Read : blk::Op::Write;
+        trace.add(std::move(rec));
+    }
+    return trace;
+}
+
+blk::BioPtr
+TraceRecorder::wrap(blk::BioPtr bio)
+{
+    auto prev = std::move(bio->onComplete);
+    bio->onComplete = [this, prev = std::move(prev)](
+                          const blk::Bio &done) {
+        TraceRecord rec;
+        rec.when = layer_.sim().now();
+        rec.op = done.op;
+        rec.offset = done.offset;
+        rec.size = done.size;
+        rec.cgroupName = layer_.cgroups().path(done.cgroup);
+        trace_.add(std::move(rec));
+        if (prev)
+            prev(done);
+    };
+    return bio;
+}
+
+Trace
+TraceRecorder::take()
+{
+    Trace out = std::move(trace_);
+    trace_ = Trace{};
+    return out;
+}
+
+TraceReplayer::TraceReplayer(sim::Simulator &sim,
+                             blk::BlockLayer &layer, Trace trace,
+                             ReplayConfig cfg)
+    : sim_(sim), layer_(layer), trace_(std::move(trace)), cfg_(cfg)
+{}
+
+cgroup::CgroupId
+TraceReplayer::resolveCgroup(const std::string &name)
+{
+    if (cfg_.cgroupOverride != cgroup::kNone)
+        return cfg_.cgroupOverride;
+    auto &tree = layer_.cgroups();
+    for (cgroup::CgroupId id = 0; id < tree.size(); ++id) {
+        if (tree.path(id) == name)
+            return id;
+    }
+    if (name.empty() || name == "/")
+        return cgroup::kRoot;
+    // Create a leaf named after the last path component.
+    const auto slash = name.find_last_of('/');
+    return tree.create(cfg_.fallbackParent,
+                       slash == std::string::npos
+                           ? name
+                           : name.substr(slash + 1));
+}
+
+void
+TraceReplayer::start()
+{
+    if (trace_.empty())
+        return;
+    const sim::Time t0 = trace_.records().front().when;
+    for (const TraceRecord &rec : trace_.records()) {
+        const auto delay = static_cast<sim::Time>(
+            static_cast<double>(rec.when - t0) * cfg_.timeScale);
+        const cgroup::CgroupId cg = resolveCgroup(rec.cgroupName);
+        sim_.after(std::max<sim::Time>(0, delay),
+                   [this, rec, cg] {
+                       layer_.submit(blk::Bio::make(
+                           rec.op, rec.offset, rec.size, cg,
+                           [this](const blk::Bio &) {
+                               ++completed_;
+                           }));
+                   });
+    }
+}
+
+} // namespace iocost::workload

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Block IO trace capture and replay.
+ *
+ * A TraceRecorder observes every completion on a BlockLayer and
+ * appends (time, op, offset, size, cgroup-name) records; traces can
+ * be saved to and loaded from a simple one-record-per-line text
+ * format (a subset of blktrace/blkparse's fields). A TraceReplayer
+ * re-submits a trace against any stack — optionally time-scaled and
+ * remapped onto different cgroups — which is how real workload
+ * signatures (e.g. the Fig. 4 archetypes) can be captured once and
+ * replayed under every controller.
+ */
+
+#ifndef IOCOST_WORKLOAD_TRACE_HH
+#define IOCOST_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "blk/block_layer.hh"
+#include "sim/simulator.hh"
+
+namespace iocost::workload {
+
+/** One traced IO. */
+struct TraceRecord
+{
+    sim::Time when = 0;
+    blk::Op op = blk::Op::Read;
+    uint64_t offset = 0;
+    uint32_t size = 0;
+    std::string cgroupName;
+};
+
+/**
+ * An ordered collection of trace records.
+ */
+class Trace
+{
+  public:
+    /** Append a record (timestamps must be non-decreasing). */
+    void add(TraceRecord rec) { records_.push_back(std::move(rec)); }
+
+    const std::vector<TraceRecord> &records() const
+    {
+        return records_;
+    }
+    size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** Total bytes transferred, by direction. */
+    uint64_t readBytes() const;
+    uint64_t writeBytes() const;
+
+    /** Trace duration (last minus first timestamp). */
+    sim::Time duration() const;
+
+    /** Serialize one record per line: "when op offset size cgroup". */
+    void save(std::ostream &out) const;
+
+    /**
+     * Parse the save() format. Malformed lines are skipped; returns
+     * the number of parsed records.
+     */
+    static Trace load(std::istream &in);
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/**
+ * Observes a BlockLayer and records every completed bio.
+ *
+ * Attach before the workload starts; detach (or destroy) to stop.
+ * Recording hooks the layer's completion fan-out via per-bio
+ * wrappers, so it composes with any controller.
+ */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param layer The stack to observe (not owned).
+     *
+     * Recording works by wrapping submissions: call record() from
+     * the submitting side, or use wrap() to decorate a bio before
+     * layer.submit().
+     */
+    explicit TraceRecorder(blk::BlockLayer &layer)
+        : layer_(layer)
+    {}
+
+    /** Decorate @p bio so its completion is recorded. */
+    blk::BioPtr wrap(blk::BioPtr bio);
+
+    /** Submit-and-record convenience. */
+    void
+    submit(blk::BioPtr bio)
+    {
+        layer_.submit(wrap(std::move(bio)));
+    }
+
+    /** The captured trace so far. */
+    const Trace &trace() const { return trace_; }
+
+    /** Move the captured trace out (resets the recorder). */
+    Trace take();
+
+  private:
+    blk::BlockLayer &layer_;
+    Trace trace_;
+};
+
+/** Replay options. */
+struct ReplayConfig
+{
+    /** Multiply inter-arrival gaps (0.5 = twice as fast). */
+    double timeScale = 1.0;
+    /** Issue everything against this cgroup (kNone = per-record
+     *  names are resolved against the tree, creating under
+     *  `fallbackParent` when missing). */
+    cgroup::CgroupId cgroupOverride = cgroup::kNone;
+    /** Parent for cgroups created from trace names. */
+    cgroup::CgroupId fallbackParent = cgroup::kRoot;
+};
+
+/**
+ * Replays a trace open-loop against a block layer.
+ */
+class TraceReplayer
+{
+  public:
+    TraceReplayer(sim::Simulator &sim, blk::BlockLayer &layer,
+                  Trace trace, ReplayConfig cfg = {});
+
+    /** Schedule all records relative to now. */
+    void start();
+
+    /** Completed replayed IOs. */
+    uint64_t completed() const { return completed_; }
+
+    /** @return true once every record has completed. */
+    bool
+    done() const
+    {
+        return completed_ == trace_.size();
+    }
+
+  private:
+    cgroup::CgroupId resolveCgroup(const std::string &name);
+
+    sim::Simulator &sim_;
+    blk::BlockLayer &layer_;
+    Trace trace_;
+    ReplayConfig cfg_;
+    uint64_t completed_ = 0;
+};
+
+} // namespace iocost::workload
+
+#endif // IOCOST_WORKLOAD_TRACE_HH

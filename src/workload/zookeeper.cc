@@ -1,0 +1,361 @@
+#include "workload/zookeeper.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace iocost::workload {
+
+/** One replica of one ensemble, pinned to a host. */
+struct ZkCluster::Participant
+{
+    blk::BlockLayer *layer = nullptr;
+    cgroup::CgroupId cg = cgroup::kNone;
+    unsigned ensembleIdx = 0;
+
+    /** Sequential txn-log cursor. */
+    uint64_t logCursor = 0;
+    uint64_t logBase = 0;
+    uint64_t snapBase = 0;
+    uint64_t snapCursor = 0;
+    uint64_t txns = 0;
+    /** Jittered snapshot trigger (ZooKeeper's randomized
+     *  snapCount). */
+    uint64_t nextSnapshotTxns = 0;
+
+    struct Task
+    {
+        bool isRead;
+        uint32_t payload;
+        std::function<void()> done;
+    };
+
+    /** The request pipeline: one task processed at a time. */
+    std::deque<Task> queue;
+    bool busy = false;
+};
+
+/** One replicated ensemble. */
+struct ZkCluster::Ensemble
+{
+    unsigned idx = 0;
+    uint32_t payload = 0;
+    std::vector<Participant> participants;
+    ZkEnsembleStats stats;
+
+    stat::Histogram windowLat;
+    bool inViolation = false;
+    sim::Time violationStart = 0;
+    sim::Time worstP99 = 0;
+
+    sim::EventHandle readTimer;
+    sim::EventHandle writeTimer;
+};
+
+ZkCluster::ZkCluster(sim::Simulator &sim,
+                     std::vector<blk::BlockLayer *> hosts,
+                     std::vector<cgroup::CgroupId> workload_parents,
+                     ZkConfig cfg)
+    : sim_(sim),
+      hosts_(std::move(hosts)),
+      cfg_(cfg),
+      rng_(sim.forkRng())
+{
+    sim::panicIf(hosts_.size() < cfg_.participantsPerEnsemble,
+                 "zk: fewer hosts than participants per ensemble");
+    sim::panicIf(hosts_.size() != workload_parents.size(),
+                 "zk: hosts/parents size mismatch");
+
+    uint64_t global_idx = 0;
+    for (unsigned e = 0; e < cfg_.ensembles; ++e) {
+        auto ens = std::make_unique<Ensemble>();
+        ens->idx = e;
+        ens->payload = e == cfg_.noisyEnsemble
+                           ? cfg_.noisyPayloadBytes
+                           : cfg_.payloadBytes;
+        ens->stats.name = "ensemble-" + std::to_string(e);
+        for (unsigned p = 0; p < cfg_.participantsPerEnsemble;
+             ++p) {
+            // Stagger placement so participants of one ensemble
+            // never share a host.
+            const size_t host = (e + p) % hosts_.size();
+            Participant part;
+            part.layer = hosts_[host];
+            part.ensembleIdx = e;
+            part.cg = part.layer->cgroups().create(
+                workload_parents[host],
+                "zk-e" + std::to_string(e) + "-p" +
+                    std::to_string(p),
+                100);
+            // Private disk regions per participant.
+            part.logBase = (4ull << 40) + global_idx * (32ull << 30);
+            part.snapBase = part.logBase + (16ull << 30);
+            part.nextSnapshotTxns = static_cast<uint64_t>(
+                cfg_.snapshotEveryTxns * rng_.uniform(0.75, 1.25));
+            ++global_idx;
+            ens->participants.push_back(std::move(part));
+        }
+        ensembles_.push_back(std::move(ens));
+    }
+}
+
+ZkCluster::~ZkCluster() = default;
+
+void
+ZkCluster::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    windowStart_ = sim_.now();
+    for (auto &ens : ensembles_) {
+        scheduleRead(*ens);
+        scheduleWrite(*ens);
+    }
+    windowTimer_ = sim_.after(cfg_.window, [this] { windowTick(); });
+}
+
+void
+ZkCluster::stop()
+{
+    running_ = false;
+    windowTimer_.cancel();
+    for (auto &ens : ensembles_) {
+        ens->readTimer.cancel();
+        ens->writeTimer.cancel();
+    }
+}
+
+void
+ZkCluster::enqueueTask(Participant &p, bool is_read,
+                       uint32_t payload, std::function<void()> done)
+{
+    p.queue.push_back(
+        Participant::Task{is_read, payload, std::move(done)});
+    pumpParticipant(p);
+}
+
+void
+ZkCluster::maybeSnapshot(Participant &p)
+{
+    if (cfg_.snapshotEveryTxns == 0 ||
+        p.txns < p.nextSnapshotTxns) {
+        return;
+    }
+    p.nextSnapshotTxns =
+        p.txns + static_cast<uint64_t>(cfg_.snapshotEveryTxns *
+                                       rng_.uniform(0.75, 1.25));
+    ++ensembles_[p.ensembleIdx]->stats.snapshots;
+
+    // Background snapshot writer: keeps snapshotDepth sequential
+    // writes in flight until the database image is on disk.
+    auto left = std::make_shared<uint64_t>(cfg_.snapshotBytes);
+    auto issue_next = std::make_shared<std::function<void()>>();
+    Participant *pp = &p;
+    *issue_next = [this, pp, left, issue_next] {
+        if (*left == 0)
+            return;
+        const uint32_t chunk = static_cast<uint32_t>(
+            std::min<uint64_t>(cfg_.snapshotIoBytes, *left));
+        *left -= chunk;
+        pp->snapCursor = (pp->snapCursor + chunk) % (8ull << 30);
+        pp->layer->submit(blk::Bio::make(
+            blk::Op::Write, pp->snapBase + pp->snapCursor, chunk,
+            pp->cg,
+            [issue_next](const blk::Bio &) { (*issue_next)(); }));
+    };
+    for (unsigned i = 0; i < cfg_.snapshotDepth; ++i)
+        (*issue_next)();
+}
+
+void
+ZkCluster::pumpParticipant(Participant &p)
+{
+    if (p.busy || p.queue.empty())
+        return;
+    p.busy = true;
+    Participant::Task task = std::move(p.queue.front());
+    p.queue.pop_front();
+
+    Participant *pp = &p;
+
+    if (task.isRead) {
+        auto finish = [this, pp, done = std::move(task.done)] {
+            done();
+            pp->busy = false;
+            pumpParticipant(*pp);
+        };
+        sim_.after(cfg_.readServiceTime, std::move(finish));
+        return;
+    }
+
+    // Group commit: fold every write waiting at the head of the
+    // queue into one log append (ZooKeeper batches outstanding
+    // transactions per fsync), bounded so one commit stays a
+    // reasonable IO size.
+    auto batch =
+        std::make_shared<std::vector<std::function<void()>>>();
+    batch->push_back(std::move(task.done));
+    uint64_t payload = task.payload;
+    while (!p.queue.empty() && !p.queue.front().isRead &&
+           batch->size() < 64 && payload < (1u << 20)) {
+        payload += p.queue.front().payload;
+        batch->push_back(std::move(p.queue.front().done));
+        p.queue.pop_front();
+    }
+
+    // Append the batch to the transaction log (sequential write,
+    // completion models the fsync barrier).
+    const uint64_t offset = pp->logBase + pp->logCursor;
+    pp->logCursor = (pp->logCursor + payload) % (8ull << 30);
+    pp->layer->submit(blk::Bio::make(
+        blk::Op::Write, offset, static_cast<uint32_t>(payload),
+        pp->cg, [this, pp, batch](const blk::Bio &) {
+            for (auto &done : *batch) {
+                ++pp->txns;
+                done();
+            }
+            maybeSnapshot(*pp);
+            pp->busy = false;
+            pumpParticipant(*pp);
+        }));
+}
+
+void
+ZkCluster::recordOpLatency(Ensemble &e, bool is_read,
+                           sim::Time latency)
+{
+    if (is_read) {
+        ++e.stats.reads;
+        e.stats.readLatency.record(latency);
+    } else {
+        ++e.stats.writes;
+        e.stats.writeLatency.record(latency);
+    }
+    e.windowLat.record(latency);
+}
+
+void
+ZkCluster::scheduleRead(Ensemble &e)
+{
+    if (!running_)
+        return;
+    const sim::Time delay = std::max<sim::Time>(
+        1, static_cast<sim::Time>(
+               rng_.exponential(1e9 / cfg_.readsPerSec)));
+    e.readTimer = sim_.after(delay, [this, &e] {
+        const sim::Time started = sim_.now();
+        Participant &p =
+            e.participants[rng_.below(e.participants.size())];
+        enqueueTask(p, true, 0, [this, &e, started] {
+            recordOpLatency(e, true, sim_.now() - started);
+        });
+        scheduleRead(e);
+    });
+}
+
+void
+ZkCluster::scheduleWrite(Ensemble &e)
+{
+    if (!running_)
+        return;
+    const sim::Time delay = std::max<sim::Time>(
+        1, static_cast<sim::Time>(
+               rng_.exponential(1e9 / cfg_.writesPerSec)));
+    e.writeTimer = sim_.after(delay, [this, &e] {
+        const sim::Time started = sim_.now();
+        // Replicate to every participant; the op completes at
+        // quorum.
+        const unsigned quorum =
+            static_cast<unsigned>(e.participants.size()) / 2 + 1;
+        auto acks = std::make_shared<unsigned>(0);
+        for (Participant &p : e.participants) {
+            enqueueTask(p, false, e.payload,
+                        [this, &e, started, acks, quorum] {
+                            if (++*acks == quorum) {
+                                recordOpLatency(
+                                    e, false,
+                                    sim_.now() - started);
+                            }
+                        });
+        }
+        scheduleWrite(e);
+    });
+}
+
+void
+ZkCluster::windowTick()
+{
+    const sim::Time now = sim_.now();
+    for (auto &ens : ensembles_) {
+        const sim::Time p99 =
+            ens->windowLat.count() > 0
+                ? ens->windowLat.quantile(0.99)
+                : 0;
+        ens->stats.p99Series.record(now,
+                                    sim::toMillis(p99));
+        if (p99 > cfg_.sloTarget) {
+            if (!ens->inViolation) {
+                ens->inViolation = true;
+                ens->violationStart = now - cfg_.window;
+                ens->worstP99 = p99;
+            } else {
+                ens->worstP99 = std::max(ens->worstP99, p99);
+            }
+        } else if (ens->inViolation) {
+            ens->inViolation = false;
+            ens->stats.violations.push_back(SloViolation{
+                ens->violationStart,
+                now - cfg_.window - ens->violationStart +
+                    cfg_.window,
+                ens->worstP99});
+        }
+        ens->windowLat.reset();
+    }
+    if (running_) {
+        windowTimer_ =
+            sim_.after(cfg_.window, [this] { windowTick(); });
+    }
+}
+
+const ZkEnsembleStats &
+ZkCluster::ensembleStats(unsigned idx)
+{
+    Ensemble &ens = *ensembles_[idx];
+    if (ens.inViolation) {
+        ens.inViolation = false;
+        ens.stats.violations.push_back(
+            SloViolation{ens.violationStart,
+                         sim_.now() - ens.violationStart,
+                         ens.worstP99});
+    }
+    return ens.stats;
+}
+
+ZkEnsembleStats
+ZkCluster::wellBehavedAggregate()
+{
+    ZkEnsembleStats agg;
+    agg.name = "well-behaved";
+    for (unsigned i = 0; i < ensembles_.size(); ++i) {
+        if (i == cfg_.noisyEnsemble)
+            continue;
+        const ZkEnsembleStats &s = ensembleStats(i);
+        agg.readLatency.merge(s.readLatency);
+        agg.writeLatency.merge(s.writeLatency);
+        agg.reads += s.reads;
+        agg.writes += s.writes;
+        agg.snapshots += s.snapshots;
+        agg.violations.insert(agg.violations.end(),
+                              s.violations.begin(),
+                              s.violations.end());
+    }
+    std::sort(agg.violations.begin(), agg.violations.end(),
+              [](const SloViolation &a, const SloViolation &b) {
+                  return a.start < b.start;
+              });
+    return agg;
+}
+
+} // namespace iocost::workload

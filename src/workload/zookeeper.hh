@@ -1,0 +1,159 @@
+/**
+ * @file
+ * ZooKeeper-like stacked coordination-service workload (paper §4.6).
+ *
+ * A cluster of ensembles, each with several participants spread
+ * across hosts so no two participants of one ensemble share a host.
+ * Writes replicate: the operation completes when a quorum of
+ * participants has appended the payload to its (sequential,
+ * fsync-style) transaction log. Reads are served from memory by one
+ * participant but queue behind in-flight appends on that participant
+ * (the request pipeline), which is how IO starvation surfaces as
+ * read-latency SLO violations. Every participant snapshots its
+ * in-memory database after a fixed number of transactions,
+ * producing the momentary write spikes the paper describes.
+ */
+
+#ifndef IOCOST_WORKLOAD_ZOOKEEPER_HH
+#define IOCOST_WORKLOAD_ZOOKEEPER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blk/block_layer.hh"
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+#include "stat/histogram.hh"
+#include "stat/time_series.hh"
+
+namespace iocost::workload {
+
+/** Cluster configuration. */
+struct ZkConfig
+{
+    unsigned ensembles = 12;
+    unsigned participantsPerEnsemble = 5;
+
+    /** Per-ensemble operation rates. */
+    double readsPerSec = 300.0;
+    double writesPerSec = 10.0;
+
+    /** Payload for well-behaved ensembles. */
+    uint32_t payloadBytes = 100 * 1024;
+    /** Index of the noisy-neighbour ensemble (UINT_MAX = none). */
+    unsigned noisyEnsemble = 11;
+    /** Payload for the noisy ensemble. */
+    uint32_t noisyPayloadBytes = 300 * 1024;
+
+    /**
+     * Snapshot trigger, in transactions per participant. Like
+     * ZooKeeper's snapCount, the actual trigger is jittered per
+     * participant (+/- 25%) so replicas do not snapshot in
+     * lock-step.
+     */
+    uint64_t snapshotEveryTxns = 5000;
+    /** Snapshot size (in-memory database image). */
+    uint64_t snapshotBytes = 256ull << 20;
+    /** Size of each snapshot write bio. */
+    uint32_t snapshotIoBytes = 256 * 1024;
+    /** Snapshot writes kept in flight. */
+    unsigned snapshotDepth = 2;
+
+    /** In-memory read service time at the participant. */
+    sim::Time readServiceTime = 200 * sim::kUsec;
+
+    /** Operation SLO (reads and writes). */
+    sim::Time sloTarget = 1 * sim::kSec;
+    /** p99 evaluation window for violation tracking. */
+    sim::Time window = 5 * sim::kSec;
+};
+
+/** One SLO-violation episode. */
+struct SloViolation
+{
+    sim::Time start;
+    sim::Time duration;
+    sim::Time worstP99;
+};
+
+/** Per-ensemble results. */
+struct ZkEnsembleStats
+{
+    std::string name;
+    stat::Histogram readLatency;
+    stat::Histogram writeLatency;
+    stat::TimeSeries p99Series{"p99"};
+    std::vector<SloViolation> violations;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t snapshots = 0;
+};
+
+/**
+ * The cluster.
+ */
+class ZkCluster
+{
+  public:
+    /**
+     * @param sim Shared simulation context.
+     * @param hosts Block layers of the available hosts; participants
+     *        are placed round-robin and get a fresh cgroup under
+     *        each host's workload slice (@p workload_parents aligns
+     *        with @p hosts).
+     * @param workload_parents Parent cgroup per host for participant
+     *        cgroups.
+     * @param cfg Cluster configuration.
+     */
+    ZkCluster(sim::Simulator &sim,
+              std::vector<blk::BlockLayer *> hosts,
+              std::vector<cgroup::CgroupId> workload_parents,
+              ZkConfig cfg);
+
+    ~ZkCluster();
+
+    /** Begin traffic. */
+    void start();
+
+    /** Stop traffic. */
+    void stop();
+
+    /** Results for ensemble @p idx (finalizes open violations). */
+    const ZkEnsembleStats &ensembleStats(unsigned idx);
+
+    /** Aggregate over all well-behaved ensembles. */
+    ZkEnsembleStats wellBehavedAggregate();
+
+    const ZkConfig &config() const { return cfg_; }
+
+  private:
+    struct Participant;
+    struct Ensemble;
+
+    void scheduleRead(Ensemble &e);
+    void scheduleWrite(Ensemble &e);
+    void enqueueTask(Participant &p, bool is_read, uint32_t payload,
+                     std::function<void()> done);
+    void pumpParticipant(Participant &p);
+    void maybeSnapshot(Participant &p);
+    void windowTick();
+    void recordOpLatency(Ensemble &e, bool is_read,
+                         sim::Time latency);
+
+    sim::Simulator &sim_;
+    std::vector<blk::BlockLayer *> hosts_;
+    ZkConfig cfg_;
+    sim::Rng rng_;
+    bool running_ = false;
+
+    std::vector<std::unique_ptr<Ensemble>> ensembles_;
+    sim::EventHandle windowTimer_;
+    sim::Time windowStart_ = 0;
+};
+
+} // namespace iocost::workload
+
+#endif // IOCOST_WORKLOAD_ZOOKEEPER_HH

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the cgroup hierarchy: hweight compounding, active
+ * filtering, inuse adjustment, and generation-number cache behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cgroup/cgroup_tree.hh"
+
+namespace {
+
+using namespace iocost::cgroup;
+
+TEST(CgroupTree, RootOnly)
+{
+    CgroupTree t;
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.parent(kRoot), kNone);
+    EXPECT_EQ(t.path(kRoot), "/");
+    EXPECT_DOUBLE_EQ(t.hweightActive(kRoot), 1.0);
+    EXPECT_DOUBLE_EQ(t.hweightInuse(kRoot), 1.0);
+}
+
+TEST(CgroupTree, PathConstruction)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "workload.slice");
+    const CgroupId b = t.create(a, "web");
+    EXPECT_EQ(t.path(b), "/workload.slice/web");
+}
+
+TEST(CgroupTree, SiblingShares)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 200);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    EXPECT_NEAR(t.hweightActive(a), 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(t.hweightActive(b), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CgroupTree, HierarchicalCompounding)
+{
+    CgroupTree t;
+    const CgroupId p = t.create(kRoot, "p", 100);
+    const CgroupId q = t.create(kRoot, "q", 100);
+    const CgroupId pa = t.create(p, "pa", 300);
+    const CgroupId pb = t.create(p, "pb", 100);
+    t.setActive(pa, true);
+    t.setActive(pb, true);
+    t.setActive(q, true);
+    EXPECT_NEAR(t.hweightActive(pa), 0.5 * 0.75, 1e-12);
+    EXPECT_NEAR(t.hweightActive(pb), 0.5 * 0.25, 1e-12);
+    EXPECT_NEAR(t.hweightActive(q), 0.5, 1e-12);
+}
+
+TEST(CgroupTree, InactiveSiblingsExcluded)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 100);
+    t.setActive(a, true);
+    // b idle: a owns the whole device.
+    EXPECT_NEAR(t.hweightActive(a), 1.0, 1e-12);
+    EXPECT_NEAR(t.hweightActive(b), 0.0, 1e-12);
+    t.setActive(b, true);
+    EXPECT_NEAR(t.hweightActive(a), 0.5, 1e-12);
+}
+
+TEST(CgroupTree, SubtreeActivePropagatesUp)
+{
+    CgroupTree t;
+    const CgroupId p = t.create(kRoot, "p", 100);
+    const CgroupId leaf = t.create(p, "leaf", 100);
+    EXPECT_FALSE(t.subtreeActive(p));
+    t.setActive(leaf, true);
+    EXPECT_TRUE(t.subtreeActive(p));
+    EXPECT_TRUE(t.subtreeActive(leaf));
+    t.setActive(leaf, false);
+    EXPECT_FALSE(t.subtreeActive(p));
+}
+
+TEST(CgroupTree, InactiveInternalNodeExcludedFromSums)
+{
+    CgroupTree t;
+    const CgroupId p = t.create(kRoot, "p", 100);
+    const CgroupId q = t.create(kRoot, "q", 100);
+    const CgroupId pl = t.create(p, "pl", 100);
+    const CgroupId ql = t.create(q, "ql", 100);
+    t.setActive(pl, true);
+    t.setActive(ql, true);
+    EXPECT_NEAR(t.hweightActive(pl), 0.5, 1e-12);
+    t.setActive(ql, false);
+    EXPECT_NEAR(t.hweightActive(pl), 1.0, 1e-12);
+    EXPECT_NEAR(t.hweightActive(ql), 0.0, 1e-12);
+}
+
+TEST(CgroupTree, SetWeightRestoresInuse)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    t.setInuse(a, 40.0);
+    EXPECT_NEAR(t.inuse(a), 40.0, 1e-12);
+    t.setWeight(a, 200);
+    EXPECT_NEAR(t.inuse(a), 200.0, 1e-12);
+}
+
+TEST(CgroupTree, InuseAllowsOvershootButStaysPositive)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    // Donation math may push inuse above the configured weight
+    // inside fully-donating subtrees.
+    t.setInuse(a, 500.0);
+    EXPECT_NEAR(t.inuse(a), 500.0, 1e-12);
+    t.setInuse(a, -5.0);
+    EXPECT_GT(t.inuse(a), 0.0);
+}
+
+TEST(CgroupTree, HweightInuseTracksDonation)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 100);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    t.setInuse(b, 50.0);
+    EXPECT_NEAR(t.hweightInuse(a), 100.0 / 150.0, 1e-12);
+    EXPECT_NEAR(t.hweightInuse(b), 50.0 / 150.0, 1e-12);
+    // hweightActive ignores inuse.
+    EXPECT_NEAR(t.hweightActive(a), 0.5, 1e-12);
+}
+
+TEST(CgroupTree, DeactivationRestoresInuse)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    t.setActive(a, true);
+    t.setInuse(a, 10.0);
+    t.setActive(a, false);
+    EXPECT_NEAR(t.inuse(a), 100.0, 1e-12);
+}
+
+TEST(CgroupTree, GenerationBumpsOnMutation)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const uint64_t g0 = t.generation();
+    t.setWeight(a, 150);
+    const uint64_t g1 = t.generation();
+    EXPECT_GT(g1, g0);
+    t.setActive(a, true);
+    EXPECT_GT(t.generation(), g1);
+    const uint64_t g2 = t.generation();
+    t.setActive(a, true); // no-op: already active
+    EXPECT_EQ(t.generation(), g2);
+}
+
+TEST(CgroupTree, CachedHweightConsistentAfterChanges)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 100);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    EXPECT_NEAR(t.hweightActive(a), 0.5, 1e-12);
+    t.setWeight(a, 300);
+    EXPECT_NEAR(t.hweightActive(a), 0.75, 1e-12);
+    EXPECT_NEAR(t.hweightActive(b), 0.25, 1e-12);
+}
+
+TEST(CgroupTree, LeafIdsAndAllIds)
+{
+    CgroupTree t;
+    const CgroupId p = t.create(kRoot, "p");
+    const CgroupId l1 = t.create(p, "l1");
+    const CgroupId l2 = t.create(p, "l2");
+    EXPECT_EQ(t.allIds().size(), 4u);
+    const auto leaves = t.leafIds();
+    ASSERT_EQ(leaves.size(), 2u);
+    EXPECT_EQ(leaves[0], l1);
+    EXPECT_EQ(leaves[1], l2);
+}
+
+TEST(CgroupTree, IsAncestor)
+{
+    CgroupTree t;
+    const CgroupId p = t.create(kRoot, "p");
+    const CgroupId l = t.create(p, "l");
+    const CgroupId q = t.create(kRoot, "q");
+    EXPECT_TRUE(t.isAncestor(kRoot, l));
+    EXPECT_TRUE(t.isAncestor(p, l));
+    EXPECT_TRUE(t.isAncestor(l, l));
+    EXPECT_FALSE(t.isAncestor(q, l));
+    EXPECT_FALSE(t.isAncestor(l, p));
+}
+
+TEST(CgroupTree, ActiveLeafHweightsSumToOne)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 50);
+    const CgroupId a1 = t.create(a, "a1", 10);
+    const CgroupId a2 = t.create(a, "a2", 30);
+    const CgroupId b1 = t.create(b, "b1", 77);
+    for (CgroupId cg : {a1, a2, b1})
+        t.setActive(cg, true);
+    const double sum = t.hweightActive(a1) + t.hweightActive(a2) +
+                       t.hweightActive(b1);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+} // namespace

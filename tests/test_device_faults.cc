@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fault/irregularity injection tests: firmware hiccups in the SSD
+ * model and the block layer's bounded back-merging under deep
+ * backlogs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "sim/simulator.hh"
+#include "workload/fio_workload.hh"
+
+namespace {
+
+using namespace iocost;
+
+TEST(Hiccups, DisabledByDefault)
+{
+    sim::Simulator sim(131);
+    device::SsdModel device(sim, device::newGenSsd());
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+    workload::FioConfig cfg;
+    cfg.iodepth = 8;
+    workload::FioWorkload job(sim, layer, cgroup::kRoot, cfg);
+    job.start();
+    sim.runUntil(5 * sim::kSec);
+    EXPECT_EQ(device.hiccups(), 0u);
+}
+
+TEST(Hiccups, InjectedAtConfiguredRate)
+{
+    sim::Simulator sim(132);
+    device::SsdSpec spec = device::newGenSsd();
+    spec.hiccupMeanInterval = 100 * sim::kMsec;
+    spec.hiccupDuration = 5 * sim::kMsec;
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+    workload::FioConfig cfg;
+    cfg.iodepth = 8;
+    workload::FioWorkload job(sim, layer, cgroup::kRoot, cfg);
+    job.start();
+    sim.runUntil(10 * sim::kSec);
+    // ~10s / (100ms + 5ms) per cycle: expect roughly 95 hiccups.
+    EXPECT_GT(device.hiccups(), 60u);
+    EXPECT_LT(device.hiccups(), 140u);
+}
+
+TEST(Hiccups, InflateTailLatencyNotMedian)
+{
+    auto run = [](bool erratic) {
+        sim::Simulator sim(133);
+        device::SsdSpec spec = device::newGenSsd();
+        spec.jitterSigma = 0.0;
+        if (erratic) {
+            spec.hiccupMeanInterval = 100 * sim::kMsec;
+            spec.hiccupDuration = 10 * sim::kMsec;
+        }
+        device::SsdModel device(sim, spec);
+        cgroup::CgroupTree tree;
+        blk::BlockLayer layer(sim, device, tree);
+        workload::FioConfig cfg;
+        cfg.arrival = workload::Arrival::Rate;
+        cfg.ratePerSec = 5000;
+        workload::FioWorkload job(sim, layer, cgroup::kRoot, cfg);
+        job.start();
+        sim.runUntil(20 * sim::kSec);
+        return std::pair<sim::Time, sim::Time>(
+            job.latency().quantile(0.5),
+            job.latency().quantile(0.999));
+    };
+    const auto smooth = run(false);
+    const auto erratic = run(true);
+    // Medians comparable; extreme tail an order of magnitude worse.
+    EXPECT_LT(erratic.first, 2 * smooth.first);
+    EXPECT_GT(erratic.second, 10 * smooth.second);
+}
+
+TEST(Merging, ContiguousParkedBiosCoalesce)
+{
+    sim::Simulator sim(134);
+    device::SsdSpec spec = device::oldGenSsd();
+    spec.queueDepth = 1;
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+
+    int completions = 0;
+    // One bio occupies the single slot; the next 8 contiguous ones
+    // park and merge into a single request.
+    for (int i = 0; i < 9; ++i) {
+        layer.submit(blk::Bio::make(
+            blk::Op::Write, static_cast<uint64_t>(i) * 4096, 4096,
+            cgroup::kRoot,
+            [&](const blk::Bio &) { ++completions; }));
+    }
+    EXPECT_EQ(layer.dispatchQueueDepth(), 1u)
+        << "8 parked bios should have merged into one";
+    EXPECT_EQ(layer.mergedBios(), 7u);
+    sim.runAll();
+    EXPECT_EQ(completions, 9) << "merged callbacks all fire";
+}
+
+TEST(Merging, DifferentCgroupsDoNotMerge)
+{
+    sim::Simulator sim(135);
+    device::SsdSpec spec = device::oldGenSsd();
+    spec.queueDepth = 1;
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+    const auto a = tree.create(cgroup::kRoot, "a");
+    const auto b = tree.create(cgroup::kRoot, "b");
+
+    layer.submit(blk::Bio::make(blk::Op::Write, 0, 4096, a));
+    layer.submit(blk::Bio::make(blk::Op::Write, 4096, 4096, a));
+    layer.submit(blk::Bio::make(blk::Op::Write, 8192, 4096, b));
+    EXPECT_EQ(layer.mergedBios(), 0u)
+        << "cross-cgroup merging would corrupt accounting";
+    sim.runAll();
+}
+
+TEST(Merging, SizeCapRespected)
+{
+    sim::Simulator sim(136);
+    device::SsdSpec spec = device::oldGenSsd();
+    spec.queueDepth = 1;
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+
+    // Fill one slot, then park contiguous 256k bios: at most two can
+    // merge into one 512k request.
+    layer.submit(blk::Bio::make(blk::Op::Write, 1 << 30, 4096,
+                                cgroup::kRoot));
+    for (int i = 0; i < 4; ++i) {
+        layer.submit(blk::Bio::make(
+            blk::Op::Write, static_cast<uint64_t>(i) * 262144,
+            262144, cgroup::kRoot));
+    }
+    EXPECT_EQ(layer.dispatchQueueDepth(), 2u);
+    sim.runAll();
+}
+
+} // namespace

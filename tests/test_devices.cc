@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the device models: throughput/latency envelopes, queue
+ * slot enforcement, write-buffer GC dynamics, seek asymmetry, and
+ * provisioned remote ceilings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "device/device_profiles.hh"
+#include "device/hdd_model.hh"
+#include "device/remote_model.hh"
+#include "device/ssd_model.hh"
+#include "sim/simulator.hh"
+#include "workload/fio_workload.hh"
+
+namespace {
+
+using namespace iocost;
+
+/** Run one saturating job against a device, return (IOPS, p50). */
+struct RunResult
+{
+    double iops;
+    sim::Time p50;
+};
+
+template <typename Device, typename Spec>
+RunResult
+saturate(const Spec &spec, blk::Op op, bool random,
+         uint32_t block_size, unsigned iodepth,
+         double seconds = 2.0, uint64_t seed = 99)
+{
+    sim::Simulator sim(seed);
+    Device device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+
+    workload::FioConfig cfg;
+    cfg.readFraction = op == blk::Op::Read ? 1.0 : 0.0;
+    cfg.randomFraction = random ? 1.0 : 0.0;
+    cfg.blockSize = block_size;
+    cfg.iodepth = iodepth;
+    workload::FioWorkload job(sim, layer, cgroup::kRoot, cfg);
+    job.start();
+    sim.runUntil(static_cast<sim::Time>(seconds * sim::kSec));
+    return RunResult{job.iops(), job.latency().quantile(0.5)};
+}
+
+TEST(SsdModel, RandomReadIopsNearChannelBound)
+{
+    device::SsdSpec spec = device::newGenSsd();
+    spec.jitterSigma = 0.0;
+    const auto r = saturate<device::SsdModel>(
+        spec, blk::Op::Read, true, 4096, 128);
+    const double bound =
+        spec.channels *
+        (1e9 / (static_cast<double>(spec.readBaseRand) +
+                4096.0 * spec.readNsPerByte));
+    EXPECT_NEAR(r.iops, bound, bound * 0.05);
+}
+
+TEST(SsdModel, DepthOneLatencyNearBase)
+{
+    device::SsdSpec spec = device::newGenSsd();
+    spec.jitterSigma = 0.0;
+    const auto r = saturate<device::SsdModel>(
+        spec, blk::Op::Read, true, 4096, 1);
+    const double expect = static_cast<double>(spec.readBaseRand) +
+                          4096.0 * spec.readNsPerByte;
+    EXPECT_NEAR(static_cast<double>(r.p50), expect, expect * 0.1);
+}
+
+TEST(SsdModel, SequentialReadsFasterThanRandom)
+{
+    device::SsdSpec spec = device::oldGenSsd();
+    const auto rand = saturate<device::SsdModel>(
+        spec, blk::Op::Read, true, 4096, 64);
+    const auto seq = saturate<device::SsdModel>(
+        spec, blk::Op::Read, false, 4096, 64);
+    EXPECT_GT(seq.iops, rand.iops);
+}
+
+TEST(SsdModel, WriteBurstThenGcSlowdown)
+{
+    device::SsdSpec spec = device::oldGenSsd();
+    spec.jitterSigma = 0.0;
+    // Short run rides the buffer; long run drains it into GC.
+    const auto burst = saturate<device::SsdModel>(
+        spec, blk::Op::Write, true, 65536, 64, 0.05);
+    const auto sustained = saturate<device::SsdModel>(
+        spec, blk::Op::Write, true, 65536, 64, 20.0);
+    EXPECT_GT(burst.iops, sustained.iops * 1.5)
+        << "burst should comfortably exceed sustained";
+    // Sustained rate is governed by the buffer drain rate.
+    const double sustained_bps = sustained.iops * 65536;
+    EXPECT_NEAR(sustained_bps, spec.sustainedWriteBps,
+                spec.sustainedWriteBps * 0.35);
+}
+
+TEST(SsdModel, GcStateRecoversAfterIdle)
+{
+    sim::Simulator sim(3);
+    device::SsdSpec spec = device::oldGenSsd();
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+
+    workload::FioConfig cfg;
+    cfg.readFraction = 0.0;
+    cfg.blockSize = 256 * 1024;
+    cfg.iodepth = 64;
+    workload::FioWorkload job(sim, layer, cgroup::kRoot, cfg);
+    job.start();
+    sim.runUntil(10 * sim::kSec);
+    job.stop();
+    EXPECT_TRUE(device.gcActive());
+    // Idle long enough for the buffer credit to refill.
+    sim.runUntil(10 * sim::kSec +
+                 static_cast<sim::Time>(
+                     static_cast<double>(spec.writeBufferBytes) /
+                     spec.sustainedWriteBps * 1.2e9));
+    EXPECT_FALSE(device.gcActive());
+}
+
+TEST(SsdModel, QueueDepthEnforced)
+{
+    sim::Simulator sim(4);
+    device::SsdSpec spec = device::oldGenSsd();
+    spec.queueDepth = 4;
+    device::SsdModel device(sim, spec);
+
+    device.setCompletionFn([](blk::BioPtr, sim::Time) {});
+    for (int i = 0; i < 4; ++i) {
+        blk::BioPtr bio =
+            blk::Bio::make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+        EXPECT_TRUE(device.submit(bio));
+    }
+    blk::BioPtr overflow =
+        blk::Bio::make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+    EXPECT_FALSE(device.submit(overflow));
+    EXPECT_NE(overflow, nullptr) << "rejected bio stays with caller";
+    EXPECT_EQ(device.inFlight(), 4u);
+}
+
+TEST(HddModel, SequentialMuchFasterThanRandom)
+{
+    const device::HddSpec spec = device::nearlineHdd();
+    const auto rand = saturate<device::HddModel>(
+        spec, blk::Op::Read, true, 4096, 8);
+    const auto seq = saturate<device::HddModel>(
+        spec, blk::Op::Read, false, 4096, 8);
+    // Seeks dominate: sequential should be >20x random on 4k.
+    EXPECT_GT(seq.iops, rand.iops * 20);
+    // Random 4k on a 7200rpm disk: O(100) IOPS.
+    EXPECT_GT(rand.iops, 40);
+    EXPECT_LT(rand.iops, 400);
+}
+
+TEST(HddModel, SingleHeadSerializesService)
+{
+    // Throughput at depth 8 cannot meaningfully exceed depth 1
+    // (one head), unlike the SSD.
+    const device::HddSpec spec = device::nearlineHdd();
+    const auto d1 = saturate<device::HddModel>(
+        spec, blk::Op::Read, true, 4096, 1);
+    const auto d8 = saturate<device::HddModel>(
+        spec, blk::Op::Read, true, 4096, 8);
+    EXPECT_LT(d8.iops, d1.iops * 3.0);
+}
+
+TEST(RemoteModel, IopsCapEnforced)
+{
+    const device::RemoteSpec spec = device::awsGp3();
+    const auto r = saturate<device::RemoteModel>(
+        spec, blk::Op::Read, true, 4096, 128, 4.0);
+    EXPECT_LT(r.iops, spec.iopsCap * 1.05);
+    EXPECT_GT(r.iops, spec.iopsCap * 0.8);
+}
+
+TEST(RemoteModel, LatencyFloorIsRtt)
+{
+    const device::RemoteSpec spec = device::awsIo2();
+    const auto r = saturate<device::RemoteModel>(
+        spec, blk::Op::Read, true, 4096, 1);
+    EXPECT_GE(r.p50, spec.baseRtt / 2);
+}
+
+TEST(RemoteModel, ThroughputCapEnforced)
+{
+    const device::RemoteSpec spec = device::awsGp3();
+    const auto r = saturate<device::RemoteModel>(
+        spec, blk::Op::Read, false, 1 << 20, 64, 4.0);
+    const double bps = r.iops * (1 << 20);
+    EXPECT_LT(bps, spec.bpsCap * 1.1);
+    EXPECT_GT(bps, spec.bpsCap * 0.7);
+}
+
+TEST(DeviceProfiles, FleetSsdsAreDistinct)
+{
+    const auto specs = device::fleetSsds();
+    ASSERT_EQ(specs.size(), 8u);
+    // H is the high-IOPS outlier; G the small device.
+    EXPECT_GT(specs[7].channels, specs[6].channels * 4);
+    for (const auto &s : specs)
+        EXPECT_FALSE(s.name.empty());
+}
+
+TEST(DeviceProfiles, CloudVolumeOrdering)
+{
+    EXPECT_LT(device::awsGp3().iopsCap, device::awsIo2().iopsCap);
+    EXPECT_LT(device::gcpBalanced().iopsCap,
+              device::gcpSsd().iopsCap);
+}
+
+} // namespace

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the budget-donation weight-tree update (paper §3.6,
+ * Eqs. 4-5): hand-checked small cases plus randomized property
+ * tests of the two invariants the algorithm is built on:
+ *
+ *  P1. every donor leaf's post-donation hweightInuse equals its
+ *      target;
+ *  P2. every non-donating active leaf's hweightInuse scales by
+ *      exactly (1 - d'_root) / (1 - d_root) — i.e. the freed share
+ *      is redistributed proportionally to original hweights (the
+ *      property the paper's Fig. 8 example demonstrates with its
+ *      0.07 / 0.02 / 0.16 split);
+ *  P3. active leaf hweights still sum to 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cgroup/cgroup_tree.hh"
+#include "core/donation.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace iocost::cgroup;
+using namespace iocost::core;
+
+TEST(Donation, TwoLeavesSimple)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 200);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    // B (hweight 2/3) donates down to 1/3.
+    applyDonation(t, {{b, 1.0 / 3.0}});
+    EXPECT_NEAR(t.hweightInuse(b), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(t.hweightInuse(a), 2.0 / 3.0, 1e-9);
+    // Configured weights untouched.
+    EXPECT_EQ(t.weight(b), 200u);
+}
+
+TEST(Donation, NestedDonorPath)
+{
+    // root -> P(1), C(1); P -> A(1), B(1). B donates 1/4 -> 1/8.
+    // Hand-derived: w'_P = 5/7, w'_B = 3/7 (see donation.cc math).
+    CgroupTree t;
+    const CgroupId p = t.create(kRoot, "p", 100);
+    const CgroupId c = t.create(kRoot, "c", 100);
+    const CgroupId a = t.create(p, "a", 100);
+    const CgroupId b = t.create(p, "b", 100);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    t.setActive(c, true);
+    applyDonation(t, {{b, 1.0 / 8.0}});
+
+    EXPECT_NEAR(t.hweightInuse(b), 1.0 / 8.0, 1e-9);
+    // Freed 1/8 splits between A (1/4) and C (1/2) in 1:2 ratio:
+    // scale factor (1 - 1/8) / (1 - 1/4) = 7/6.
+    EXPECT_NEAR(t.hweightInuse(a), (1.0 / 4.0) * 7.0 / 6.0, 1e-9);
+    EXPECT_NEAR(t.hweightInuse(c), (1.0 / 2.0) * 7.0 / 6.0, 1e-9);
+    // Lowered weights match the hand derivation.
+    EXPECT_NEAR(t.inuse(p), 100.0 * 5.0 / 7.0, 1e-6);
+    EXPECT_NEAR(t.inuse(b), 100.0 * 3.0 / 7.0, 1e-6);
+    // Non-donor-path weights untouched.
+    EXPECT_NEAR(t.inuse(a), 100.0, 1e-9);
+    EXPECT_NEAR(t.inuse(c), 100.0, 1e-9);
+}
+
+TEST(Donation, MultipleDonorsAcrossSubtrees)
+{
+    // Mirrors the Fig. 8 structure: two donors in different
+    // subtrees, three non-donating receivers.
+    CgroupTree t;
+    const CgroupId l = t.create(kRoot, "L", 100);
+    const CgroupId r = t.create(kRoot, "R", 100);
+    const CgroupId b = t.create(l, "B", 100);  // donor
+    const CgroupId e = t.create(l, "E", 100);
+    const CgroupId h = t.create(r, "H", 100);  // donor
+    const CgroupId g = t.create(r, "G", 100);
+    for (CgroupId cg : {b, e, h, g})
+        t.setActive(cg, true);
+
+    // Each leaf starts at 1/4; B and H donate to 1/8 apiece.
+    applyDonation(t, {{b, 1.0 / 8.0}, {h, 1.0 / 8.0}});
+    EXPECT_NEAR(t.hweightInuse(b), 1.0 / 8.0, 1e-9);
+    EXPECT_NEAR(t.hweightInuse(h), 1.0 / 8.0, 1e-9);
+    // Freed 1/4 splits evenly between E and G (equal hweights).
+    EXPECT_NEAR(t.hweightInuse(e), 3.0 / 8.0, 1e-9);
+    EXPECT_NEAR(t.hweightInuse(g), 3.0 / 8.0, 1e-9);
+}
+
+TEST(Donation, IgnoredWhenTargetNotBelowCurrent)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 100);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    const size_t applied = applyDonation(t, {{b, 0.9}});
+    EXPECT_EQ(applied, 0u);
+    EXPECT_NEAR(t.hweightInuse(b), 0.5, 1e-9);
+}
+
+TEST(Donation, EmptyDonorSetResetsPriorDonations)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 100);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    applyDonation(t, {{b, 0.1}});
+    EXPECT_NEAR(t.hweightInuse(b), 0.1, 1e-9);
+    applyDonation(t, {});
+    EXPECT_NEAR(t.hweightInuse(b), 0.5, 1e-9);
+    EXPECT_NEAR(t.inuse(b), 100.0, 1e-9);
+}
+
+TEST(Donation, InactiveDonorIgnored)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 100);
+    t.setActive(a, true);
+    const size_t applied = applyDonation(t, {{b, 0.05}});
+    EXPECT_EQ(applied, 0u);
+    EXPECT_NEAR(t.hweightInuse(a), 1.0, 1e-9);
+}
+
+TEST(Donation, AllLeavesDonate)
+{
+    CgroupTree t;
+    const CgroupId a = t.create(kRoot, "a", 100);
+    const CgroupId b = t.create(kRoot, "b", 100);
+    t.setActive(a, true);
+    t.setActive(b, true);
+    applyDonation(t, {{a, 0.25}, {b, 0.25}});
+    // With everyone donating, the shares renormalize to the targets'
+    // ratio (1:1).
+    EXPECT_NEAR(t.hweightInuse(a), t.hweightInuse(b), 1e-9);
+}
+
+/**
+ * Randomized property test: build a random 3-level hierarchy,
+ * activate a random subset of leaves, pick random donors with
+ * random targets, and check P1-P3.
+ */
+class DonationProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DonationProperty, InvariantsHold)
+{
+    iocost::sim::Rng rng(GetParam());
+    CgroupTree t;
+
+    std::vector<CgroupId> leaves;
+    const int n_groups = 2 + static_cast<int>(rng.below(4));
+    for (int g = 0; g < n_groups; ++g) {
+        const CgroupId mid = t.create(
+            kRoot, "g" + std::to_string(g),
+            50 + static_cast<uint32_t>(rng.below(200)));
+        const int n_leaves = 1 + static_cast<int>(rng.below(4));
+        for (int l = 0; l < n_leaves; ++l) {
+            leaves.push_back(t.create(
+                mid, "l" + std::to_string(l),
+                10 + static_cast<uint32_t>(rng.below(400))));
+        }
+    }
+
+    std::vector<CgroupId> active;
+    for (CgroupId leaf : leaves) {
+        if (rng.chance(0.8)) {
+            t.setActive(leaf, true);
+            active.push_back(leaf);
+        }
+    }
+    if (active.size() < 2)
+        return; // degenerate; nothing to check
+
+    // Snapshot pre-donation hweights.
+    std::vector<double> before(t.size(), 0.0);
+    for (CgroupId leaf : active)
+        before[leaf] = t.hweightActive(leaf);
+
+    // Random donors (at most all but one leaf).
+    std::vector<DonorTarget> donors;
+    double d_root = 0.0, dp_root = 0.0;
+    for (size_t i = 0; i + 1 < active.size(); ++i) {
+        if (!rng.chance(0.5))
+            continue;
+        const CgroupId leaf = active[i];
+        const double target =
+            before[leaf] * rng.uniform(0.05, 0.85);
+        donors.push_back({leaf, target});
+        d_root += before[leaf];
+        dp_root += target;
+    }
+    if (donors.empty())
+        return;
+
+    applyDonation(t, donors);
+
+    // P1: donors land exactly on target.
+    for (const auto &don : donors) {
+        EXPECT_NEAR(t.hweightInuse(don.leaf), don.targetHweight,
+                    1e-9);
+    }
+
+    // P2: non-donors scale by (1 - d') / (1 - d).
+    const double scale = (1.0 - dp_root) / (1.0 - d_root);
+    for (CgroupId leaf : active) {
+        bool is_donor = false;
+        for (const auto &don : donors)
+            is_donor |= don.leaf == leaf;
+        if (!is_donor) {
+            EXPECT_NEAR(t.hweightInuse(leaf),
+                        before[leaf] * scale, 1e-9)
+                << "leaf " << t.path(leaf);
+        }
+    }
+
+    // P3: active-leaf hweights still partition the device.
+    double sum = 0.0;
+    for (CgroupId leaf : active)
+        sum += t.hweightInuse(leaf);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DonationProperty,
+                         ::testing::Range<uint64_t>(1, 33));
+
+} // namespace

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Deep-hierarchy property tests for the donation algorithm: random
+ * trees of depth up to 4, nested donors, and repeated planning
+ * passes (idempotence / recomputed-from-scratch semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cgroup/cgroup_tree.hh"
+#include "core/donation.hh"
+#include "sim/rng.hh"
+
+namespace {
+
+using namespace iocost::cgroup;
+using namespace iocost::core;
+
+/** Build a random tree up to @p depth, returning its leaves. */
+std::vector<CgroupId>
+buildRandomTree(CgroupTree &tree, iocost::sim::Rng &rng,
+                unsigned depth)
+{
+    std::vector<CgroupId> frontier{kRoot};
+    std::vector<CgroupId> leaves;
+    for (unsigned level = 0; level < depth; ++level) {
+        std::vector<CgroupId> next;
+        for (CgroupId node : frontier) {
+            const int kids =
+                1 + static_cast<int>(rng.below(3));
+            for (int k = 0; k < kids; ++k) {
+                const auto child = tree.create(
+                    node,
+                    "n" + std::to_string(level) + "_" +
+                        std::to_string(next.size()),
+                    10 + static_cast<uint32_t>(rng.below(300)));
+                next.push_back(child);
+            }
+        }
+        frontier = std::move(next);
+    }
+    for (CgroupId node : frontier)
+        leaves.push_back(node);
+    return leaves;
+}
+
+class DeepDonation : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(DeepDonation, InvariantsHoldAtDepthFour)
+{
+    iocost::sim::Rng rng(GetParam() * 7919);
+    CgroupTree tree;
+    const auto leaves = buildRandomTree(tree, rng, 4);
+
+    std::vector<CgroupId> active;
+    for (CgroupId leaf : leaves) {
+        if (rng.chance(0.7)) {
+            tree.setActive(leaf, true);
+            active.push_back(leaf);
+        }
+    }
+    if (active.size() < 3)
+        return;
+
+    std::vector<double> before(tree.size(), 0.0);
+    for (CgroupId leaf : active)
+        before[leaf] = tree.hweightActive(leaf);
+
+    std::vector<DonorTarget> donors;
+    double d = 0, dp = 0;
+    for (size_t i = 0; i + 1 < active.size(); i += 2) {
+        const CgroupId leaf = active[i];
+        const double target = before[leaf] * rng.uniform(0.1, 0.8);
+        donors.push_back({leaf, target});
+        d += before[leaf];
+        dp += target;
+    }
+
+    applyDonation(tree, donors);
+
+    for (const auto &don : donors) {
+        EXPECT_NEAR(tree.hweightInuse(don.leaf), don.targetHweight,
+                    1e-9);
+    }
+    const double scale = (1.0 - dp) / (1.0 - d);
+    for (CgroupId leaf : active) {
+        bool is_donor = false;
+        for (const auto &don : donors)
+            is_donor |= don.leaf == leaf;
+        if (!is_donor) {
+            EXPECT_NEAR(tree.hweightInuse(leaf),
+                        before[leaf] * scale, 1e-9);
+        }
+    }
+    double sum = 0;
+    for (CgroupId leaf : active)
+        sum += tree.hweightInuse(leaf);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(DeepDonation, RepeatedPassesAreIdempotent)
+{
+    iocost::sim::Rng rng(GetParam() * 104729);
+    CgroupTree tree;
+    const auto leaves = buildRandomTree(tree, rng, 3);
+    for (CgroupId leaf : leaves)
+        tree.setActive(leaf, true);
+    if (leaves.size() < 2)
+        return;
+
+    std::vector<DonorTarget> donors{
+        {leaves[0], tree.hweightActive(leaves[0]) * 0.3}};
+
+    applyDonation(tree, donors);
+    std::vector<double> after_one;
+    for (CgroupId leaf : leaves)
+        after_one.push_back(tree.hweightInuse(leaf));
+
+    // A second pass with the same donor set must land on the same
+    // hweights (donation is recomputed from configured weights, not
+    // compounded).
+    applyDonation(tree, donors);
+    for (size_t i = 0; i < leaves.size(); ++i) {
+        EXPECT_NEAR(tree.hweightInuse(leaves[i]), after_one[i],
+                    1e-9);
+    }
+}
+
+TEST_P(DeepDonation, DonationThenActivationChangeStaysConsistent)
+{
+    iocost::sim::Rng rng(GetParam() * 31337);
+    CgroupTree tree;
+    const auto leaves = buildRandomTree(tree, rng, 3);
+    if (leaves.size() < 3)
+        return;
+    for (CgroupId leaf : leaves)
+        tree.setActive(leaf, true);
+
+    applyDonation(tree,
+                  {{leaves[0], tree.hweightActive(leaves[0]) / 2}});
+
+    // Deactivate a non-donor leaf; hweights must renormalize to 1
+    // over the remaining active leaves without a new donation pass.
+    tree.setActive(leaves[1], false);
+    double sum = 0;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+        if (i != 1)
+            sum += tree.hweightInuse(leaves[i]);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepDonation,
+                         ::testing::Range<uint64_t>(1, 17));
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, cancellation,
+ * clock semantics, and the periodic timer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace iocost::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.scheduleAt(5, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Time fired_at = -1;
+    q.scheduleAt(100, [&] {
+        q.scheduleAfter(50, [&] { fired_at = q.now(); });
+    });
+    q.runAll();
+    EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventHandle h = q.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    q.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFireIsInert)
+{
+    EventQueue q;
+    int runs = 0;
+    EventHandle h = q.scheduleAt(10, [&] { ++runs; });
+    q.runAll();
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // must not crash or affect anything
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue q;
+    int count = 0;
+    q.scheduleAt(10, [&] { ++count; });
+    q.scheduleAt(20, [&] { ++count; });
+    q.scheduleAt(21, [&] { ++count; });
+    const uint64_t executed = q.runUntil(20);
+    EXPECT_EQ(executed, 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20);
+    q.runAll();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(1000);
+    EXPECT_EQ(q.now(), 1000);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextEventTimeSkipsCancelled)
+{
+    EventQueue q;
+    EventHandle h = q.scheduleAt(5, [] {});
+    q.scheduleAt(9, [] {});
+    h.cancel();
+    EXPECT_EQ(q.nextEventTime(), 9);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunAllExecute)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(1, chain);
+    };
+    q.scheduleAt(0, chain);
+    q.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 4);
+}
+
+TEST(Simulator, ForkedRngsDiffer)
+{
+    Simulator sim(7);
+    Rng a = sim.forkRng();
+    Rng b = sim.forkRng();
+    EXPECT_NE(a(), b());
+}
+
+TEST(PeriodicTimer, FiresEveryPeriod)
+{
+    Simulator sim;
+    std::vector<Time> fires;
+    PeriodicTimer timer(sim, 100, [&] { fires.push_back(sim.now()); });
+    timer.start();
+    sim.runUntil(450);
+    ASSERT_EQ(fires.size(), 4u);
+    EXPECT_EQ(fires[0], 100);
+    EXPECT_EQ(fires[3], 400);
+}
+
+TEST(PeriodicTimer, StopPreventsFurtherFires)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTimer timer(sim, 100, [&] { ++fires; });
+    timer.start();
+    sim.runUntil(250);
+    timer.stop();
+    sim.runUntil(1000);
+    EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTimer, StopFromWithinCallback)
+{
+    Simulator sim;
+    int fires = 0;
+    PeriodicTimer timer(sim, 100, [&] {
+        if (++fires == 3)
+            timer.stop();
+    });
+    timer.start();
+    sim.runUntil(10000);
+    EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimer, DestructionCancelsPending)
+{
+    Simulator sim;
+    int fires = 0;
+    {
+        PeriodicTimer timer(sim, 100, [&] { ++fires; });
+        timer.start();
+        sim.runUntil(150);
+    }
+    sim.runUntil(1000);
+    EXPECT_EQ(fires, 1);
+}
+
+} // namespace

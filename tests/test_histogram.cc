@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the log-linear histogram, including the relative-
+ * error bound property that makes it usable for latency percentiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stat/histogram.hh"
+
+namespace {
+
+using iocost::stat::Histogram;
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.minValue(), 0);
+    EXPECT_EQ(h.maxValue(), 0);
+}
+
+TEST(Histogram, SmallValuesExact)
+{
+    Histogram h;
+    for (int v = 0; v <= 20; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 21u);
+    EXPECT_EQ(h.minValue(), 0);
+    EXPECT_EQ(h.maxValue(), 20);
+    EXPECT_EQ(h.quantile(0.0), 0);
+    // Small values land in exact unit buckets.
+    EXPECT_EQ(h.quantile(0.5), 10);
+    EXPECT_EQ(h.quantile(1.0), 20);
+}
+
+TEST(Histogram, SingleValue)
+{
+    Histogram h;
+    h.record(123456);
+    EXPECT_EQ(h.count(), 1u);
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+        const double rel =
+            std::abs(static_cast<double>(h.quantile(q)) - 123456.0) /
+            123456.0;
+        EXPECT_LE(rel, 1.0 / 32.0) << "q=" << q;
+    }
+}
+
+TEST(Histogram, MeanAndStddev)
+{
+    Histogram h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+    EXPECT_NEAR(h.stddev(), 8.1649658, 1e-5);
+}
+
+TEST(Histogram, NegativeClampsToZero)
+{
+    Histogram h;
+    h.record(-50);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.minValue(), 0);
+}
+
+TEST(Histogram, QuantileNeverExceedsMax)
+{
+    Histogram h;
+    h.record(1000000007);
+    h.record(3);
+    EXPECT_LE(h.quantile(1.0), 1000000007);
+}
+
+TEST(Histogram, BulkRecordMatchesRepeated)
+{
+    Histogram a, b;
+    a.record(777, 1000);
+    for (int i = 0; i < 1000; ++i)
+        b.record(777);
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.quantile(0.5), b.quantile(0.5));
+    EXPECT_EQ(a.total(), b.total());
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(42, 100);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0);
+    h.record(7);
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Histogram, MergeCombinesCounts)
+{
+    Histogram a, b;
+    a.record(100, 50);
+    b.record(10000, 50);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    // Median sits between the two populations.
+    EXPECT_GE(a.quantile(0.75), 9000);
+    EXPECT_LE(a.quantile(0.25), 110);
+}
+
+/**
+ * Property: for any population, every quantile estimate is within
+ * the structural relative error bound (one sub-bucket width).
+ */
+class HistogramErrorBound : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(HistogramErrorBound, QuantilesWithinRelativeError)
+{
+    iocost::sim::Rng rng(GetParam());
+    Histogram h;
+    std::vector<int64_t> values;
+    const int n = 5000;
+    values.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        // Latency-like values spanning several decades.
+        const auto v = static_cast<int64_t>(
+            rng.logNormal(100e3, 1.5));
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 0.999}) {
+        const auto rank = static_cast<size_t>(
+            std::min<double>(n - 1, std::ceil(q * n)));
+        const double exact =
+            static_cast<double>(values[rank > 0 ? rank - 1 : 0]);
+        const double est = static_cast<double>(h.quantile(q));
+        if (exact < 64)
+            continue; // exact region
+        EXPECT_NEAR(est, exact, exact * (2.0 / 32.0) + 1)
+            << "q=" << q;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramErrorBound,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the §6 extension: hypervisor IO scheduling with IOPS
+ * vs occupancy pricing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "profile/device_profiler.hh"
+#include "sim/simulator.hh"
+#include "vm/hypervisor.hh"
+
+namespace {
+
+using namespace iocost;
+
+struct Stack
+{
+    sim::Simulator sim{151};
+    std::unique_ptr<device::SsdModel> device;
+    cgroup::CgroupTree tree;
+    std::unique_ptr<blk::BlockLayer> layer;
+    std::unique_ptr<vm::Hypervisor> hv;
+
+    explicit Stack(vm::HvPolicy policy, unsigned window = 16)
+    {
+        device = std::make_unique<device::SsdModel>(
+            sim, device::oldGenSsd());
+        layer = std::make_unique<blk::BlockLayer>(sim, *device,
+                                                  tree);
+        hv = std::make_unique<vm::Hypervisor>(
+            *layer, policy,
+            core::CostModel::fromConfig(
+                profile::DeviceProfiler::profileSsd(
+                    device::oldGenSsd())
+                    .model),
+            window);
+    }
+};
+
+/** Closed-loop driver: keeps `depth` requests pending per VM. */
+struct VmDriver
+{
+    Stack &s;
+    vm::VmId vm;
+    uint32_t size;
+    bool random;
+    uint64_t cursor = 0;
+    sim::Rng rng;
+
+    VmDriver(Stack &stack, vm::VmId id, uint32_t io_size,
+             bool is_random)
+        : s(stack), vm(id), size(io_size), random(is_random),
+          rng(id + 7)
+    {}
+
+    void
+    issue()
+    {
+        uint64_t offset;
+        if (random) {
+            offset = rng.below(1 << 20) * 4096;
+        } else {
+            offset = (static_cast<uint64_t>(vm) << 40) + cursor;
+            cursor += size;
+        }
+        s.hv->submit(vm, blk::Bio::make(
+                             blk::Op::Read, offset, size,
+                             cgroup::kRoot,
+                             [this](const blk::Bio &) { issue(); }));
+    }
+
+    void
+    start(unsigned depth)
+    {
+        for (unsigned i = 0; i < depth; ++i)
+            issue();
+    }
+};
+
+TEST(Hypervisor, EqualGuestsSplitEvenly)
+{
+    Stack s(vm::HvPolicy::Occupancy);
+    const auto a = s.hv->addVm({"a", 100});
+    const auto b = s.hv->addVm({"b", 100});
+    VmDriver da(s, a, 4096, true), db(s, b, 4096, true);
+    da.start(16);
+    db.start(16);
+    s.sim.runUntil(5 * sim::kSec);
+    const double ratio =
+        static_cast<double>(s.hv->completed(a)) /
+        static_cast<double>(s.hv->completed(b));
+    EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+TEST(Hypervisor, SharesAreProportional)
+{
+    Stack s(vm::HvPolicy::Occupancy);
+    const auto a = s.hv->addVm({"a", 300});
+    const auto b = s.hv->addVm({"b", 100});
+    VmDriver da(s, a, 4096, true), db(s, b, 4096, true);
+    da.start(16);
+    db.start(16);
+    s.sim.runUntil(5 * sim::kSec);
+    const double ratio =
+        static_cast<double>(s.hv->completed(a)) /
+        static_cast<double>(s.hv->completed(b));
+    EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+TEST(Hypervisor, IopsPolicyOverservesLargeIo)
+{
+    // Equal shares, one VM issues 4k, the other 256k: IOPS pricing
+    // equalizes request counts, handing the large-IO guest several
+    // times the device occupancy.
+    Stack s(vm::HvPolicy::IopsShares);
+    const auto small = s.hv->addVm({"small", 100});
+    const auto large = s.hv->addVm({"large", 100});
+    VmDriver ds(s, small, 4096, true);
+    VmDriver dl(s, large, 262144, false);
+    ds.start(16);
+    dl.start(16);
+    s.sim.runUntil(10 * sim::kSec);
+    EXPECT_GT(s.hv->occupancy(large),
+              2.5 * s.hv->occupancy(small));
+}
+
+TEST(Hypervisor, OccupancyPolicyEqualizesDeviceTime)
+{
+    Stack s(vm::HvPolicy::Occupancy);
+    const auto small = s.hv->addVm({"small", 100});
+    const auto large = s.hv->addVm({"large", 100});
+    VmDriver ds(s, small, 4096, true);
+    VmDriver dl(s, large, 262144, false);
+    ds.start(16);
+    dl.start(16);
+    s.sim.runUntil(10 * sim::kSec);
+    const double ratio =
+        s.hv->occupancy(large) / s.hv->occupancy(small);
+    EXPECT_NEAR(ratio, 1.0, 0.25);
+}
+
+TEST(Hypervisor, IdleGuestCannotBankService)
+{
+    Stack s(vm::HvPolicy::Occupancy);
+    const auto busy = s.hv->addVm({"busy", 100});
+    const auto late = s.hv->addVm({"late", 100});
+    VmDriver db(s, busy, 4096, true);
+    db.start(16);
+    s.sim.runUntil(3 * sim::kSec);
+
+    // `late` joins after 3 idle seconds; it must share from *now*,
+    // not replay its unused history and starve `busy`.
+    VmDriver dl(s, late, 4096, true);
+    dl.start(16);
+    const uint64_t busy_before = s.hv->completed(busy);
+    s.sim.runUntil(4 * sim::kSec);
+    EXPECT_GT(s.hv->completed(busy) - busy_before, 1000u);
+}
+
+TEST(Hypervisor, WindowBoundsInFlight)
+{
+    Stack s(vm::HvPolicy::Occupancy, /*window=*/4);
+    const auto a = s.hv->addVm({"a", 100});
+    for (int i = 0; i < 32; ++i) {
+        s.hv->submit(a, blk::Bio::make(blk::Op::Read,
+                                       static_cast<uint64_t>(i)
+                                           << 20,
+                                       4096, cgroup::kRoot));
+    }
+    EXPECT_EQ(s.hv->queued(a), 28u);
+    s.sim.runAll();
+    EXPECT_EQ(s.hv->completed(a), 32u);
+    EXPECT_EQ(s.hv->queued(a), 0u);
+}
+
+} // namespace

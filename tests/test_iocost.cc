@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Integration tests for the IOCost controller: vtime budget
+ * throttling, proportional sharing, work conservation via donation,
+ * issue-path rescind, the debt mechanism, and dynamic vrate
+ * adjustment.
+ *
+ * Setup pattern: a device far faster than the configured cost model,
+ * so the model (not the hardware) is the binding constraint and
+ * throughput expectations are analytic: a cgroup with hierarchical
+ * weight h sustains h * model_iops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "core/iocost.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "sim/simulator.hh"
+#include "workload/fio_workload.hh"
+
+namespace {
+
+using namespace iocost;
+using core::DebtMode;
+using core::IoCost;
+using core::IoCostConfig;
+
+/** Model claiming 10k random / 20k sequential read IOPS. */
+core::LinearModelConfig
+slowModel()
+{
+    core::LinearModelConfig m;
+    m.rbps = 400e6;
+    m.rseqiops = 20000;
+    m.rrandiops = 10000;
+    m.wbps = 400e6;
+    m.wseqiops = 20000;
+    m.wrandiops = 10000;
+    return m;
+}
+
+struct Stack
+{
+    sim::Simulator sim{21};
+    std::unique_ptr<device::SsdModel> device;
+    cgroup::CgroupTree tree;
+    std::unique_ptr<blk::BlockLayer> layer;
+    IoCost *ctl = nullptr;
+
+    Stack() : Stack(makeConfig()) {}
+
+    explicit Stack(const IoCostConfig &cfg)
+    {
+        device = std::make_unique<device::SsdModel>(
+            sim, device::enterpriseSsd());
+        layer = std::make_unique<blk::BlockLayer>(sim, *device,
+                                                  tree);
+        auto iocost = std::make_unique<IoCost>(cfg);
+        ctl = iocost.get();
+        layer->setController(std::move(iocost));
+    }
+
+    static IoCostConfig
+    makeConfig(double vrate_min = 1.0, double vrate_max = 1.0)
+    {
+        IoCostConfig cfg;
+        cfg.model = core::CostModel::fromConfig(slowModel());
+        cfg.qos.vrateMin = vrate_min;
+        cfg.qos.vrateMax = vrate_max;
+        cfg.qos.readLatTarget = 100 * sim::kMsec; // effectively off
+        cfg.qos.writeLatTarget = 100 * sim::kMsec;
+        cfg.qos.period = 10 * sim::kMsec;
+        return cfg;
+    }
+
+    workload::FioWorkload
+    reader(cgroup::CgroupId cg, bool random = true,
+           unsigned iodepth = 32)
+    {
+        workload::FioConfig fc;
+        fc.randomFraction = random ? 1.0 : 0.0;
+        fc.iodepth = iodepth;
+        return workload::FioWorkload(sim, *layer, cg, fc);
+    }
+};
+
+TEST(IoCost, SingleCgroupThrottledToModelRate)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "a");
+    auto job = s.reader(cg);
+    job.start();
+    s.sim.runUntil(1 * sim::kSec);
+    job.resetStats();
+    s.sim.runUntil(6 * sim::kSec);
+    // hweight 1.0 at vrate 100% against a 10k IOPS model.
+    EXPECT_NEAR(job.iops(), 10000, 600);
+}
+
+TEST(IoCost, SequentialStreamsGetSequentialRate)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "a");
+    auto job = s.reader(cg, /*random=*/false);
+    job.start();
+    s.sim.runUntil(1 * sim::kSec);
+    job.resetStats();
+    s.sim.runUntil(6 * sim::kSec);
+    EXPECT_NEAR(job.iops(), 20000, 1200);
+}
+
+TEST(IoCost, ProportionalSharing2to1)
+{
+    Stack s;
+    const auto hi = s.tree.create(cgroup::kRoot, "hi", 200);
+    const auto lo = s.tree.create(cgroup::kRoot, "lo", 100);
+    auto hij = s.reader(hi);
+    auto loj = s.reader(lo);
+    hij.start();
+    loj.start();
+    s.sim.runUntil(1 * sim::kSec);
+    hij.resetStats();
+    loj.resetStats();
+    s.sim.runUntil(11 * sim::kSec);
+    const double ratio = hij.iops() / loj.iops();
+    EXPECT_NEAR(ratio, 2.0, 0.2);
+    // Total still pinned by the model.
+    EXPECT_NEAR(hij.iops() + loj.iops(), 10000, 800);
+}
+
+TEST(IoCost, HierarchicalProportions)
+{
+    Stack s;
+    const auto p = s.tree.create(cgroup::kRoot, "p", 300);
+    const auto q = s.tree.create(cgroup::kRoot, "q", 100);
+    const auto p1 = s.tree.create(p, "p1", 100);
+    const auto p2 = s.tree.create(p, "p2", 100);
+    auto j1 = s.reader(p1);
+    auto j2 = s.reader(p2);
+    auto j3 = s.reader(q);
+    j1.start();
+    j2.start();
+    j3.start();
+    s.sim.runUntil(1 * sim::kSec);
+    j1.resetStats();
+    j2.resetStats();
+    j3.resetStats();
+    s.sim.runUntil(11 * sim::kSec);
+    // p gets 3/4, split evenly; q gets 1/4.
+    EXPECT_NEAR(j1.iops(), 3750, 400);
+    EXPECT_NEAR(j2.iops(), 3750, 400);
+    EXPECT_NEAR(j3.iops(), 2500, 300);
+}
+
+TEST(IoCost, IdleCgroupBudgetFlowsToActive)
+{
+    Stack s;
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    s.tree.create(cgroup::kRoot, "b", 100); // never issues IO
+    auto job = s.reader(a);
+    job.start();
+    s.sim.runUntil(1 * sim::kSec);
+    job.resetStats();
+    s.sim.runUntil(6 * sim::kSec);
+    // b inactive: a owns the device despite equal weights.
+    EXPECT_NEAR(job.iops(), 10000, 600);
+}
+
+TEST(IoCost, DonationGivesUnusedShareToBusySibling)
+{
+    Stack s;
+    const auto busy = s.tree.create(cgroup::kRoot, "busy", 100);
+    const auto light = s.tree.create(cgroup::kRoot, "light", 100);
+
+    auto busy_job = s.reader(busy);
+    workload::FioConfig light_cfg;
+    light_cfg.arrival = workload::Arrival::Rate;
+    light_cfg.ratePerSec = 500; // 5% of the device
+    workload::FioWorkload light_job(s.sim, *s.layer, light,
+                                    light_cfg);
+    busy_job.start();
+    light_job.start();
+    s.sim.runUntil(2 * sim::kSec);
+    busy_job.resetStats();
+    light_job.resetStats();
+    s.sim.runUntil(12 * sim::kSec);
+
+    // Without donation busy would be pinned at 5000; with donation
+    // it absorbs most of light's unused half.
+    EXPECT_GT(busy_job.iops(), 8500);
+    EXPECT_NEAR(light_job.iops(), 500, 60);
+}
+
+TEST(IoCost, DonationDisabledAblation)
+{
+    Stack s(Stack::makeConfig());
+    IoCostConfig cfg = Stack::makeConfig();
+    cfg.donationEnabled = false;
+    Stack s2(cfg);
+
+    const auto busy = s2.tree.create(cgroup::kRoot, "busy", 100);
+    const auto light = s2.tree.create(cgroup::kRoot, "light", 100);
+    auto busy_job = s2.reader(busy);
+    workload::FioConfig light_cfg;
+    light_cfg.arrival = workload::Arrival::Rate;
+    light_cfg.ratePerSec = 500;
+    workload::FioWorkload light_job(s2.sim, *s2.layer, light,
+                                    light_cfg);
+    busy_job.start();
+    light_job.start();
+    s2.sim.runUntil(2 * sim::kSec);
+    busy_job.resetStats();
+    s2.sim.runUntil(12 * sim::kSec);
+
+    // Donation off: busy stays near its 50% entitlement (the light
+    // sibling remains active, so no deactivation either).
+    EXPECT_LT(busy_job.iops(), 6500);
+    EXPECT_GT(busy_job.iops(), 4000);
+}
+
+TEST(IoCost, RescindRestoresShareWithinPeriods)
+{
+    Stack s;
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    const auto b = s.tree.create(cgroup::kRoot, "b", 100);
+
+    auto a_job = s.reader(a);
+    a_job.start();
+
+    // b idles at a trickle long enough to become a donor...
+    workload::FioConfig trickle;
+    trickle.arrival = workload::Arrival::Rate;
+    trickle.ratePerSec = 100;
+    workload::FioWorkload b_trickle(s.sim, *s.layer, b, trickle);
+    b_trickle.start();
+    s.sim.runUntil(3 * sim::kSec);
+    EXPECT_LT(s.tree.inuse(b), 100.0) << "b should be donating";
+    b_trickle.stop();
+
+    // ...then bursts; the rescind path must restore ~half within a
+    // couple of planning periods.
+    auto b_burst = s.reader(b);
+    b_burst.start();
+    s.sim.runUntil(3 * sim::kSec + 100 * sim::kMsec);
+    b_burst.resetStats();
+    s.sim.runUntil(8 * sim::kSec);
+    EXPECT_NEAR(b_burst.iops(), 5000, 600);
+}
+
+TEST(IoCost, SwapBioBypassesThrottlingAndAccruesDebt)
+{
+    Stack s;
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    const auto b = s.tree.create(cgroup::kRoot, "b", 100);
+
+    // Saturate both so no spare budget exists.
+    auto a_job = s.reader(a);
+    auto b_job = s.reader(b);
+    a_job.start();
+    b_job.start();
+    s.sim.runUntil(2 * sim::kSec);
+
+    // A burst of swap writes for a completes promptly despite a
+    // having no budget; the debt is visible immediately at issue.
+    int done = 0;
+    for (int i = 0; i < 10; ++i) {
+        auto bio = blk::Bio::make(
+            blk::Op::Write, (1ull << 40) + i * 65536, 65536, a,
+            [&](const blk::Bio &) { ++done; });
+        bio->swap = true;
+        s.layer->submit(std::move(bio));
+    }
+    EXPECT_GT(s.ctl->debt(a), 0.0);
+    EXPECT_EQ(s.ctl->debt(b), 0.0);
+    s.sim.runUntil(2 * sim::kSec + 20 * sim::kMsec);
+    EXPECT_EQ(done, 10);
+}
+
+TEST(IoCost, DebtRepaidFromFutureBudget)
+{
+    Stack s;
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    const auto b = s.tree.create(cgroup::kRoot, "b", 100);
+    auto a_job = s.reader(a);
+    auto b_job = s.reader(b);
+    a_job.start();
+    b_job.start();
+    s.sim.runUntil(2 * sim::kSec);
+
+    for (int i = 0; i < 50; ++i) {
+        auto bio = blk::Bio::make(
+            blk::Op::Write, (1ull << 40) + i * 65536, 65536, a);
+        bio->swap = true;
+        s.layer->submit(std::move(bio));
+    }
+    s.sim.runUntil(2 * sim::kSec + 10 * sim::kMsec);
+    const double debt0 = s.ctl->debt(a);
+    EXPECT_GT(debt0, 0.0);
+
+    // a's normal IO keeps flowing (paying the debt down), so the
+    // debt must shrink and a must have received less than b.
+    a_job.resetStats();
+    b_job.resetStats();
+    s.sim.runUntil(6 * sim::kSec);
+    EXPECT_LT(s.ctl->debt(a), debt0);
+    EXPECT_LT(a_job.iops(), b_job.iops());
+}
+
+TEST(IoCost, UserspaceDelayKicksInAboveThreshold)
+{
+    IoCostConfig cfg = Stack::makeConfig();
+    cfg.qos.debtThreshold = 1 * sim::kMsec;
+    Stack s(cfg);
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    const auto b = s.tree.create(cgroup::kRoot, "b", 100);
+    auto b_job = s.reader(b);
+    b_job.start();
+    s.sim.runUntil(1 * sim::kSec);
+
+    EXPECT_EQ(s.ctl->userspaceDelay(a), 0);
+    // Pile on enough swap cost to cross the threshold. a issues no
+    // normal IO ("free" swap IO), exactly the §3.5 scenario.
+    for (int i = 0; i < 100; ++i) {
+        auto bio = blk::Bio::make(
+            blk::Op::Write, (1ull << 40) + i * 262144, 262144, a);
+        bio->swap = true;
+        s.layer->submit(std::move(bio));
+    }
+    EXPECT_GT(s.ctl->userspaceDelay(a), 0);
+}
+
+TEST(IoCost, RootChargeModeAccruesNoDebt)
+{
+    IoCostConfig cfg = Stack::makeConfig();
+    cfg.debtMode = DebtMode::RootCharge;
+    Stack s(cfg);
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    auto bio = blk::Bio::make(blk::Op::Write, 1ull << 40, 65536, a);
+    bio->swap = true;
+    s.layer->submit(std::move(bio));
+    s.sim.runUntil(100 * sim::kMsec);
+    EXPECT_EQ(s.ctl->debt(a), 0.0);
+}
+
+TEST(IoCost, InversionModeThrottlesSwap)
+{
+    IoCostConfig cfg = Stack::makeConfig();
+    cfg.debtMode = DebtMode::Inversion;
+    Stack s(cfg);
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    const auto b = s.tree.create(cgroup::kRoot, "b", 100);
+    auto a_job = s.reader(a);
+    auto b_job = s.reader(b);
+    a_job.start();
+    b_job.start();
+    s.sim.runUntil(2 * sim::kSec);
+
+    // With both saturated, a swap write for a must wait in line
+    // (the priority inversion this mode demonstrates).
+    bool done = false;
+    auto bio = blk::Bio::make(blk::Op::Write, 1ull << 40, 262144, a,
+                              [&](const blk::Bio &) { done = true; });
+    bio->swap = true;
+    s.layer->submit(std::move(bio));
+    EXPECT_GT(s.ctl->waitingCount(a), 0u);
+    s.sim.runUntil(2 * sim::kSec + 2 * sim::kMsec);
+    EXPECT_FALSE(done);
+    s.sim.runUntil(4 * sim::kSec);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(s.ctl->debt(a), 0.0);
+}
+
+TEST(IoCost, IdleCgroupDeactivates)
+{
+    Stack s;
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    auto job = s.reader(a);
+    job.start();
+    s.sim.runUntil(500 * sim::kMsec);
+    job.stop();
+    EXPECT_TRUE(s.tree.activeSelf(a));
+    // Let in-flight drain and several periods pass.
+    s.sim.runUntil(2 * sim::kSec);
+    EXPECT_FALSE(s.tree.activeSelf(a));
+}
+
+TEST(IoCost, VrateRisesWhenDeviceOutpacesModel)
+{
+    // Device is far faster than the model and latencies are far
+    // below target: with waiters present, vrate must climb to its
+    // ceiling.
+    IoCostConfig cfg = Stack::makeConfig(0.25, 4.0);
+    cfg.qos.readLatTarget = 50 * sim::kMsec;
+    Stack s(cfg);
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    auto job = s.reader(a);
+    job.start();
+    s.sim.runUntil(10 * sim::kSec);
+    EXPECT_GT(s.ctl->vrate(), 3.0);
+    EXPECT_GT(job.iops(), 20000);
+}
+
+TEST(IoCost, VrateDropsOnLatencyViolations)
+{
+    // Model claims 10x the device's actual capability; saturating it
+    // floods the device and violates a tight latency target, so
+    // vrate must fall.
+    core::LinearModelConfig lies = slowModel();
+    lies.rrandiops = 400000;
+    lies.rseqiops = 400000;
+    lies.rbps = 4e9; // keep the 4k byte cost from dominating
+    IoCostConfig cfg;
+    cfg.model = core::CostModel::fromConfig(lies);
+    cfg.qos.vrateMin = 0.1;
+    cfg.qos.vrateMax = 1.0;
+    cfg.qos.readLatTarget = 300 * sim::kUsec;
+    cfg.qos.period = 10 * sim::kMsec;
+
+    sim::Simulator sim(22);
+    device::SsdSpec spec = device::oldGenSsd(); // ~84k IOPS device
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+    auto ctl_owned = std::make_unique<IoCost>(cfg);
+    IoCost *ctl = ctl_owned.get();
+    layer.setController(std::move(ctl_owned));
+
+    const auto a = tree.create(cgroup::kRoot, "a", 100);
+    workload::FioConfig fc;
+    fc.iodepth = 256;
+    workload::FioWorkload job(sim, layer, a, fc);
+    job.start();
+    sim.runUntil(10 * sim::kSec);
+    EXPECT_LT(ctl->vrate(), 0.5);
+}
+
+TEST(IoCost, VrateSeriesRecorded)
+{
+    Stack s;
+    const auto a = s.tree.create(cgroup::kRoot, "a", 100);
+    auto job = s.reader(a);
+    job.start();
+    s.sim.runUntil(1 * sim::kSec);
+    EXPECT_GT(s.ctl->vrateSeries().size(), 50u);
+}
+
+TEST(IoCost, CapsMatchTableOne)
+{
+    IoCost ctl(Stack::makeConfig());
+    const auto caps = ctl.caps();
+    EXPECT_TRUE(caps.lowOverhead);
+    EXPECT_TRUE(caps.workConserving);
+    EXPECT_TRUE(caps.memoryManagementAware);
+    EXPECT_TRUE(caps.proportionalFairness);
+    EXPECT_TRUE(caps.cgroupControl);
+}
+
+} // namespace

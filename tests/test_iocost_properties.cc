@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Property-style parameterized sweeps over the IOCost controller:
+ *
+ *  - weight-ratio sweep: for weights w:1 the measured IOPS ratio of
+ *    two saturating equals must track w across an order of
+ *    magnitude;
+ *  - active-set sweep: N equal saturating cgroups each receive
+ *    ~1/N of the model rate and the total stays pinned;
+ *  - model-scale sweep: halving/doubling the claimed capability
+ *    scales the admitted IOPS accordingly (vrate pinned).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "core/iocost.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "sim/simulator.hh"
+#include "workload/fio_workload.hh"
+
+namespace {
+
+using namespace iocost;
+
+core::IoCostConfig
+pinnedConfig(double scale = 1.0)
+{
+    core::LinearModelConfig m;
+    m.rbps = 4e9;
+    m.rseqiops = 20000;
+    m.rrandiops = 10000;
+    m.wbps = 4e9;
+    m.wseqiops = 20000;
+    m.wrandiops = 10000;
+    core::IoCostConfig cfg;
+    cfg.model = core::CostModel::fromConfig(m);
+    cfg.model.scaleCapability(scale);
+    cfg.qos.vrateMin = 1.0;
+    cfg.qos.vrateMax = 1.0;
+    cfg.qos.readLatTarget = 1 * sim::kSec;
+    cfg.qos.writeLatTarget = 1 * sim::kSec;
+    cfg.qos.period = 10 * sim::kMsec;
+    return cfg;
+}
+
+struct Stack
+{
+    sim::Simulator sim{81};
+    std::unique_ptr<device::SsdModel> device;
+    cgroup::CgroupTree tree;
+    std::unique_ptr<blk::BlockLayer> layer;
+
+    explicit Stack(const core::IoCostConfig &cfg)
+    {
+        device = std::make_unique<device::SsdModel>(
+            sim, device::enterpriseSsd());
+        layer = std::make_unique<blk::BlockLayer>(sim, *device,
+                                                  tree);
+        layer->setController(std::make_unique<core::IoCost>(cfg));
+    }
+};
+
+class WeightRatio : public ::testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(WeightRatio, IopsTracksWeights)
+{
+    const uint32_t w = GetParam();
+    Stack s(pinnedConfig());
+    const auto hi = s.tree.create(cgroup::kRoot, "hi", 100 * w);
+    const auto lo = s.tree.create(cgroup::kRoot, "lo", 100);
+
+    workload::FioConfig cfg;
+    cfg.iodepth = 64;
+    workload::FioWorkload hij(s.sim, *s.layer, hi, cfg);
+    workload::FioWorkload loj(s.sim, *s.layer, lo, cfg);
+    hij.start();
+    loj.start();
+    s.sim.runUntil(2 * sim::kSec);
+    hij.resetStats();
+    loj.resetStats();
+    s.sim.runUntil(12 * sim::kSec);
+
+    const double ratio = hij.iops() / loj.iops();
+    EXPECT_NEAR(ratio, static_cast<double>(w), 0.15 * w)
+        << "weights " << 100 * w << ":100";
+    EXPECT_NEAR(hij.iops() + loj.iops(), 10000, 900);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, WeightRatio,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+class ActiveSet : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ActiveSet, EqualsSplitEvenly)
+{
+    const int n = GetParam();
+    Stack s(pinnedConfig());
+    std::vector<std::unique_ptr<workload::FioWorkload>> jobs;
+    for (int i = 0; i < n; ++i) {
+        const auto cg = s.tree.create(
+            cgroup::kRoot, "c" + std::to_string(i), 100);
+        workload::FioConfig cfg;
+        cfg.iodepth = 32;
+        jobs.push_back(std::make_unique<workload::FioWorkload>(
+            s.sim, *s.layer, cg, cfg));
+        jobs.back()->start();
+    }
+    s.sim.runUntil(2 * sim::kSec);
+    for (auto &j : jobs)
+        j->resetStats();
+    s.sim.runUntil(10 * sim::kSec);
+
+    double total = 0;
+    for (auto &j : jobs)
+        total += j->iops();
+    EXPECT_NEAR(total, 10000, 1000);
+    for (auto &j : jobs) {
+        EXPECT_NEAR(j->iops(), 10000.0 / n, 10000.0 / n * 0.2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ActiveSet,
+                         ::testing::Values(2, 4, 8, 16));
+
+class ModelScale : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ModelScale, AdmittedRateScalesWithClaimedCapability)
+{
+    const double scale = GetParam();
+    Stack s(pinnedConfig(scale));
+    const auto cg = s.tree.create(cgroup::kRoot, "a", 100);
+    workload::FioConfig cfg;
+    cfg.iodepth = 64;
+    workload::FioWorkload job(s.sim, *s.layer, cg, cfg);
+    job.start();
+    s.sim.runUntil(1 * sim::kSec);
+    job.resetStats();
+    s.sim.runUntil(6 * sim::kSec);
+    const double expect = 10000 * scale;
+    EXPECT_NEAR(job.iops(), expect, expect * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ModelScale,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+} // namespace

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the shared write-ahead journal, including the §3.5
+ * journal priority-inversion scenario: under IOCost's production
+ * debt mode an innocent fsync stays fast even when the transaction
+ * is full of a budget-exhausted neighbour's metadata; with the
+ * inversion ablation it stalls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "core/iocost.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "fs/journal.hh"
+#include "profile/device_profiler.hh"
+#include "sim/simulator.hh"
+#include "workload/fio_workload.hh"
+
+namespace {
+
+using namespace iocost;
+
+struct Stack
+{
+    sim::Simulator sim{111};
+    std::unique_ptr<device::SsdModel> device;
+    cgroup::CgroupTree tree;
+    std::unique_ptr<blk::BlockLayer> layer;
+    std::unique_ptr<fs::Journal> journal;
+
+    explicit Stack(fs::JournalConfig cfg = {})
+    {
+        device = std::make_unique<device::SsdModel>(
+            sim, device::newGenSsd());
+        layer = std::make_unique<blk::BlockLayer>(sim, *device,
+                                                  tree);
+        journal = std::make_unique<fs::Journal>(sim, *layer, cfg);
+    }
+};
+
+TEST(Journal, FsyncWaitsForCommitRecord)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "app");
+    s.journal->logMetadata(cg, 1 << 20);
+    bool durable = false;
+    s.journal->fsync(cg, [&] { durable = true; });
+    EXPECT_FALSE(durable) << "fsync must not complete synchronously";
+    s.sim.runUntil(1 * sim::kSec);
+    EXPECT_TRUE(durable);
+    EXPECT_EQ(s.journal->commits(), 1u);
+    // Data blocks + the 4k commit record reached the device.
+    EXPECT_GE(s.journal->bytesWritten(), (1u << 20) + 4096u);
+}
+
+TEST(Journal, PeriodicTimerCommitsWithoutFsync)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "app");
+    s.journal->logMetadata(cg, 4096);
+    EXPECT_EQ(s.journal->commits(), 0u);
+    s.sim.runUntil(200 * sim::kMsec);
+    EXPECT_EQ(s.journal->commits(), 1u);
+    EXPECT_EQ(s.journal->runningBytes(), 0u);
+}
+
+TEST(Journal, SizeCapForcesCommit)
+{
+    fs::JournalConfig cfg;
+    cfg.maxTxnBytes = 1 << 20;
+    cfg.commitInterval = 10 * sim::kSec; // timer out of the picture
+    Stack s(cfg);
+    const auto cg = s.tree.create(cgroup::kRoot, "app");
+    s.journal->logMetadata(cg, 2 << 20);
+    s.sim.runUntil(1 * sim::kSec);
+    EXPECT_GE(s.journal->commits(), 1u);
+}
+
+TEST(Journal, ManyFsyncsBatchIntoOneCommit)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "app");
+    int done = 0;
+    for (int i = 0; i < 32; ++i) {
+        s.journal->logMetadata(cg, 4096);
+        s.journal->fsync(cg, [&] { ++done; });
+    }
+    s.sim.runUntil(1 * sim::kSec);
+    EXPECT_EQ(done, 32);
+    // Group commit: far fewer commits than fsyncs.
+    EXPECT_LE(s.journal->commits(), 3u);
+}
+
+TEST(Journal, OverlappingCommitsSerialize)
+{
+    fs::JournalConfig cfg;
+    cfg.commitInterval = 10 * sim::kSec;
+    Stack s(cfg);
+    const auto a = s.tree.create(cgroup::kRoot, "a");
+    bool first = false, second = false;
+    s.journal->logMetadata(a, 8 << 20);
+    s.journal->fsync(a, [&] { first = true; });
+    // While the first commit is in flight, log + fsync again.
+    s.journal->logMetadata(a, 4096);
+    s.journal->fsync(a, [&] { second = true; });
+    s.sim.runUntil(2 * sim::kSec);
+    EXPECT_TRUE(first);
+    EXPECT_TRUE(second);
+    EXPECT_EQ(s.journal->commits(), 2u);
+}
+
+/**
+ * The §3.5 scenario: cgroup A floods the journal and has no budget;
+ * cgroup B logs a little metadata and fsyncs. Production debt mode
+ * must keep B's fsync fast; the Inversion ablation throttles the
+ * commit IO against the committing cgroup's budget and B stalls.
+ */
+struct InversionOutcome
+{
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    sim::Time p99 = 0;
+};
+
+InversionOutcome
+journalInversionRun(core::DebtMode mode)
+{
+    sim::Simulator sim(112);
+    auto device = std::make_unique<device::SsdModel>(
+        sim, device::oldGenSsd());
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, *device, tree);
+
+    core::IoCostConfig cfg;
+    cfg.model = core::CostModel::fromConfig(
+        profile::DeviceProfiler::profileSsd(device::oldGenSsd())
+            .model);
+    cfg.qos.vrateMin = 1.0;
+    cfg.qos.vrateMax = 1.0;
+    cfg.qos.readLatTarget = 1 * sim::kSec;
+    cfg.qos.writeLatTarget = 1 * sim::kSec;
+    cfg.debtMode = mode;
+    layer.setController(std::make_unique<core::IoCost>(cfg));
+
+    // Small transactions: the flooder's metadata stream triggers
+    // most commits itself (committer = flooder), which is where the
+    // charging policy bites.
+    fs::JournalConfig jcfg;
+    jcfg.maxTxnBytes = 1 << 20;
+    fs::Journal journal(sim, layer, jcfg);
+    const auto a = tree.create(cgroup::kRoot, "flooder", 100);
+    const auto b = tree.create(cgroup::kRoot, "innocent", 100);
+
+    // A overruns its budget with open-loop data writes (a deep
+    // throttled backlog builds in its iocost queue) and floods the
+    // journal with metadata.
+    workload::FioConfig flood;
+    flood.readFraction = 0.0;
+    flood.arrival = workload::Arrival::Rate;
+    flood.ratePerSec = 80000; // ~1.5x the device-wide 4k-write budget
+    workload::FioWorkload flood_job(sim, layer, a, flood);
+    flood_job.start();
+    sim::PeriodicTimer meta_flood(sim, 5 * sim::kMsec, [&] {
+        journal.logMetadata(a, 256 << 10); // 50 MB/s of metadata
+    });
+    meta_flood.start();
+
+    // B fsyncs a little metadata every 50ms.
+    InversionOutcome out;
+    stat::Histogram b_fsync;
+    sim::PeriodicTimer b_commits(sim, 50 * sim::kMsec, [&] {
+        journal.logMetadata(b, 4096);
+        const sim::Time t0 = sim.now();
+        ++out.issued;
+        journal.fsync(b, [&, t0] {
+            ++out.completed;
+            b_fsync.record(sim.now() - t0);
+        });
+    });
+    b_commits.start();
+
+    sim.runUntil(10 * sim::kSec);
+    out.p99 = b_fsync.count() ? b_fsync.quantile(0.99)
+                              : sim::kTimeNever;
+    return out;
+}
+
+TEST(Journal, DebtModePreventsCommitInversion)
+{
+    const InversionOutcome production =
+        journalInversionRun(core::DebtMode::Production);
+    const InversionOutcome inversion =
+        journalInversionRun(core::DebtMode::Inversion);
+
+    // Production: essentially every fsync completes, and fast.
+    EXPECT_GE(production.completed + 2, production.issued);
+    EXPECT_LT(production.p99, 200 * sim::kMsec);
+
+    // Inversion: commits charged against the flooder's exhausted
+    // budget stall the journal pipeline; innocent fsyncs pile up
+    // behind them and most never finish within the run.
+    EXPECT_LT(inversion.completed * 2, inversion.issued)
+        << "inversion should leave most fsyncs stuck behind the "
+           "flooder's throttled commit IO";
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the memory-management substrate: accounting, reclaim and
+ * swap IO attribution, page faults, OOM, and the debt-delay hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "core/iocost.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "mm/memory_manager.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace iocost;
+
+struct Stack
+{
+    sim::Simulator sim{31};
+    std::unique_ptr<device::SsdModel> device;
+    cgroup::CgroupTree tree;
+    std::unique_ptr<blk::BlockLayer> layer;
+    std::unique_ptr<mm::MemoryManager> mm;
+
+    explicit Stack(uint64_t total = 1ull << 30,
+                   uint64_t swap = 4ull << 30)
+    {
+        device = std::make_unique<device::SsdModel>(
+            sim, device::enterpriseSsd());
+        layer = std::make_unique<blk::BlockLayer>(sim, *device,
+                                                  tree);
+        mm::MemoryConfig cfg;
+        cfg.totalBytes = total;
+        cfg.swapBytes = swap;
+        mm = std::make_unique<mm::MemoryManager>(sim, *layer, cfg);
+    }
+};
+
+TEST(MemoryManager, AllocateUnderWatermarkIsImmediate)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "a");
+    bool done = false;
+    s.mm->allocate(cg, 100 << 20, [&] { done = true; });
+    EXPECT_TRUE(done) << "no reclaim needed, no stall";
+    EXPECT_EQ(s.mm->stats(cg).resident, 100u << 20);
+    EXPECT_EQ(s.mm->totalResident(), 100u << 20);
+}
+
+TEST(MemoryManager, FreeReleasesResidentThenSwap)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "a");
+    s.mm->allocate(cg, 50 << 20, [] {});
+    s.mm->free(cg, 20 << 20);
+    EXPECT_EQ(s.mm->stats(cg).resident, 30u << 20);
+    EXPECT_EQ(s.mm->totalResident(), 30u << 20);
+}
+
+TEST(MemoryManager, OvercommitTriggersSwapOutChargedToColdVictim)
+{
+    Stack s(1ull << 30);
+    const auto cold = s.tree.create(cgroup::kRoot, "cold");
+    const auto hot = s.tree.create(cgroup::kRoot, "hot");
+
+    // cold fills 80% and goes idle (lastTouch in the past).
+    s.mm->allocate(cold, 800ull << 20, [] {});
+    s.sim.runUntil(5 * sim::kSec);
+    // hot keeps touching a small set, then allocates past the
+    // watermark.
+    s.mm->allocate(hot, 100ull << 20, [] {});
+    bool done = false;
+    s.mm->touch(hot, 50ull << 20, [&] { done = true; });
+    s.sim.runUntil(6 * sim::kSec);
+    ASSERT_TRUE(done);
+
+    s.mm->allocate(hot, 200ull << 20, [] {});
+    s.sim.runUntil(8 * sim::kSec);
+
+    // Reclaim must have swapped mostly cold pages and charged the
+    // swap-out writes to the cold cgroup.
+    EXPECT_GT(s.mm->stats(cold).swapped, 0u);
+    EXPECT_GT(s.mm->stats(cold).swapOutBytes,
+              s.mm->stats(hot).swapOutBytes);
+    EXPECT_GT(s.layer->stats(cold).writeBytes, 0u);
+    // Under the high watermark again.
+    EXPECT_LE(s.mm->totalResident(),
+              static_cast<uint64_t>(0.995 * (1ull << 30)));
+}
+
+TEST(MemoryManager, TouchFaultsSwappedPagesViaReads)
+{
+    Stack s(1ull << 30);
+    const auto a = s.tree.create(cgroup::kRoot, "a");
+    const auto b = s.tree.create(cgroup::kRoot, "b");
+    s.mm->allocate(a, 900ull << 20, [] {});
+    s.sim.runUntil(3 * sim::kSec);
+    // b's allocation forces a's pages out.
+    s.mm->allocate(b, 300ull << 20, [] {});
+    s.sim.runUntil(6 * sim::kSec);
+    ASSERT_GT(s.mm->stats(a).swapped, 0u);
+
+    // a touches its memory: page-in reads charged to a.
+    const uint64_t reads_before = s.layer->stats(a).readBytes;
+    bool done = false;
+    s.mm->touch(a, 400ull << 20, [&] { done = true; });
+    s.sim.runUntil(9 * sim::kSec);
+    EXPECT_TRUE(done);
+    EXPECT_GT(s.layer->stats(a).readBytes, reads_before);
+    EXPECT_GT(s.mm->stats(a).pageInBytes, 0u);
+}
+
+TEST(MemoryManager, SwapExhaustionTriggersOomKill)
+{
+    Stack s(256ull << 20, /*swap=*/128ull << 20);
+    const auto hog = s.tree.create(cgroup::kRoot, "hog");
+    const auto small = s.tree.create(cgroup::kRoot, "small");
+
+    cgroup::CgroupId victim = cgroup::kNone;
+    s.mm->setOomHandler([&](cgroup::CgroupId cg) { victim = cg; });
+
+    s.mm->allocate(small, 10ull << 20, [] {});
+    // Keep allocating until memory + swap are exhausted.
+    for (int i = 0; i < 60; ++i) {
+        s.mm->allocate(hog, 8ull << 20, [] {});
+        s.sim.runUntil(s.sim.now() + 50 * sim::kMsec);
+        if (victim != cgroup::kNone)
+            break;
+    }
+    EXPECT_EQ(victim, hog) << "largest consumer gets killed";
+    EXPECT_EQ(s.mm->stats(hog).oomKills, 1u);
+    EXPECT_EQ(s.mm->stats(hog).resident, 0u);
+    EXPECT_EQ(s.mm->stats(hog).swapped, 0u);
+    // small survives (possibly partially swapped out, not killed).
+    EXPECT_GT(s.mm->stats(small).resident +
+                  s.mm->stats(small).swapped,
+              0u);
+    EXPECT_EQ(s.mm->stats(small).oomKills, 0u);
+}
+
+TEST(MemoryManager, KswapdReclaimsInBackground)
+{
+    Stack s(1ull << 30);
+    const auto a = s.tree.create(cgroup::kRoot, "a");
+    // Land between low (96%) and high (99%) watermarks: only kswapd
+    // acts.
+    bool stalled_done = false;
+    s.mm->allocate(a, 1000ull << 20, [&] { stalled_done = true; });
+    EXPECT_TRUE(stalled_done) << "no direct reclaim below high mark";
+    const uint64_t resident0 = s.mm->totalResident();
+    s.sim.runUntil(2 * sim::kSec);
+    EXPECT_LT(s.mm->totalResident(), resident0)
+        << "kswapd was expected to swap pages out";
+}
+
+TEST(MemoryManager, DebtDelayAppliedThroughController)
+{
+    // With IOCost installed and a large accumulated debt, an
+    // allocation by the debtor stalls at return-to-userspace.
+    sim::Simulator sim(32);
+    auto device = std::make_unique<device::SsdModel>(
+        sim, device::enterpriseSsd());
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, *device, tree);
+
+    core::IoCostConfig cfg;
+    core::LinearModelConfig slow;
+    slow.rbps = 100e6;
+    slow.rseqiops = 5000;
+    slow.rrandiops = 5000;
+    slow.wbps = 100e6;
+    slow.wseqiops = 5000;
+    slow.wrandiops = 5000;
+    cfg.model = core::CostModel::fromConfig(slow);
+    cfg.qos.vrateMin = 1.0;
+    cfg.qos.vrateMax = 1.0;
+    cfg.qos.debtThreshold = 1 * sim::kMsec;
+    layer.setController(std::make_unique<core::IoCost>(cfg));
+
+    mm::MemoryConfig mcfg;
+    mcfg.totalBytes = 1ull << 30;
+    mm::MemoryManager mm(sim, layer, mcfg);
+
+    const auto hog = tree.create(cgroup::kRoot, "hog");
+    const auto peer = tree.create(cgroup::kRoot, "peer");
+    (void)peer;
+
+    // Fill memory so further allocations force swap-outs charged to
+    // the hog (its own pages are the cold ones).
+    mm.allocate(hog, 1000ull << 20, [] {});
+    sim.runUntil(1 * sim::kSec);
+
+    // This allocation triggers direct reclaim of the hog's pages ->
+    // swap writes -> debt -> userspace delay.
+    bool done = false;
+    const sim::Time started = sim.now();
+    mm.allocate(hog, 64ull << 20, [&] { done = true; });
+    sim.runUntil(started + 1 * sim::kMsec);
+    EXPECT_FALSE(done) << "allocation should stall on debt";
+    sim.runUntil(started + 30 * sim::kSec);
+    EXPECT_TRUE(done);
+}
+
+} // namespace

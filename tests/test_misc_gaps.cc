@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Coverage for small paths not exercised elsewhere: histogram
+ * merging across resolutions, periodic-timer reconfiguration,
+ * cost-model formatting edge cases, and block-device name plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/config_parse.hh"
+#include "device/device_profiles.hh"
+#include "device/hdd_model.hh"
+#include "device/remote_model.hh"
+#include "device/ssd_model.hh"
+#include "sim/simulator.hh"
+#include "stat/histogram.hh"
+
+namespace {
+
+using namespace iocost;
+
+TEST(HistogramMerge, DifferentResolutionsReRecord)
+{
+    stat::Histogram coarse(3); // 8 sub-buckets
+    stat::Histogram fine(6);   // 64 sub-buckets
+    for (int i = 0; i < 1000; ++i)
+        fine.record(100000 + i * 17);
+    coarse.merge(fine);
+    EXPECT_EQ(coarse.count(), 1000u);
+    // Representative values land within the coarse resolution.
+    EXPECT_NEAR(static_cast<double>(coarse.quantile(0.5)), 108500,
+                108500 * 0.25);
+}
+
+TEST(HistogramMerge, EmptySourceIsNoOp)
+{
+    stat::Histogram a, b;
+    a.record(5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.minValue(), 5);
+}
+
+TEST(PeriodicTimerEdge, SetPeriodTakesEffectOnRearm)
+{
+    sim::Simulator sim;
+    std::vector<sim::Time> fires;
+    sim::PeriodicTimer timer(sim, 100, [&] {
+        fires.push_back(sim.now());
+    });
+    timer.start();
+    sim.runUntil(150);
+    timer.setPeriod(300);
+    EXPECT_EQ(timer.period(), 300);
+    sim.runUntil(1000);
+    ASSERT_GE(fires.size(), 3u);
+    EXPECT_EQ(fires[0], 100);
+    EXPECT_EQ(fires[1], 200); // already armed at the old period
+    EXPECT_EQ(fires[2], 500); // new period from there on
+}
+
+TEST(PeriodicTimerEdge, RestartAfterStop)
+{
+    sim::Simulator sim;
+    int fires = 0;
+    sim::PeriodicTimer timer(sim, 100, [&] { ++fires; });
+    timer.start();
+    sim.runUntil(250);
+    timer.stop();
+    EXPECT_FALSE(timer.running());
+    timer.start();
+    EXPECT_TRUE(timer.running());
+    sim.runUntil(600);
+    EXPECT_EQ(fires, 5); // 100,200 then 350,450,550
+}
+
+TEST(ConfigFormat, QosLineMatchesKernelShape)
+{
+    core::QosParams qos;
+    const std::string line = core::formatQosLine(qos);
+    // Kernel shape: enable=1 ctrl=user rpct=.. rlat=.. ...
+    EXPECT_EQ(line.rfind("enable=1 ctrl=user rpct=", 0), 0u)
+        << line;
+}
+
+TEST(Devices, ModelNamesPropagate)
+{
+    sim::Simulator sim(171);
+    device::SsdModel ssd(sim, device::fleetSsd('C'));
+    EXPECT_EQ(ssd.modelName(), "fleet-ssd-C");
+    device::HddModel hdd(sim, device::nearlineHdd());
+    EXPECT_EQ(hdd.modelName(), "nearline-hdd-7200rpm");
+    device::RemoteModel remote(sim, device::gcpBalanced());
+    EXPECT_EQ(remote.modelName(), "gcp-pd-balanced");
+}
+
+TEST(Devices, RemoteInFlightAccounting)
+{
+    sim::Simulator sim(172);
+    device::RemoteSpec spec = device::awsIo2();
+    spec.queueDepth = 3;
+    device::RemoteModel remote(sim, spec);
+    remote.setCompletionFn([](blk::BioPtr, sim::Time) {});
+    for (int i = 0; i < 3; ++i) {
+        blk::BioPtr bio =
+            blk::Bio::make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+        EXPECT_TRUE(remote.submit(bio));
+    }
+    blk::BioPtr overflow =
+        blk::Bio::make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+    EXPECT_FALSE(remote.submit(overflow));
+    EXPECT_EQ(remote.inFlight(), 3u);
+    sim.runAll();
+    EXPECT_EQ(remote.inFlight(), 0u);
+}
+
+} // namespace

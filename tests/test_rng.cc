@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG: reproducibility, bounds, and
+ * rough distribution sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using iocost::sim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(6);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(8);
+    bool seen[10] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[r.below(10)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const int64_t v = r.range(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(10);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng r(11);
+    double sum = 0, sumsq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(10.0, 3.0);
+        sum += v;
+        sumsq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, LogNormalMedianMatches)
+{
+    Rng r(12);
+    std::vector<double> vals;
+    const int n = 50001;
+    vals.reserve(n);
+    for (int i = 0; i < n; ++i)
+        vals.push_back(r.logNormal(100.0, 0.5));
+    std::nth_element(vals.begin(), vals.begin() + n / 2, vals.end());
+    EXPECT_NEAR(vals[n / 2], 100.0, 3.0);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_FALSE(r.chance(0.0));
+        ASSERT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic)
+{
+    Rng a(42);
+    Rng fork1 = a.fork();
+    Rng b(42);
+    Rng fork2 = b.fork();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(fork1(), fork2());
+}
+
+} // namespace

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Scenario regression tests: miniature versions of the paper's
+ * headline results, asserted as inequalities so refactors cannot
+ * silently un-reproduce a figure. Each runs in well under a second
+ * of wall time; the full-size versions live in bench/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "controllers/blk_throttle.hh"
+#include "core/iocost.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "host/host.hh"
+#include "profile/device_profiler.hh"
+#include "workload/fio_workload.hh"
+#include "workload/latency_server.hh"
+#include "workload/memory_hog.hh"
+
+namespace {
+
+using namespace iocost;
+
+host::HostOptions
+iocostOptions(const device::SsdSpec &spec)
+{
+    host::HostOptions opts;
+    opts.controller = "iocost";
+    opts.iocostConfig.model = core::CostModel::fromConfig(
+        profile::DeviceProfiler::profileSsd(spec).model);
+    opts.iocostConfig.qos.readLatTarget = 250 * sim::kUsec;
+    opts.iocostConfig.qos.writeLatTarget = 2 * sim::kMsec;
+    opts.iocostConfig.qos.period = 10 * sim::kMsec;
+    opts.iocostConfig.qos.vrateMin = 0.25;
+    opts.iocostConfig.qos.vrateMax = 1.0;
+    return opts;
+}
+
+/** Fig. 10 miniature: latency-governed pair at 2:1 under IOCost. */
+TEST(Scenario, Fig10ProportionalHeadline)
+{
+    sim::Simulator sim(3001);
+    const device::SsdSpec spec = device::oldGenSsd();
+    host::Host host(sim,
+                    std::make_unique<device::SsdModel>(sim, spec),
+                    iocostOptions(spec));
+    const auto hi = host.addWorkload("hi", 200);
+    const auto lo = host.addWorkload("lo", 100);
+    workload::FioConfig cfg;
+    cfg.arrival = workload::Arrival::LatencyGoverned;
+    cfg.latencyTarget = 200 * sim::kUsec;
+    workload::FioWorkload hij(sim, host.layer(), hi, cfg);
+    workload::FioWorkload loj(sim, host.layer(), lo, cfg);
+    hij.start();
+    loj.start();
+    sim.runUntil(3 * sim::kSec);
+    hij.resetStats();
+    loj.resetStats();
+    sim.runUntil(10 * sim::kSec);
+    EXPECT_NEAR(hij.iops() / loj.iops(), 2.0, 0.3);
+}
+
+/** Fig. 11 miniature: slack absorbed without hurting hi latency. */
+TEST(Scenario, Fig11WorkConservationHeadline)
+{
+    sim::Simulator sim(3002);
+    const device::SsdSpec spec = device::oldGenSsd();
+    host::Host host(sim,
+                    std::make_unique<device::SsdModel>(sim, spec),
+                    iocostOptions(spec));
+    const auto hi = host.addWorkload("hi", 200);
+    const auto lo = host.addWorkload("lo", 100);
+
+    workload::FioConfig hi_cfg;
+    hi_cfg.arrival = workload::Arrival::ThinkTime;
+    hi_cfg.thinkTime = 100 * sim::kUsec;
+    hi_cfg.iodepth = 1;
+    workload::FioWorkload hij(sim, host.layer(), hi, hi_cfg);
+    workload::FioConfig lo_cfg;
+    lo_cfg.arrival = workload::Arrival::LatencyGoverned;
+    lo_cfg.latencyTarget = 200 * sim::kUsec;
+    workload::FioWorkload loj(sim, host.layer(), lo, lo_cfg);
+    hij.start();
+    loj.start();
+    sim.runUntil(3 * sim::kSec);
+    hij.resetStats();
+    loj.resetStats();
+    sim.runUntil(10 * sim::kSec);
+
+    // lo soaks up far more than hi uses; hi keeps tight latency.
+    EXPECT_GT(loj.iops(), 4 * hij.iops());
+    EXPECT_GT(loj.iops(), 20000);
+    EXPECT_LT(hij.latency().mean(), 250e3);
+    EXPECT_LT(hij.latency().stddev(), 100e3);
+}
+
+/** Fig. 13 miniature: vrate doubles when the model is halved. */
+TEST(Scenario, Fig13VrateCompensatesModelError)
+{
+    sim::Simulator sim(3003);
+    const device::SsdSpec spec = device::newGenSsd();
+    host::HostOptions opts = iocostOptions(spec);
+    opts.iocostConfig.qos.readLatTarget = 250 * sim::kUsec;
+    opts.iocostConfig.qos.vrateMin = 0.25;
+    opts.iocostConfig.qos.vrateMax = 4.0;
+    host::Host host(sim,
+                    std::make_unique<device::SsdModel>(sim, spec),
+                    opts);
+    const auto cg = host.addWorkload("fio", 100);
+    workload::FioConfig cfg;
+    cfg.iodepth = 64;
+    workload::FioWorkload job(sim, host.layer(), cg, cfg);
+    job.start();
+    sim.runUntil(8 * sim::kSec);
+    const double vrate_before = host.iocost()->vrate();
+
+    core::CostModel halved = host.iocost()->model();
+    halved.scaleCapability(0.5);
+    host.iocost()->setModel(halved);
+    sim.runUntil(16 * sim::kSec);
+    const double vrate_after = host.iocost()->vrate();
+    EXPECT_NEAR(vrate_after / vrate_before, 2.0, 0.4);
+}
+
+/** Fig. 14 miniature: IOCost keeps a web server alive next to a
+ *  leak; blk-throttle-style static caps are not even needed. */
+TEST(Scenario, Fig14MemoryIsolationHeadline)
+{
+    auto run = [](const std::string &controller) {
+        sim::Simulator sim(3004);
+        const device::SsdSpec spec = device::oldGenSsd();
+        host::HostOptions opts = iocostOptions(spec);
+        opts.controller = controller;
+        opts.iocostConfig.qos.readLatTarget = 2 * sim::kMsec;
+        opts.iocostConfig.qos.vrateMin = 0.5;
+        opts.enableMemory = true;
+        opts.memoryConfig.totalBytes = 2ull << 30;
+        opts.memoryConfig.swapBytes = 8ull << 30;
+        opts.memoryConfig.chargeSwapToOwner =
+            controller == "iocost";
+        host::Host host(
+            sim, std::make_unique<device::SsdModel>(sim, spec),
+            opts);
+        const auto web_cg = host.addWorkload("web", 100);
+        const auto leak_cg = host.addSystemService("leak");
+
+        workload::LatencyServerConfig web_cfg;
+        web_cfg.offeredRps = 300;
+        web_cfg.workingSetBytes = 5ull << 28; // 1.25 GB of 2 GB
+        web_cfg.touchPerRequest = 1ull << 20;
+        web_cfg.readsPerRequest = 3;
+        web_cfg.readSize = 32 * 1024;
+        web_cfg.maxConcurrency = 48;
+        workload::LatencyServer web(sim, host.layer(), host.mm(),
+                                    web_cg, web_cfg);
+        workload::MemoryHogConfig leak_cfg;
+        leak_cfg.mode = workload::HogMode::Leak;
+        leak_cfg.leakBytesPerSec = 400e6;
+        workload::MemoryHog leaker(sim, host.mm(), leak_cg,
+                                   leak_cfg);
+        host.mm().setOomHandler([&](cgroup::CgroupId cg) {
+            if (cg == leak_cg)
+                leaker.notifyOomKilled();
+        });
+        web.prepare([&] {
+            web.start();
+            leaker.start();
+        });
+        sim.runUntil(5 * sim::kSec);
+        web.resetStats();
+        sim.runUntil(25 * sim::kSec);
+        return web.deliveredRps();
+    };
+    const double with_iocost = run("iocost");
+    const double with_mq = run("mq-deadline");
+    EXPECT_GT(with_iocost, 270) << "iocost retains the service";
+    EXPECT_GT(with_iocost, 1.5 * with_mq)
+        << "and beats an uncontrolled stack";
+}
+
+/** Fig. 16 miniature: blk-throttle melts under a snapshot burst
+ *  where iocost's work-conserving shares absorb it. */
+TEST(Scenario, Fig16SnapshotBurstHeadline)
+{
+    auto run = [](const std::string &controller) {
+        sim::Simulator sim(3005);
+        device::SsdSpec spec = device::enterpriseSsd();
+        spec.writeBufferBytes = 128ull << 20;
+        spec.sustainedWriteBps = 400e6;
+        host::HostOptions opts;
+        opts.controller = controller;
+        opts.iocostConfig.model = core::CostModel::fromConfig(
+            profile::DeviceProfiler::profileSsd(spec).model);
+        opts.iocostConfig.qos.writeLatTarget = 30 * sim::kMsec;
+        opts.iocostConfig.qos.vrateMax = 1.0;
+        host::Host host(
+            sim, std::make_unique<device::SsdModel>(sim, spec),
+            opts);
+        const auto svc = host.addWorkload("svc", 100);
+
+        if (controller == "blk-throttle") {
+            auto *thr = dynamic_cast<controllers::BlkThrottle *>(
+                host.layer().controller());
+            thr->setLimits(svc, {.wbps = 40e6});
+        }
+
+        // Steady small appends + one huge snapshot dump through the
+        // same cgroup; measure append p99 during the dump.
+        workload::FioConfig appends;
+        appends.arrival = workload::Arrival::Rate;
+        appends.ratePerSec = 50;
+        appends.readFraction = 0.0;
+        appends.randomFraction = 0.0;
+        appends.blockSize = 100 * 1024;
+        workload::FioWorkload append_job(sim, host.layer(), svc,
+                                         appends);
+        workload::FioConfig snapshot;
+        snapshot.iodepth = 2;
+        snapshot.readFraction = 0.0;
+        snapshot.randomFraction = 0.0;
+        snapshot.blockSize = 256 * 1024;
+        snapshot.offsetBase = 1ull << 40;
+        workload::FioWorkload snap_job(sim, host.layer(), svc,
+                                       snapshot);
+        append_job.start();
+        sim.runUntil(2 * sim::kSec);
+        append_job.resetStats();
+        snap_job.start();
+        sim.runUntil(12 * sim::kSec);
+        return append_job.latency().quantile(0.99);
+    };
+    const sim::Time iocost_p99 = run("iocost");
+    const sim::Time throttle_p99 = run("blk-throttle");
+    EXPECT_GT(throttle_p99, 10 * iocost_p99)
+        << "static caps strand the appends behind the dump";
+    EXPECT_LT(iocost_p99, 1 * sim::kSec);
+}
+
+/** Fig. 17 miniature: provisioned volume + leak, IOCost protects. */
+TEST(Scenario, Fig17RemoteProtectionHeadline)
+{
+    auto run = [](const std::string &controller) {
+        sim::Simulator sim(3006);
+        const device::RemoteSpec spec = device::awsGp3();
+        host::HostOptions opts;
+        opts.controller = controller;
+        opts.iocostConfig.model = core::CostModel::fromConfig(
+            profile::DeviceProfiler::profileRemote(spec).model);
+        opts.iocostConfig.qos.readLatTarget = 8 * spec.baseRtt;
+        opts.iocostConfig.qos.writeLatTarget = 12 * spec.baseRtt;
+        opts.iocostConfig.qos.debtThreshold = 5 * sim::kMsec;
+        opts.iocostConfig.qos.maxUserspaceDelay = 2 * sim::kSec;
+        opts.iocostConfig.qos.vrateMax = 1.0;
+        opts.enableMemory = true;
+        opts.memoryConfig.totalBytes = 2ull << 30;
+        opts.memoryConfig.chargeSwapToOwner =
+            controller == "iocost";
+        host::Host host(
+            sim,
+            std::make_unique<device::RemoteModel>(sim, spec),
+            opts);
+        const auto rcb_cg = host.addWorkload("rcb", 100);
+        const auto leak_cg = host.addSystemService("leak");
+        workload::LatencyServerConfig cfg;
+        cfg.offeredRps = 120;
+        cfg.workingSetBytes = 5ull << 28;
+        cfg.touchPerRequest = 1 << 20;
+        workload::LatencyServer rcb(sim, host.layer(), host.mm(),
+                                    rcb_cg, cfg);
+        workload::MemoryHogConfig leak_cfg;
+        leak_cfg.mode = workload::HogMode::Leak;
+        leak_cfg.leakBytesPerSec = 300e6;
+        workload::MemoryHog leaker(sim, host.mm(), leak_cg,
+                                   leak_cfg);
+        host.mm().setOomHandler([&](cgroup::CgroupId cg) {
+            if (cg == leak_cg)
+                leaker.notifyOomKilled();
+        });
+        rcb.prepare([&] {
+            rcb.start();
+            leaker.start();
+        });
+        sim.runUntil(5 * sim::kSec);
+        rcb.resetStats();
+        sim.runUntil(25 * sim::kSec);
+        return rcb.deliveredRps();
+    };
+    const double protected_rps = run("iocost");
+    const double exposed_rps = run("none");
+    EXPECT_GT(protected_rps, 100);
+    EXPECT_GT(protected_rps, 1.5 * exposed_rps);
+}
+
+} // namespace

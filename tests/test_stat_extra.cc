@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the remaining statistics utilities: rate meters, EWMA,
+ * and time series.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stat/meter.hh"
+#include "stat/time_series.hh"
+
+namespace {
+
+using namespace iocost;
+
+TEST(RateMeter, AveragesOverWindow)
+{
+    stat::RateMeter m;
+    m.start(0);
+    m.add(500);
+    EXPECT_DOUBLE_EQ(m.perSecond(500 * sim::kMsec), 1000.0);
+    m.add(500);
+    EXPECT_DOUBLE_EQ(m.perSecond(1 * sim::kSec), 1000.0);
+}
+
+TEST(RateMeter, RestartResetsCount)
+{
+    stat::RateMeter m;
+    m.start(0);
+    m.add(100);
+    m.start(1 * sim::kSec);
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.perSecond(1 * sim::kSec), 0.0);
+}
+
+TEST(Ewma, ConvergesToStepInput)
+{
+    stat::Ewma e(100 * sim::kMsec);
+    e.sample(0, 0.0);
+    for (int i = 1; i <= 50; ++i)
+        e.sample(i * 100 * sim::kMsec, 10.0);
+    EXPECT_NEAR(e.value(), 10.0, 0.1);
+}
+
+TEST(Ewma, TimeConstantGovernsResponse)
+{
+    stat::Ewma fast(10 * sim::kMsec);
+    stat::Ewma slow(1 * sim::kSec);
+    fast.sample(0, 0.0);
+    slow.sample(0, 0.0);
+    fast.sample(50 * sim::kMsec, 1.0);
+    slow.sample(50 * sim::kMsec, 1.0);
+    EXPECT_GT(fast.value(), slow.value());
+    // One tau => ~63%.
+    stat::Ewma tau(50 * sim::kMsec);
+    tau.sample(0, 0.0);
+    tau.sample(50 * sim::kMsec, 1.0);
+    EXPECT_NEAR(tau.value(), 0.63, 0.03);
+}
+
+TEST(Ewma, SameInstantSamplesAverage)
+{
+    stat::Ewma e(100);
+    e.sample(5, 2.0);
+    e.sample(5, 4.0);
+    EXPECT_NEAR(e.value(), 3.0, 1e-9);
+}
+
+TEST(TimeSeries, RecordsAndSummarizes)
+{
+    stat::TimeSeries s("x");
+    s.record(0, 1.0);
+    s.record(1, 3.0);
+    s.record(2, 5.0);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.maxValue(), 5.0);
+    EXPECT_EQ(s.name(), "x");
+}
+
+TEST(TimeSeries, DownsampleAverages)
+{
+    stat::TimeSeries s("y");
+    for (int i = 0; i < 100; ++i)
+        s.record(i, static_cast<double>(i));
+    const auto d = s.downsample(10);
+    EXPECT_LE(d.size(), 10u);
+    // Overall mean preserved by chunked averaging.
+    EXPECT_NEAR(d.mean(), s.mean(), 1.0);
+}
+
+TEST(TimeSeries, DownsampleNoOpWhenSmall)
+{
+    stat::TimeSeries s("z");
+    s.record(0, 1.0);
+    const auto d = s.downsample(10);
+    EXPECT_EQ(d.size(), 1u);
+}
+
+} // namespace

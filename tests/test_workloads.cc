@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for the workload generators: fio arrival modes, the
+ * latency-governed AIMD behaviour, the latency server's shedding
+ * and memory coupling, and the memory hogs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "mm/memory_manager.hh"
+#include "sim/simulator.hh"
+#include "workload/fio_workload.hh"
+#include "workload/latency_server.hh"
+#include "workload/memory_hog.hh"
+
+namespace {
+
+using namespace iocost;
+
+struct Stack
+{
+    sim::Simulator sim{51};
+    std::unique_ptr<device::SsdModel> device;
+    cgroup::CgroupTree tree;
+    std::unique_ptr<blk::BlockLayer> layer;
+    std::unique_ptr<mm::MemoryManager> mm;
+
+    Stack()
+    {
+        device = std::make_unique<device::SsdModel>(
+            sim, device::newGenSsd());
+        layer = std::make_unique<blk::BlockLayer>(sim, *device,
+                                                  tree);
+        mm::MemoryConfig mcfg;
+        mcfg.totalBytes = 1ull << 30;
+        mm = std::make_unique<mm::MemoryManager>(sim, *layer,
+                                                 mcfg);
+    }
+};
+
+TEST(FioWorkload, RateModeHitsConfiguredRate)
+{
+    Stack s;
+    workload::FioConfig cfg;
+    cfg.arrival = workload::Arrival::Rate;
+    cfg.ratePerSec = 2000;
+    workload::FioWorkload job(s.sim, *s.layer, cgroup::kRoot, cfg);
+    job.start();
+    s.sim.runUntil(5 * sim::kSec);
+    EXPECT_NEAR(job.iops(), 2000, 120);
+}
+
+TEST(FioWorkload, SaturatingKeepsDepth)
+{
+    Stack s;
+    workload::FioConfig cfg;
+    cfg.iodepth = 16;
+    workload::FioWorkload job(s.sim, *s.layer, cgroup::kRoot, cfg);
+    job.start();
+    s.sim.runUntil(1 * sim::kSec);
+    // Throughput ~= depth / latency; with ~16 IOs over ~100us
+    // service on 24 channels the job must stay device-latency bound.
+    EXPECT_GT(job.iops(), 50000);
+    job.stop();
+    const uint64_t done = job.completed();
+    s.sim.runUntil(2 * sim::kSec);
+    EXPECT_LE(job.completed(), done + 16) << "stop() halts issuing";
+}
+
+TEST(FioWorkload, ThinkTimeBoundsRate)
+{
+    Stack s;
+    workload::FioConfig cfg;
+    cfg.arrival = workload::Arrival::ThinkTime;
+    cfg.thinkTime = 1 * sim::kMsec;
+    cfg.iodepth = 1;
+    workload::FioWorkload job(s.sim, *s.layer, cgroup::kRoot, cfg);
+    job.start();
+    s.sim.runUntil(5 * sim::kSec);
+    // Rate <= 1/(think + service).
+    EXPECT_LT(job.iops(), 1000);
+    EXPECT_GT(job.iops(), 500);
+}
+
+TEST(FioWorkload, WriteFractionRespected)
+{
+    Stack s;
+    workload::FioConfig cfg;
+    cfg.readFraction = 0.25;
+    cfg.iodepth = 16;
+    workload::FioWorkload job(s.sim, *s.layer, cgroup::kRoot, cfg);
+    job.start();
+    s.sim.runUntil(2 * sim::kSec);
+    const auto &st = s.layer->stats(cgroup::kRoot);
+    const double read_frac =
+        static_cast<double>(st.reads) / (st.reads + st.writes);
+    EXPECT_NEAR(read_frac, 0.25, 0.05);
+}
+
+TEST(FioWorkload, OffsetBaseSeparatesRegions)
+{
+    Stack s;
+    workload::FioConfig cfg;
+    cfg.randomFraction = 0.0;
+    cfg.iodepth = 1;
+    cfg.offsetBase = 1ull << 40;
+    cfg.spanBytes = 1 << 20;
+    bool checked = false;
+    workload::FioWorkload job(s.sim, *s.layer, cgroup::kRoot, cfg);
+    // Inspect offsets through the completion callback path.
+    s.layer->submit(blk::Bio::make(
+        blk::Op::Read, 0, 4096, cgroup::kRoot,
+        [&](const blk::Bio &) { checked = true; }));
+    job.start();
+    s.sim.runUntil(100 * sim::kMsec);
+    EXPECT_TRUE(checked);
+    EXPECT_GT(job.completed(), 0u);
+}
+
+TEST(FioWorkload, LatencyGovernedBacksOffUnderSlowDevice)
+{
+    // On the slow HDD-like latency regime, the governor must keep
+    // concurrency near 1 instead of queueing unboundedly.
+    sim::Simulator sim(52);
+    device::SsdSpec spec = device::oldGenSsd();
+    spec.readBaseRand = 5 * sim::kMsec; // very slow
+    spec.channels = 2;
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+
+    workload::FioConfig cfg;
+    cfg.arrival = workload::Arrival::LatencyGoverned;
+    cfg.latencyTarget = 200 * sim::kUsec;
+    cfg.governMaxDepth = 32;
+    workload::FioWorkload job(sim, layer, cgroup::kRoot, cfg);
+    job.start();
+    sim.runUntil(10 * sim::kSec);
+    // p50 far above target -> shed to depth ~1 -> rate ~= 1/svc.
+    EXPECT_LT(job.iops(), 260);
+}
+
+TEST(FioWorkload, LatencyGovernedExpandsOnFastDevice)
+{
+    Stack s;
+    workload::FioConfig cfg;
+    cfg.arrival = workload::Arrival::LatencyGoverned;
+    cfg.latencyTarget = 2 * sim::kMsec; // generous
+    cfg.governMaxDepth = 32;
+    workload::FioWorkload job(s.sim, *s.layer, cgroup::kRoot, cfg);
+    job.start();
+    s.sim.runUntil(10 * sim::kSec);
+    // Should grow to the depth cap and saturate accordingly.
+    EXPECT_GT(job.iops(), 100000);
+}
+
+TEST(LatencyServer, DeliversOfferedLoadWhenHealthy)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "srv");
+    workload::LatencyServerConfig cfg;
+    cfg.offeredRps = 200;
+    cfg.workingSetBytes = 64ull << 20;
+    cfg.touchPerRequest = 1 << 20;
+    workload::LatencyServer srv(s.sim, *s.layer, *s.mm, cg, cfg);
+    bool ready = false;
+    srv.prepare([&] {
+        ready = true;
+        srv.start();
+    });
+    s.sim.runUntil(10 * sim::kSec);
+    EXPECT_TRUE(ready);
+    EXPECT_NEAR(srv.deliveredRps(), 200, 25);
+    EXPECT_EQ(srv.shed(), 0u);
+}
+
+TEST(LatencyServer, ShedsAboveConcurrencyCap)
+{
+    // A tiny concurrency cap with slow requests must shed.
+    sim::Simulator sim(53);
+    device::SsdSpec spec = device::oldGenSsd();
+    spec.readBaseRand = 20 * sim::kMsec;
+    spec.channels = 1;
+    device::SsdModel device(sim, spec);
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+    mm::MemoryConfig mcfg;
+    mcfg.totalBytes = 1ull << 30;
+    mm::MemoryManager mm(sim, layer, mcfg);
+
+    const auto cg = tree.create(cgroup::kRoot, "srv");
+    workload::LatencyServerConfig cfg;
+    cfg.offeredRps = 500;
+    cfg.workingSetBytes = 16ull << 20;
+    cfg.maxConcurrency = 2;
+    cfg.readsPerRequest = 4;
+    workload::LatencyServer srv(sim, layer, mm, cg, cfg);
+    srv.prepare([&] { srv.start(); });
+    sim.runUntil(5 * sim::kSec);
+    EXPECT_GT(srv.shed(), 100u);
+}
+
+TEST(LatencyServer, WorkingSetGrowsWithLoad)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "srv");
+    workload::LatencyServerConfig cfg;
+    cfg.offeredRps = 100;
+    cfg.workingSetBytes = 32ull << 20;
+    cfg.workingSetGrowthPerRps = 1 << 20; // +100 MB at 100 rps
+    workload::LatencyServer srv(s.sim, *s.layer, *s.mm, cg, cfg);
+    srv.prepare([&] { srv.start(); });
+    s.sim.runUntil(10 * sim::kSec);
+    EXPECT_GT(s.mm->stats(cg).resident, 100ull << 20);
+}
+
+TEST(MemoryHog, LeakGrowsResident)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "leak");
+    workload::MemoryHogConfig cfg;
+    cfg.mode = workload::HogMode::Leak;
+    cfg.leakBytesPerSec = 64e6;
+    workload::MemoryHog hog(s.sim, *s.mm, cg, cfg);
+    hog.start();
+    s.sim.runUntil(5 * sim::kSec);
+    EXPECT_NEAR(static_cast<double>(hog.allocated()), 320e6,
+                40e6);
+    hog.stop();
+    const uint64_t at_stop = hog.allocated();
+    s.sim.runUntil(10 * sim::kSec);
+    EXPECT_LE(hog.allocated(), at_stop + (8ull << 20));
+}
+
+TEST(MemoryHog, LeakRestartsAfterOomKill)
+{
+    sim::Simulator sim(54);
+    auto device = std::make_unique<device::SsdModel>(
+        sim, device::enterpriseSsd());
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, *device, tree);
+    mm::MemoryConfig mcfg;
+    mcfg.totalBytes = 256ull << 20;
+    mcfg.swapBytes = 256ull << 20;
+    mm::MemoryManager mm(sim, layer, mcfg);
+
+    const auto cg = tree.create(cgroup::kRoot, "leak");
+    workload::MemoryHogConfig cfg;
+    cfg.mode = workload::HogMode::Leak;
+    cfg.leakBytesPerSec = 256e6;
+    workload::MemoryHog hog(sim, mm, cg, cfg);
+    mm.setOomHandler(
+        [&](cgroup::CgroupId victim) {
+            if (victim == cg)
+                hog.notifyOomKilled();
+        });
+    hog.start();
+    sim.runUntil(30 * sim::kSec);
+    EXPECT_GE(hog.kills(), 2u) << "leak-kill-restart cycle";
+}
+
+TEST(MemoryHog, StressKeepsWorkingSetHot)
+{
+    Stack s;
+    const auto cg = s.tree.create(cgroup::kRoot, "stress");
+    workload::MemoryHogConfig cfg;
+    cfg.mode = workload::HogMode::Stress;
+    cfg.workingSetBytes = 128ull << 20;
+    cfg.touchChunk = 8ull << 20;
+    cfg.touchInterval = 5 * sim::kMsec;
+    workload::MemoryHog hog(s.sim, *s.mm, cg, cfg);
+    hog.start();
+    s.sim.runUntil(5 * sim::kSec);
+    EXPECT_EQ(s.mm->stats(cg).resident, 128ull << 20);
+    // lastTouch tracks recent activity.
+    EXPECT_GT(s.mm->stats(cg).lastTouch,
+              s.sim.now() - 100 * sim::kMsec);
+}
+
+} // namespace

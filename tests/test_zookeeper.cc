@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the ZooKeeper-like cluster workload: placement,
+ * quorum-write semantics, snapshot jitter, group commit, and
+ * violation tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "blk/block_layer.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "host/host.hh"
+#include "sim/simulator.hh"
+#include "workload/zookeeper.hh"
+
+namespace {
+
+using namespace iocost;
+
+struct Cluster
+{
+    sim::Simulator sim{61};
+    std::vector<std::unique_ptr<host::Host>> hosts;
+    std::vector<blk::BlockLayer *> layers;
+    std::vector<cgroup::CgroupId> parents;
+    std::unique_ptr<workload::ZkCluster> zk;
+
+    explicit Cluster(workload::ZkConfig cfg, unsigned n_hosts = 3)
+    {
+        for (unsigned h = 0; h < n_hosts; ++h) {
+            host::HostOptions opts;
+            opts.controller = "none";
+            hosts.push_back(std::make_unique<host::Host>(
+                sim,
+                std::make_unique<device::SsdModel>(
+                    sim, device::enterpriseSsd()),
+                opts));
+            layers.push_back(&hosts.back()->layer());
+            parents.push_back(hosts.back()->workload());
+        }
+        zk = std::make_unique<workload::ZkCluster>(
+            sim, layers, parents, cfg);
+    }
+};
+
+workload::ZkConfig
+smallConfig()
+{
+    workload::ZkConfig cfg;
+    cfg.ensembles = 2;
+    cfg.participantsPerEnsemble = 3;
+    cfg.readsPerSec = 100;
+    cfg.writesPerSec = 20;
+    cfg.payloadBytes = 32 * 1024;
+    cfg.noisyEnsemble = UINT32_MAX;
+    cfg.snapshotEveryTxns = 0; // off unless the test wants them
+    cfg.window = 1 * sim::kSec;
+    return cfg;
+}
+
+TEST(ZkCluster, ParticipantsLandOnDistinctHosts)
+{
+    Cluster c(smallConfig());
+    // Every host got participant cgroups from both ensembles, and
+    // within an ensemble all hosts are distinct -> with 3 hosts and
+    // 3 participants each host holds exactly one per ensemble.
+    for (unsigned h = 0; h < 3; ++h) {
+        std::set<std::string> names;
+        for (auto cg : c.layers[h]->cgroups().allIds()) {
+            const auto &name = c.layers[h]->cgroups().name(cg);
+            if (name.rfind("zk-", 0) == 0)
+                names.insert(name);
+        }
+        EXPECT_EQ(names.size(), 2u) << "host " << h;
+    }
+}
+
+TEST(ZkCluster, ServesReadsAndWrites)
+{
+    Cluster c(smallConfig());
+    c.zk->start();
+    c.sim.runUntil(20 * sim::kSec);
+    c.zk->stop();
+    const auto &st = c.zk->ensembleStats(0);
+    EXPECT_NEAR(static_cast<double>(st.reads), 2000, 300);
+    EXPECT_NEAR(static_cast<double>(st.writes), 400, 100);
+    EXPECT_GT(st.readLatency.count(), 0u);
+    EXPECT_GT(st.writeLatency.count(), 0u);
+    // Quorum writes include at least one log append round trip.
+    EXPECT_GT(st.writeLatency.quantile(0.5), 50 * sim::kUsec);
+}
+
+TEST(ZkCluster, SnapshotsTriggerAndJitter)
+{
+    workload::ZkConfig cfg = smallConfig();
+    cfg.snapshotEveryTxns = 100;
+    cfg.snapshotBytes = 16ull << 20;
+    Cluster c(cfg);
+    c.zk->start();
+    c.sim.runUntil(60 * sim::kSec);
+    c.zk->stop();
+    // ~20 writes/s -> ~1200 txns per participant -> ~12 snapshots
+    // per participant, 3 participants per ensemble.
+    const auto &st = c.zk->ensembleStats(0);
+    EXPECT_GT(st.snapshots, 15u);
+    EXPECT_LT(st.snapshots, 60u);
+}
+
+TEST(ZkCluster, ViolationTrackingCountsEpisodes)
+{
+    // Force violations by making the device absurdly slow.
+    workload::ZkConfig cfg = smallConfig();
+    cfg.sloTarget = 1 * sim::kMsec; // unattainable with 100KB logs
+    cfg.payloadBytes = 1 << 20;
+    Cluster c(cfg);
+    c.zk->start();
+    c.sim.runUntil(10 * sim::kSec);
+    c.zk->stop();
+    const auto &st = c.zk->ensembleStats(0);
+    ASSERT_GE(st.violations.size(), 1u);
+    for (const auto &v : st.violations) {
+        EXPECT_GT(v.duration, 0);
+        EXPECT_GT(v.worstP99, cfg.sloTarget);
+    }
+}
+
+TEST(ZkCluster, WellBehavedAggregateExcludesNoisy)
+{
+    workload::ZkConfig cfg = smallConfig();
+    cfg.noisyEnsemble = 1;
+    Cluster c(cfg);
+    c.zk->start();
+    c.sim.runUntil(5 * sim::kSec);
+    c.zk->stop();
+    auto agg = c.zk->wellBehavedAggregate();
+    const auto &e0 = c.zk->ensembleStats(0);
+    EXPECT_EQ(agg.reads, e0.reads);
+    EXPECT_EQ(agg.writes, e0.writes);
+}
+
+} // namespace

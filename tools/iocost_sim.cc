@@ -1,0 +1,268 @@
+/**
+ * @file
+ * iocost_sim — command-line scenario driver.
+ *
+ * Assembles a host (device + controller + cgroup hierarchy), runs a
+ * set of fio-style jobs described on the command line, and prints
+ * per-job throughput/latency plus controller state. Accepts kernel-
+ * format io.cost.model / io.cost.qos strings, so configurations can
+ * be copied verbatim from (or to) a real machine.
+ *
+ * Usage:
+ *   iocost_sim [--device oldgen|newgen|enterprise|hdd|gp3|io2|
+ *               pd-balanced|pd-ssd]
+ *              [--controller none|mq-deadline|kyber|bfq|
+ *               blk-throttle|iolatency|iocost]
+ *              [--model "<io.cost.model line>"]   (default: profile)
+ *              [--qos "<io.cost.qos line>"]
+ *              [--seconds N] [--seed N]
+ *              [--job name:weight=W:depth=D:bs=B:rw=read|write|mixed
+ *                         :pattern=rand|seq[:rate=R]] ...
+ *
+ * Example:
+ *   iocost_sim --device oldgen --controller iocost --seconds 10 \
+ *     --job web:weight=200:depth=32 --job batch:weight=100:depth=32
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config_parse.hh"
+#include "device/device_profiles.hh"
+#include "device/hdd_model.hh"
+#include "device/remote_model.hh"
+#include "device/ssd_model.hh"
+#include "host/host.hh"
+#include "profile/device_profiler.hh"
+#include "sim/logging.hh"
+#include "workload/fio_workload.hh"
+
+namespace {
+
+using namespace iocost;
+
+struct JobSpec
+{
+    std::string name = "job";
+    uint32_t weight = 100;
+    workload::FioConfig fio;
+};
+
+/** Parse "name:key=value:..." into a JobSpec. */
+JobSpec
+parseJob(const std::string &arg)
+{
+    JobSpec job;
+    size_t pos = 0;
+    bool first = true;
+    while (pos <= arg.size()) {
+        const size_t colon = arg.find(':', pos);
+        const std::string part =
+            arg.substr(pos, colon == std::string::npos
+                                ? std::string::npos
+                                : colon - pos);
+        if (first) {
+            job.name = part;
+            first = false;
+        } else {
+            const size_t eq = part.find('=');
+            if (eq == std::string::npos)
+                sim::fatal("bad job attribute: " + part);
+            const std::string key = part.substr(0, eq);
+            const std::string value = part.substr(eq + 1);
+            if (key == "weight") {
+                job.weight =
+                    static_cast<uint32_t>(std::stoul(value));
+            } else if (key == "depth") {
+                job.fio.iodepth =
+                    static_cast<unsigned>(std::stoul(value));
+            } else if (key == "bs") {
+                job.fio.blockSize =
+                    static_cast<uint32_t>(std::stoul(value));
+            } else if (key == "rw") {
+                job.fio.readFraction = value == "read"    ? 1.0
+                                       : value == "write" ? 0.0
+                                                          : 0.5;
+            } else if (key == "pattern") {
+                job.fio.randomFraction =
+                    value == "seq" ? 0.0 : 1.0;
+            } else if (key == "rate") {
+                job.fio.arrival = workload::Arrival::Rate;
+                job.fio.ratePerSec = std::stod(value);
+            } else {
+                sim::fatal("unknown job key: " + key);
+            }
+        }
+        if (colon == std::string::npos)
+            break;
+        pos = colon + 1;
+    }
+    return job;
+}
+
+std::unique_ptr<blk::BlockDevice>
+makeDevice(const std::string &name, sim::Simulator &sim,
+           core::LinearModelConfig &model_out)
+{
+    auto ssd = [&](const device::SsdSpec &spec) {
+        model_out =
+            profile::DeviceProfiler::profileSsd(spec).model;
+        return std::make_unique<device::SsdModel>(sim, spec);
+    };
+    if (name == "oldgen")
+        return ssd(device::oldGenSsd());
+    if (name == "newgen")
+        return ssd(device::newGenSsd());
+    if (name == "enterprise")
+        return ssd(device::enterpriseSsd());
+    if (name == "hdd") {
+        model_out = profile::DeviceProfiler::profileHdd(
+                        device::nearlineHdd())
+                        .model;
+        return std::make_unique<device::HddModel>(
+            sim, device::nearlineHdd());
+    }
+    const device::RemoteSpec *remote = nullptr;
+    static const device::RemoteSpec gp3 = device::awsGp3();
+    static const device::RemoteSpec io2 = device::awsIo2();
+    static const device::RemoteSpec pdb = device::gcpBalanced();
+    static const device::RemoteSpec pds = device::gcpSsd();
+    if (name == "gp3")
+        remote = &gp3;
+    else if (name == "io2")
+        remote = &io2;
+    else if (name == "pd-balanced")
+        remote = &pdb;
+    else if (name == "pd-ssd")
+        remote = &pds;
+    if (remote) {
+        model_out =
+            profile::DeviceProfiler::profileRemote(*remote).model;
+        return std::make_unique<device::RemoteModel>(sim, *remote);
+    }
+    sim::fatal("unknown device: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string device_name = "newgen";
+    std::string controller = "iocost";
+    std::string model_line, qos_line;
+    double seconds = 10.0;
+    uint64_t seed = 42;
+    std::vector<JobSpec> jobs;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                sim::fatal(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--device") {
+            device_name = next();
+        } else if (arg == "--controller") {
+            controller = next();
+        } else if (arg == "--model") {
+            model_line = next();
+        } else if (arg == "--qos") {
+            qos_line = next();
+        } else if (arg == "--seconds") {
+            seconds = std::stod(next());
+        } else if (arg == "--seed") {
+            seed = std::stoull(next());
+        } else if (arg == "--job") {
+            jobs.push_back(parseJob(next()));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header of tools/iocost_sim.cc\n");
+            return 0;
+        } else {
+            sim::fatal("unknown flag: " + arg);
+        }
+    }
+    if (jobs.empty()) {
+        jobs.push_back(parseJob("web:weight=200:depth=32"));
+        jobs.push_back(parseJob("batch:weight=100:depth=32"));
+    }
+
+    sim::Simulator sim(seed);
+    core::LinearModelConfig model;
+    auto device = makeDevice(device_name, sim, model);
+
+    if (!model_line.empty()) {
+        const auto parsed = core::parseModelLine(model_line);
+        if (!parsed)
+            sim::fatal("bad --model line");
+        model = *parsed;
+    }
+
+    host::HostOptions opts;
+    opts.controller = controller;
+    opts.iocostConfig.model = core::CostModel::fromConfig(model);
+    opts.iocostConfig.qos.vrateMin = 0.5;
+    opts.iocostConfig.qos.vrateMax = 1.0;
+    if (!qos_line.empty()) {
+        const auto parsed = core::parseQosLine(qos_line);
+        if (!parsed)
+            sim::fatal("bad --qos line");
+        opts.iocostConfig.qos = *parsed;
+    }
+
+    host::Host host(sim, std::move(device), opts);
+
+    std::printf("device=%s controller=%s seconds=%.1f seed=%llu\n",
+                device_name.c_str(), controller.c_str(), seconds,
+                static_cast<unsigned long long>(seed));
+    std::printf("io.cost.model: %s\n",
+                core::formatModelLine(model).c_str());
+    if (controller == "iocost") {
+        std::printf("io.cost.qos:   %s\n",
+                    core::formatQosLine(opts.iocostConfig.qos)
+                        .c_str());
+    }
+
+    std::vector<std::unique_ptr<workload::FioWorkload>> running;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        JobSpec &spec = jobs[j];
+        const auto cg = host.addWorkload(spec.name, spec.weight);
+        // Keep jobs in disjoint regions (separate files).
+        spec.fio.offsetBase = j << 40;
+        running.push_back(std::make_unique<workload::FioWorkload>(
+            sim, host.layer(), cg, spec.fio));
+        running.back()->start();
+    }
+
+    // Warmup 10%, then measure.
+    const auto warmup =
+        static_cast<sim::Time>(0.1 * seconds * sim::kSec);
+    sim.runUntil(warmup);
+    for (auto &job : running)
+        job->resetStats();
+    sim.runUntil(warmup + static_cast<sim::Time>(
+                              seconds * sim::kSec));
+
+    std::printf("\n%-12s %8s %10s %10s %10s %10s\n", "job",
+                "weight", "IOPS", "MB/s", "p50", "p99");
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const auto &job = *running[j];
+        std::printf(
+            "%-12s %8u %10.0f %10.1f %8.0fus %8.0fus\n",
+            jobs[j].name.c_str(), jobs[j].weight, job.iops(),
+            job.iops() * jobs[j].fio.blockSize / 1e6,
+            sim::toMicros(job.latency().quantile(0.5)),
+            sim::toMicros(job.latency().quantile(0.99)));
+    }
+    if (auto *ioc = host.iocost()) {
+        std::printf("\nvrate: %.0f%%  (planning period %.0fms)\n",
+                    100.0 * ioc->vrate(),
+                    sim::toMillis(ioc->period()));
+    }
+    return 0;
+}
