@@ -74,13 +74,19 @@ class EventQueue
     /**
      * Schedule a callback at an absolute simulated time.
      *
-     * @param when Absolute firing time; must be >= now().
+     * @param when Absolute firing time; values before now() are
+     *             clamped to now() (time is monotonic).
      * @param cb Callback to invoke.
      * @return Handle usable to cancel the event.
      */
     EventHandle
     scheduleAt(Time when, EventCallback cb)
     {
+        // The clock never runs backwards: a past firing time would
+        // silently reorder against events already executed, so clamp
+        // it to the present.
+        if (when < now_)
+            when = now_;
         auto alive = std::make_shared<bool>(true);
         heap_.push(Entry{when, nextSeq_++, alive, std::move(cb)});
         return EventHandle(std::move(alive));
@@ -123,7 +129,10 @@ class EventQueue
         prune();
         if (heap_.empty())
             return false;
-        Entry e = heap_.top();
+        // Move, don't copy: the comparator only reads when/seq, so a
+        // moved-from top is safe to pop, and the callback (plus the
+        // tombstone control block) is not duplicated per event.
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
         heap_.pop();
         *e.alive = false;
         now_ = e.when;

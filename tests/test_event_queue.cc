@@ -125,6 +125,40 @@ TEST(EventQueue, EventsScheduledDuringRunAllExecute)
     EXPECT_EQ(q.now(), 4);
 }
 
+TEST(EventQueue, PastScheduleTimeClampsToNow)
+{
+    EventQueue q;
+    std::vector<Time> fired;
+    q.scheduleAt(100, [&] {
+        // Asks for the past; must run at now(), not rewind time.
+        q.scheduleAt(40, [&] { fired.push_back(q.now()); });
+        q.scheduleAfter(-60, [&] { fired.push_back(q.now()); });
+    });
+    q.scheduleAt(120, [&] { fired.push_back(q.now()); });
+    q.runAll();
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], 100);
+    EXPECT_EQ(fired[1], 100);
+    EXPECT_EQ(fired[2], 120);
+    EXPECT_EQ(q.now(), 120);
+}
+
+TEST(EventQueue, ClockIsMonotoneThroughClampedEvents)
+{
+    EventQueue q;
+    Time last = -1;
+    bool monotone = true;
+    for (int i = 0; i < 64; ++i) {
+        q.scheduleAt(i % 7, [&] {
+            if (q.now() < last)
+                monotone = false;
+            last = q.now();
+        });
+        q.step();
+    }
+    EXPECT_TRUE(monotone);
+}
+
 TEST(Simulator, ForkedRngsDiffer)
 {
     Simulator sim(7);
