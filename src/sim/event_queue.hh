@@ -2,35 +2,54 @@
  * @file
  * Discrete-event queue.
  *
- * The event queue is the heart of the simulation kernel: a priority
- * queue of (time, sequence, callback) triples. Ties in time are broken
- * by insertion order so that the simulation is fully deterministic.
- * Events can be cancelled via the EventHandle returned at scheduling
- * time; cancellation is O(1) (a tombstone flag) and the queue skips
- * dead events lazily when they reach the top of the heap.
+ * The event queue is the heart of the simulation kernel: a binary
+ * min-heap of (time, sequence) keys over a pool of event slots. Ties
+ * in time break by insertion order so the simulation is fully
+ * deterministic.
+ *
+ * Hot-path design (every scheduled event in every run pays these
+ * costs):
+ *
+ * - Callbacks are `InlineCallback`s: lambdas up to 48 bytes live in
+ *   the slot itself, so scheduling performs no heap allocation
+ *   (the seed kernel paid a `make_shared<bool>` tombstone plus a
+ *   possible `std::function` allocation per event).
+ * - Slots are recycled through a free list and carry a generation
+ *   counter. An EventHandle is (queue, slot, generation); cancel and
+ *   pending() are O(1) generation compares, and a recycled slot
+ *   invalidates stale handles automatically.
+ * - Heap entries are 24-byte PODs (time, seq, slot, generation), so
+ *   sift operations move trivially-copyable values and never touch
+ *   the callbacks.
+ * - Cancellation destroys the callback eagerly (releasing whatever
+ *   it captured) and leaves a dead heap entry that is skipped —
+ *   detected by generation mismatch — when it surfaces.
  */
 
 #ifndef IOCOST_SIM_EVENT_QUEUE_HH
 #define IOCOST_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/time.hh"
 
 namespace iocost::sim {
 
 /** Callback type invoked when an event fires. */
-using EventCallback = std::function<void()>;
+using EventCallback = InlineCallback;
+
+class EventQueue;
 
 /**
  * Cancellation handle for a scheduled event.
  *
- * Copies share the underlying tombstone, so any copy may cancel. A
- * default-constructed handle refers to no event and is inert.
+ * Copies refer to the same slot generation, so any copy may cancel.
+ * A default-constructed handle refers to no event and is inert. A
+ * handle must not be used after its EventQueue is destroyed (the
+ * Simulator outlives every component by contract, so this only
+ * constrains code that owns an EventQueue directly).
  */
 class EventHandle
 {
@@ -38,35 +57,29 @@ class EventHandle
     EventHandle() = default;
 
     /** Cancel the event if it has not fired yet. */
-    void
-    cancel()
-    {
-        if (alive_)
-            *alive_ = false;
-    }
+    void cancel();
 
     /** @return true if the handle refers to a not-yet-fired event. */
-    bool
-    pending() const
-    {
-        return alive_ && *alive_;
-    }
+    bool pending() const;
 
   private:
     friend class EventQueue;
 
-    explicit EventHandle(std::shared_ptr<bool> alive)
-        : alive_(std::move(alive))
+    EventHandle(EventQueue *queue, uint32_t slot, uint32_t gen)
+        : queue_(queue), slot_(slot), gen_(gen)
     {}
 
-    std::shared_ptr<bool> alive_;
+    EventQueue *queue_ = nullptr;
+    uint32_t slot_ = 0;
+    uint32_t gen_ = 0;
 };
 
 /**
  * Deterministic discrete-event priority queue.
  *
  * Not thread safe: the entire simulation is single threaded by design
- * (see DESIGN.md, "Deterministic DES").
+ * (see DESIGN.md, "Deterministic DES"). The parallel fleet runner
+ * gets its concurrency from one private EventQueue per host-day.
  */
 class EventQueue
 {
@@ -87,9 +100,11 @@ class EventQueue
         // it to the present.
         if (when < now_)
             when = now_;
-        auto alive = std::make_shared<bool>(true);
-        heap_.push(Entry{when, nextSeq_++, alive, std::move(cb)});
-        return EventHandle(std::move(alive));
+        const uint32_t slot = acquireSlot(std::move(cb));
+        const uint32_t gen = slots_[slot].gen;
+        heap_.push_back(HeapEntry{when, nextSeq_++, slot, gen});
+        siftUp(heap_.size() - 1);
+        return EventHandle(this, slot, gen);
     }
 
     /** Schedule a callback a relative delay from now. */
@@ -115,7 +130,7 @@ class EventQueue
     nextEventTime()
     {
         prune();
-        return heap_.empty() ? kTimeNever : heap_.top().when;
+        return heap_.empty() ? kTimeNever : heap_.front().when;
     }
 
     /**
@@ -129,14 +144,15 @@ class EventQueue
         prune();
         if (heap_.empty())
             return false;
-        // Move, don't copy: the comparator only reads when/seq, so a
-        // moved-from top is safe to pop, and the callback (plus the
-        // tombstone control block) is not duplicated per event.
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        *e.alive = false;
+        const HeapEntry e = heap_.front();
+        popTop();
+        // Move the callback out and recycle the slot *before*
+        // invoking: the callback may schedule (growing the pool) or
+        // query its own handle (which must read not-pending, like
+        // the seed kernel's tombstone-before-invoke).
+        EventCallback cb = releaseSlot(e.slot);
         now_ = e.when;
-        e.cb();
+        cb();
         return true;
     }
 
@@ -171,37 +187,153 @@ class EventQueue
     }
 
   private:
-    struct Entry
+    friend class EventHandle;
+
+    /** Heap key: trivially copyable, 24 bytes, sifted by value. */
+    struct HeapEntry
     {
         Time when;
         uint64_t seq;
-        std::shared_ptr<bool> alive;
-        EventCallback cb;
+        uint32_t slot;
+        uint32_t gen;
     };
 
-    struct Later
+    /** Pooled event state; address-stable storage for the callback
+     *  while the POD heap entries shuffle above it. */
+    struct Slot
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        EventCallback cb;
+        /** Bumped on every release; stale handles and heap entries
+         *  carry the old value and read as dead. */
+        uint32_t gen = 0;
+        uint32_t nextFree = kNoFree;
     };
 
-    /** Drop cancelled entries sitting at the top of the heap. */
+    static constexpr uint32_t kNoFree = UINT32_MAX;
+
+    static bool
+    earlier(const HeapEntry &a, const HeapEntry &b)
+    {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+
+    /** @return true if the entry's slot generation is still live. */
+    bool
+    live(const HeapEntry &e) const
+    {
+        return slots_[e.slot].gen == e.gen;
+    }
+
+    uint32_t
+    acquireSlot(EventCallback cb)
+    {
+        if (freeHead_ == kNoFree) {
+            slots_.emplace_back();
+            slots_.back().cb = std::move(cb);
+            return static_cast<uint32_t>(slots_.size() - 1);
+        }
+        const uint32_t slot = freeHead_;
+        freeHead_ = slots_[slot].nextFree;
+        slots_[slot].cb = std::move(cb);
+        return slot;
+    }
+
+    /** Retire a live slot: bump its generation (invalidating every
+     *  outstanding reference) and return its callback. */
+    EventCallback
+    releaseSlot(uint32_t slot)
+    {
+        Slot &s = slots_[slot];
+        EventCallback cb = std::move(s.cb);
+        s.cb.reset();
+        ++s.gen;
+        s.nextFree = freeHead_;
+        freeHead_ = slot;
+        return cb;
+    }
+
+    /** O(1) cancel: validate the generation, retire the slot. The
+     *  heap entry stays behind and is skipped when it surfaces. */
+    bool
+    cancelSlot(uint32_t slot, uint32_t gen)
+    {
+        if (slot >= slots_.size() || slots_[slot].gen != gen)
+            return false;
+        releaseSlot(slot);
+        return true;
+    }
+
+    bool
+    slotPending(uint32_t slot, uint32_t gen) const
+    {
+        return slot < slots_.size() && slots_[slot].gen == gen;
+    }
+
+    /** Drop dead entries sitting at the top of the heap. */
     void
     prune()
     {
-        while (!heap_.empty() && !*heap_.top().alive)
-            heap_.pop();
+        while (!heap_.empty() && !live(heap_.front()))
+            popTop();
     }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    void
+    siftUp(std::size_t i)
+    {
+        const HeapEntry e = heap_[i];
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!earlier(e, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
+    }
+
+    /** Remove the root, restoring the heap property. */
+    void
+    popTop()
+    {
+        const HeapEntry last = heap_.back();
+        heap_.pop_back();
+        const std::size_t n = heap_.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        for (;;) {
+            std::size_t kid = 2 * i + 1;
+            if (kid >= n)
+                break;
+            if (kid + 1 < n && earlier(heap_[kid + 1], heap_[kid]))
+                ++kid;
+            if (!earlier(heap_[kid], last))
+                break;
+            heap_[i] = heap_[kid];
+            i = kid;
+        }
+        heap_[i] = last;
+    }
+
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> slots_;
+    uint32_t freeHead_ = kNoFree;
     Time now_ = 0;
     uint64_t nextSeq_ = 0;
 };
+
+inline void
+EventHandle::cancel()
+{
+    if (queue_)
+        queue_->cancelSlot(slot_, gen_);
+}
+
+inline bool
+EventHandle::pending() const
+{
+    return queue_ && queue_->slotPending(slot_, gen_);
+}
 
 } // namespace iocost::sim
 

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Small-buffer-optimized callback for the simulation hot path.
+ *
+ * The event queue schedules tens of millions of callbacks per run;
+ * `std::function` pays a heap allocation for any capture larger than
+ * its (small) internal buffer plus RTTI-driven dispatch.
+ * InlineCallback stores callables up to kInlineBytes directly in the
+ * object — enough for every lambda the simulator schedules (a couple
+ * of pointers and a few scalars) — and only falls back to the heap
+ * for oversized captures. Dispatch is two function-pointer tables,
+ * no RTTI, no exception machinery.
+ *
+ * Move-only by design: events are scheduled exactly once, so copying
+ * a callback is always a bug (it was also the seed kernel's main
+ * per-event cost, see EventQueue::step()).
+ */
+
+#ifndef IOCOST_SIM_INLINE_CALLBACK_HH
+#define IOCOST_SIM_INLINE_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iocost::sim {
+
+/**
+ * Type-erased void() callable with inline storage.
+ *
+ * Invoking an empty InlineCallback is undefined (like std::function
+ * it would be a kernel bug; the event queue never does).
+ */
+class InlineCallback
+{
+  public:
+    /** Captures up to this many bytes are stored without allocating. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    InlineCallback() = default;
+
+    /** Wrap any void() callable. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            vtable_ = &kInlineVtable<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage_) =
+                new Fn(std::forward<F>(fn));
+            vtable_ = &kHeapVtable<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+        : vtable_(other.vtable_)
+    {
+        if (vtable_) {
+            vtable_->relocate(storage_, other.storage_);
+            other.vtable_ = nullptr;
+        }
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            vtable_ = other.vtable_;
+            if (vtable_) {
+                vtable_->relocate(storage_, other.storage_);
+                other.vtable_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** Destroy the held callable, leaving the wrapper empty. */
+    void
+    reset()
+    {
+        if (vtable_) {
+            vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    /** Invoke; requires a held callable. */
+    void operator()() { vtable_->invoke(storage_); }
+
+    /** @return true if a callable is held. */
+    explicit operator bool() const { return vtable_ != nullptr; }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *);
+        /** Move-construct into dst from src; src is destroyed. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static constexpr VTable kInlineVtable = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) {
+            std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr VTable kHeapVtable = {
+        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        [](void *dst, void *src) {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        [](void *p) { delete *reinterpret_cast<Fn **>(p); },
+    };
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const VTable *vtable_ = nullptr;
+};
+
+} // namespace iocost::sim
+
+#endif // IOCOST_SIM_INLINE_CALLBACK_HH

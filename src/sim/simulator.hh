@@ -121,16 +121,28 @@ class PeriodicTimer
     bool running() const { return running_; }
 
   private:
-    void
-    arm()
+    /**
+     * Pointer-sized re-arm thunk: always stored inline in the event
+     * slot, so a running timer never allocates. The callback itself
+     * is wrapped exactly once (in cb_) for the timer's lifetime —
+     * the seed kernel re-wrapped it in a fresh closure every period.
+     */
+    struct Tick
     {
-        pending_ = sim_.after(period_, [this] {
-            if (!running_)
-                return;
-            cb_();
-            if (running_)
-                arm();
-        });
+        PeriodicTimer *timer;
+        void operator()() { timer->fire(); }
+    };
+
+    void arm() { pending_ = sim_.after(period_, Tick{this}); }
+
+    void
+    fire()
+    {
+        if (!running_)
+            return;
+        cb_();
+        if (running_)
+            arm();
     }
 
     Simulator &sim_;

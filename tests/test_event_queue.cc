@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 #include "sim/simulator.hh"
 
 namespace {
@@ -157,6 +158,78 @@ TEST(EventQueue, ClockIsMonotoneThroughClampedEvents)
         q.step();
     }
     EXPECT_TRUE(monotone);
+}
+
+TEST(EventQueue, StaleHandleDoesNotCancelRecycledSlot)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle a = q.scheduleAt(1, [&] { ++fired; });
+    q.runAll(); // a's slot is released and goes to the free list
+    EventHandle b = q.scheduleAt(2, [&] { ++fired; });
+    EXPECT_FALSE(a.pending());
+    a.cancel(); // stale generation: must not touch b's slot
+    EXPECT_TRUE(b.pending());
+    q.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelledSlotReuseKeepsOldHandleDead)
+{
+    EventQueue q;
+    int fired = 0;
+    EventHandle a = q.scheduleAt(10, [&] { ++fired; });
+    a.cancel();
+    EventHandle b = q.scheduleAt(10, [&] { ++fired; });
+    a.cancel(); // double cancel through a stale handle
+    EXPECT_FALSE(a.pending());
+    EXPECT_TRUE(b.pending());
+    q.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StressScheduleCancelRunWithSlotReuse)
+{
+    // Randomized schedule/cancel/step mix with full bookkeeping:
+    // every event must either fire exactly once or be cancelled
+    // while pending, never both, across heavy slot recycling.
+    EventQueue q;
+    Rng rng(20260805);
+
+    const int kEvents = 20000;
+    std::vector<int> fired(kEvents, 0);
+    std::vector<char> cancelled(kEvents, 0);
+    std::vector<EventHandle> handles(kEvents);
+
+    for (int i = 0; i < kEvents; ++i) {
+        handles[i] = q.scheduleAfter(
+            static_cast<Time>(rng.below(500)),
+            [&fired, i] { ++fired[i]; });
+        // Cancel a random earlier event a third of the time; it may
+        // already have fired or been cancelled (both must be inert).
+        if (i % 3 == 0) {
+            const int victim =
+                static_cast<int>(rng.below(static_cast<uint64_t>(i + 1)));
+            if (handles[victim].pending()) {
+                handles[victim].cancel();
+                cancelled[victim] = 1;
+            }
+        }
+        // Drain a little as we go so slots recycle continuously.
+        if (i % 7 == 0)
+            q.step();
+    }
+    q.runAll();
+
+    for (int i = 0; i < kEvents; ++i) {
+        if (cancelled[i])
+            EXPECT_EQ(fired[i], 0) << "cancelled event " << i << " fired";
+        else
+            EXPECT_EQ(fired[i], 1) << "event " << i << " fired " << fired[i];
+        EXPECT_FALSE(handles[i].pending());
+        handles[i].cancel(); // stale cancels must all be no-ops
+    }
+    EXPECT_TRUE(q.empty());
 }
 
 TEST(Simulator, ForkedRngsDiffer)
