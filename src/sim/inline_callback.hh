@@ -46,18 +46,24 @@ class InlineCallback
                   !std::is_same_v<std::decay_t<F>, InlineCallback>>>
     InlineCallback(F &&fn) // NOLINT: implicit like std::function
     {
-        using Fn = std::decay_t<F>;
-        if constexpr (sizeof(Fn) <= kInlineBytes &&
-                      alignof(Fn) <= alignof(std::max_align_t) &&
-                      std::is_nothrow_move_constructible_v<Fn>) {
-            ::new (static_cast<void *>(storage_))
-                Fn(std::forward<F>(fn));
-            vtable_ = &kInlineVtable<Fn>;
-        } else {
-            *reinterpret_cast<Fn **>(storage_) =
-                new Fn(std::forward<F>(fn));
-            vtable_ = &kHeapVtable<Fn>;
-        }
+        emplace(std::forward<F>(fn));
+    }
+
+    /**
+     * Assign a callable in place — no intermediate InlineCallback,
+     * so the hot scheduling path constructs the capture directly in
+     * its final storage (the event slot) instead of relocating it
+     * through a temporary.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+    InlineCallback &
+    operator=(F &&fn)
+    {
+        reset();
+        emplace(std::forward<F>(fn));
+        return *this;
     }
 
     InlineCallback(InlineCallback &&other) noexcept
@@ -101,16 +107,52 @@ class InlineCallback
     /** Invoke; requires a held callable. */
     void operator()() { vtable_->invoke(storage_); }
 
+    /**
+     * Move the callable out of the wrapper, then invoke it — a
+     * single dispatch instead of relocate+invoke+destroy. The
+     * wrapper is empty and its storage reusable *before* the
+     * callable runs, so the event queue can recycle the slot and the
+     * callable can safely reschedule into it (even if the slot pool
+     * reallocates underneath). Requires a held callable.
+     */
+    void
+    consumeInvoke()
+    {
+        const VTable *vt = vtable_;
+        vtable_ = nullptr;
+        vt->consume(storage_);
+    }
+
     /** @return true if a callable is held. */
     explicit operator bool() const { return vtable_ != nullptr; }
 
   private:
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            vtable_ = &kInlineVtable<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage_) =
+                new Fn(std::forward<F>(fn));
+            vtable_ = &kHeapVtable<Fn>;
+        }
+    }
+
     struct VTable
     {
         void (*invoke)(void *);
         /** Move-construct into dst from src; src is destroyed. */
         void (*relocate)(void *dst, void *src);
         void (*destroy)(void *);
+        /** Vacate src, then run the callable (see consumeInvoke). */
+        void (*consume)(void *src);
     };
 
     template <typename Fn>
@@ -124,6 +166,12 @@ class InlineCallback
         [](void *p) {
             std::launder(reinterpret_cast<Fn *>(p))->~Fn();
         },
+        [](void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            Fn local(std::move(*s));
+            s->~Fn();
+            local();
+        },
     };
 
     template <typename Fn>
@@ -134,6 +182,13 @@ class InlineCallback
                 *reinterpret_cast<Fn **>(src);
         },
         [](void *p) { delete *reinterpret_cast<Fn **>(p); },
+        [](void *src) {
+            // The callable lives on the heap, not in src: reading
+            // the pointer already vacates the wrapper's storage.
+            Fn *p = *reinterpret_cast<Fn **>(src);
+            (*p)();
+            delete p;
+        },
     };
 
     alignas(std::max_align_t) unsigned char storage_[kInlineBytes];

@@ -42,18 +42,20 @@ class Simulator
     /** The event queue. */
     EventQueue &events() { return events_; }
 
-    /** Schedule @p cb to run @p delay from now. */
+    /** Schedule @p fn to run @p delay from now. */
+    template <typename F>
     EventHandle
-    after(Time delay, EventCallback cb)
+    after(Time delay, F &&fn)
     {
-        return events_.scheduleAfter(delay, std::move(cb));
+        return events_.scheduleAfter(delay, std::forward<F>(fn));
     }
 
-    /** Schedule @p cb at absolute time @p when. */
+    /** Schedule @p fn at absolute time @p when. */
+    template <typename F>
     EventHandle
-    at(Time when, EventCallback cb)
+    at(Time when, F &&fn)
     {
-        return events_.scheduleAt(when, std::move(cb));
+        return events_.scheduleAt(when, std::forward<F>(fn));
     }
 
     /** Run the simulation until simulated time @p until. */
