@@ -9,12 +9,33 @@
 #define IOCOST_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "sim/time.hh"
 
 namespace iocost::bench {
+
+/**
+ * Parse `--jobs N` for the fleet benches. Default 0 = one worker per
+ * hardware thread (fleet results are byte-identical for any value).
+ * The worker count goes to stderr so stdout stays diffable across
+ * job counts.
+ */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    std::fprintf(stderr, "jobs=%u%s\n", jobs,
+                 jobs == 0 ? " (auto)" : "");
+    return jobs;
+}
 
 /** Print a banner naming the reproduced figure/table. */
 inline void

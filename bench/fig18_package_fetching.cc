@@ -15,7 +15,7 @@
 #include "fleet/fleet_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iocost;
 
@@ -28,7 +28,10 @@ main()
 
     fleet::FleetConfig cfg;
     cfg.seed = 1818;
-    const auto days = fleet::FleetSim::run(cfg);
+    // Results are byte-identical for any --jobs value; the default
+    // uses every hardware thread.
+    const unsigned jobs = bench::jobsFromArgs(argc, argv);
+    const auto days = fleet::FleetSim::run(cfg, jobs);
 
     bench::Table table({"Day", "Fleet on IOCost", "Fetches",
                         "Failures", "Failure rate"});

@@ -13,7 +13,7 @@
 #include "fleet/fleet_sim.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iocost;
 
@@ -26,7 +26,10 @@ main()
 
     fleet::FleetConfig cfg;
     cfg.seed = 1919;
-    const auto days = fleet::FleetSim::run(cfg);
+    // Results are byte-identical for any --jobs value; the default
+    // uses every hardware thread.
+    const unsigned jobs = bench::jobsFromArgs(argc, argv);
+    const auto days = fleet::FleetSim::run(cfg, jobs);
 
     bench::Table table({"Day", "Fleet on IOCost", "Cleanups",
                         "Failures", "Failure rate"});

@@ -1,6 +1,9 @@
 #include "fleet/fleet_sim.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "controllers/io_latency.hh"
 #include "core/iocost.hh"
@@ -211,21 +214,80 @@ FleetSim::runHostDay(const std::string &controller, int host_kind,
 }
 
 std::vector<FleetDayResult>
-FleetSim::run(const FleetConfig &cfg)
+FleetSim::run(const FleetConfig &cfg, unsigned jobs)
 {
+    const uint64_t total =
+        static_cast<uint64_t>(cfg.days) * cfg.hosts;
+    if (jobs == 0)
+        jobs = std::max(1u, std::thread::hardware_concurrency());
+    if (total > 0 && jobs > total)
+        jobs = static_cast<unsigned>(total);
+
+    // Phase 1: every host-day slice runs against its own private
+    // Simulator with a seed derived only from (cfg.seed, day, host),
+    // so slices are order- and thread-independent.
+    std::vector<HostDayOutcome> outcomes(total);
+    auto slice = [&](uint64_t idx) {
+        const unsigned day = static_cast<unsigned>(idx / cfg.hosts);
+        const unsigned h = static_cast<unsigned>(idx % cfg.hosts);
+        const bool on_iocost = day >= migrationDay(h, cfg);
+        const uint64_t seed =
+            cfg.seed * 1000003ull + day * 10007ull + h;
+        outcomes[idx] = runHostDay(
+            on_iocost ? "iocost" : "iolatency",
+            static_cast<int>(h % 2), seed, cfg);
+    };
+
+    if (jobs <= 1) {
+        for (uint64_t i = 0; i < total; ++i)
+            slice(i);
+    } else {
+        // Warm the shared device-profile cache up front so workers
+        // do not all serialize on its mutex for the first profile —
+        // but only for host kinds that actually reach IOCost (the
+        // IOLatency side never profiles).
+        bool kind_on_iocost[2] = {false, false};
+        for (unsigned h = 0; h < cfg.hosts; ++h) {
+            if (cfg.days > migrationDay(h, cfg))
+                kind_on_iocost[h % 2] = true;
+        }
+        if (kind_on_iocost[0])
+            profile::DeviceProfiler::profileSsd(device::oldGenSsd());
+        if (kind_on_iocost[1])
+            profile::DeviceProfiler::profileSsd(device::newGenSsd());
+
+        std::atomic<uint64_t> next{0};
+        auto worker = [&] {
+            for (;;) {
+                const uint64_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= total)
+                    return;
+                slice(i);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs - 1);
+        for (unsigned t = 0; t + 1 < jobs; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &t : pool)
+            t.join();
+    }
+
+    // Phase 2: reduce in (day, host) order. The reduction is the
+    // only place results meet, so the output is byte-identical to
+    // the sequential run regardless of jobs.
     std::vector<FleetDayResult> out;
+    out.reserve(cfg.days);
     for (unsigned day = 0; day < cfg.days; ++day) {
         FleetDayResult r;
         r.day = day;
         unsigned migrated = 0;
         for (unsigned h = 0; h < cfg.hosts; ++h) {
-            const bool on_iocost = day >= migrationDay(h, cfg);
-            migrated += on_iocost ? 1 : 0;
-            const uint64_t seed =
-                cfg.seed * 1000003ull + day * 10007ull + h;
-            const HostDayOutcome o = runHostDay(
-                on_iocost ? "iocost" : "iolatency",
-                static_cast<int>(h % 2), seed, cfg);
+            migrated += day >= migrationDay(h, cfg) ? 1 : 0;
+            const HostDayOutcome &o =
+                outcomes[static_cast<uint64_t>(day) * cfg.hosts + h];
             ++r.fetchAttempts;
             ++r.cleanupAttempts;
             r.fetchFailures += o.fetchFailed ? 1 : 0;

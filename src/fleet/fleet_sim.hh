@@ -103,8 +103,20 @@ class FleetSim
                                      int host_kind, uint64_t seed,
                                      const FleetConfig &cfg);
 
-    /** Run the full migration study. */
-    static std::vector<FleetDayResult> run(const FleetConfig &cfg);
+    /**
+     * Run the full migration study.
+     *
+     * Host-day slices are fully independent (each owns a private
+     * Simulator whose seed derives from (cfg.seed, day, host)), so
+     * they are fanned out across @p jobs worker threads and reduced
+     * in (day, host) order. The result is byte-identical to the
+     * sequential run for any jobs value.
+     *
+     * @param jobs Worker threads; 1 = sequential in the calling
+     *             thread, 0 = one per hardware thread.
+     */
+    static std::vector<FleetDayResult> run(const FleetConfig &cfg,
+                                           unsigned jobs = 1);
 
     /** Day a given host migrates (staggered across the window). */
     static unsigned migrationDay(unsigned host,

@@ -73,6 +73,13 @@ cache()
 const ProfileResult &
 cachedProfile(const std::string &name, const DeviceFactory &factory)
 {
+    // The parallel fleet runner profiles devices from worker
+    // threads; the cache is shared process state. Profiling runs a
+    // private Simulator seeded per dimension, so holding the lock
+    // across it is deterministic (map references stay stable across
+    // later inserts, so returning a reference is safe).
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = cache().find(name);
     if (it == cache().end()) {
         it = cache()

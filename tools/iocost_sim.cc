@@ -19,6 +19,11 @@
  *              [--job name:weight=W:depth=D:bs=B:rw=read|write|mixed
  *                         :pattern=rand|seq[:rate=R]] ...
  *
+ * Fleet mode runs the §4.8 migration Monte-Carlo instead of a single
+ * host, fanned out across worker threads (results are byte-identical
+ * for any --jobs value):
+ *   iocost_sim --fleet [--hosts N] [--days N] [--jobs N] [--seed N]
+ *
  * Example:
  *   iocost_sim --device oldgen --controller iocost --seconds 10 \
  *     --job web:weight=200:depth=32 --job batch:weight=100:depth=32
@@ -36,6 +41,7 @@
 #include "device/hdd_model.hh"
 #include "device/remote_model.hh"
 #include "device/ssd_model.hh"
+#include "fleet/fleet_sim.hh"
 #include "host/host.hh"
 #include "profile/device_profiler.hh"
 #include "sim/logging.hh"
@@ -158,6 +164,9 @@ main(int argc, char **argv)
     double seconds = 10.0;
     uint64_t seed = 42;
     std::vector<JobSpec> jobs;
+    bool fleet_mode = false;
+    fleet::FleetConfig fleet_cfg;
+    unsigned fleet_jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -180,12 +189,39 @@ main(int argc, char **argv)
             seed = std::stoull(next());
         } else if (arg == "--job") {
             jobs.push_back(parseJob(next()));
+        } else if (arg == "--fleet") {
+            fleet_mode = true;
+        } else if (arg == "--hosts") {
+            fleet_cfg.hosts =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--days") {
+            fleet_cfg.days =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--jobs") {
+            fleet_jobs =
+                static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--help" || arg == "-h") {
             std::printf("see the header of tools/iocost_sim.cc\n");
             return 0;
         } else {
             sim::fatal("unknown flag: " + arg);
         }
+    }
+    if (fleet_mode) {
+        fleet_cfg.seed = seed;
+        std::printf("fleet: hosts=%u days=%u jobs=%u seed=%llu\n",
+                    fleet_cfg.hosts, fleet_cfg.days, fleet_jobs,
+                    static_cast<unsigned long long>(seed));
+        const auto days_out =
+            fleet::FleetSim::run(fleet_cfg, fleet_jobs);
+        std::printf("%5s %10s %10s %10s\n", "day", "on-iocost",
+                    "fetchfail", "cleanfail");
+        for (const auto &d : days_out) {
+            std::printf("%5u %9.0f%% %10u %10u\n", d.day,
+                        100.0 * d.fractionOnIoCost,
+                        d.fetchFailures, d.cleanupFailures);
+        }
+        return 0;
     }
     if (jobs.empty()) {
         jobs.push_back(parseJob("web:weight=200:depth=32"));
