@@ -57,14 +57,14 @@ run(bool erratic)
     opts.controller = "iocost";
     // Both devices run the *consistent* profile's model — the
     // operator cannot model the hiccups (that is the point).
-    opts.iocostConfig.model = core::CostModel::fromConfig(
+    opts.controller.iocost.model = core::CostModel::fromConfig(
         profile::DeviceProfiler::profileSsd(device::newGenSsd())
             .model);
-    opts.iocostConfig.qos.readLatTarget = 500 * sim::kUsec;
-    opts.iocostConfig.qos.writeLatTarget = 2 * sim::kMsec;
-    opts.iocostConfig.qos.period = 10 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.25;
-    opts.iocostConfig.qos.vrateMax = 1.0;
+    opts.controller.iocost.qos.readLatTarget = 500 * sim::kUsec;
+    opts.controller.iocost.qos.writeLatTarget = 2 * sim::kMsec;
+    opts.controller.iocost.qos.period = 10 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.25;
+    opts.controller.iocost.qos.vrateMax = 1.0;
 
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),

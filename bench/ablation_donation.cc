@@ -40,12 +40,12 @@ run(bool donation, double light_rate)
     host::HostOptions opts;
     opts.controller = "iocost";
     const auto &prof = profile::DeviceProfiler::profileSsd(spec);
-    opts.iocostConfig.model =
+    opts.controller.iocost.model =
         core::CostModel::fromConfig(prof.model);
-    opts.iocostConfig.qos.period = 10 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 1.0;
-    opts.iocostConfig.qos.vrateMax = 1.0; // pinned: isolate donation
-    opts.iocostConfig.donationEnabled = donation;
+    opts.controller.iocost.qos.period = 10 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 1.0;
+    opts.controller.iocost.qos.vrateMax = 1.0; // pinned: isolate donation
+    opts.controller.iocost.donationEnabled = donation;
 
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),

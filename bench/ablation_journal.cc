@@ -45,13 +45,13 @@ run(const std::string &controller, core::DebtMode mode)
 
     host::HostOptions opts;
     opts.controller = controller;
-    opts.iocostConfig.model = core::CostModel::fromConfig(
+    opts.controller.iocost.model = core::CostModel::fromConfig(
         profile::DeviceProfiler::profileSsd(spec).model);
-    opts.iocostConfig.qos.vrateMin = 1.0;
-    opts.iocostConfig.qos.vrateMax = 1.0;
-    opts.iocostConfig.qos.readLatTarget = 1 * sim::kSec;
-    opts.iocostConfig.qos.writeLatTarget = 1 * sim::kSec;
-    opts.iocostConfig.debtMode = mode;
+    opts.controller.iocost.qos.vrateMin = 1.0;
+    opts.controller.iocost.qos.vrateMax = 1.0;
+    opts.controller.iocost.qos.readLatTarget = 1 * sim::kSec;
+    opts.controller.iocost.qos.writeLatTarget = 1 * sim::kSec;
+    opts.controller.iocost.debtMode = mode;
 
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),

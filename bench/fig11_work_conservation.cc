@@ -45,13 +45,13 @@ run(const std::string &mechanism)
     host::HostOptions opts;
     opts.controller = mechanism;
     const auto &prof = profile::DeviceProfiler::profileSsd(spec);
-    opts.iocostConfig.model =
+    opts.controller.iocost.model =
         core::CostModel::fromConfig(prof.model);
-    opts.iocostConfig.qos.readLatTarget = 250 * sim::kUsec;
-    opts.iocostConfig.qos.writeLatTarget = 2 * sim::kMsec;
-    opts.iocostConfig.qos.period = 10 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.25;
-    opts.iocostConfig.qos.vrateMax = 1.0;
+    opts.controller.iocost.qos.readLatTarget = 250 * sim::kUsec;
+    opts.controller.iocost.qos.writeLatTarget = 2 * sim::kMsec;
+    opts.controller.iocost.qos.period = 10 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.25;
+    opts.controller.iocost.qos.vrateMax = 1.0;
 
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),

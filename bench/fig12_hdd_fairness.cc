@@ -56,13 +56,13 @@ run(const std::string &mechanism, bool hi_random, bool lo_random,
     opts.controller = mechanism;
     const auto &prof =
         profile::DeviceProfiler::profileHdd(device::nearlineHdd());
-    opts.iocostConfig.model =
+    opts.controller.iocost.model =
         core::CostModel::fromConfig(prof.model);
-    opts.iocostConfig.qos.readLatTarget = 40 * sim::kMsec;
-    opts.iocostConfig.qos.writeLatTarget = 80 * sim::kMsec;
-    opts.iocostConfig.qos.period = 100 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.25;
-    opts.iocostConfig.qos.vrateMax = 0.8; // tuned ceiling (§3.4): interleaved capacity < profiled single-stream peak
+    opts.controller.iocost.qos.readLatTarget = 40 * sim::kMsec;
+    opts.controller.iocost.qos.writeLatTarget = 80 * sim::kMsec;
+    opts.controller.iocost.qos.period = 100 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.25;
+    opts.controller.iocost.qos.vrateMax = 0.8; // tuned ceiling (§3.4): interleaved capacity < profiled single-stream peak
 
     host::Host host(
         sim,

@@ -40,13 +40,13 @@ main()
     const auto &prof = profile::DeviceProfiler::profileSsd(spec);
     const core::CostModel base_model =
         core::CostModel::fromConfig(prof.model);
-    opts.iocostConfig.model = base_model;
-    opts.iocostConfig.qos.readLatQuantile = 0.90;
-    opts.iocostConfig.qos.readLatTarget = 250 * sim::kUsec;
-    opts.iocostConfig.qos.writeLatTarget = 1 * sim::kMsec;
-    opts.iocostConfig.qos.period = 10 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.25;
-    opts.iocostConfig.qos.vrateMax = 4.0;
+    opts.controller.iocost.model = base_model;
+    opts.controller.iocost.qos.readLatQuantile = 0.90;
+    opts.controller.iocost.qos.readLatTarget = 250 * sim::kUsec;
+    opts.controller.iocost.qos.writeLatTarget = 1 * sim::kMsec;
+    opts.controller.iocost.qos.period = 10 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.25;
+    opts.controller.iocost.qos.vrateMax = 4.0;
 
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),

@@ -37,13 +37,13 @@ run(const std::string &mechanism, const device::SsdSpec &spec,
     host::HostOptions opts;
     opts.controller = mechanism;
     const auto &prof = profile::DeviceProfiler::profileSsd(spec);
-    opts.iocostConfig.model =
+    opts.controller.iocost.model =
         core::CostModel::fromConfig(prof.model);
-    opts.iocostConfig.qos.readLatTarget = 2 * sim::kMsec;
-    opts.iocostConfig.qos.writeLatTarget = 4 * sim::kMsec;
-    opts.iocostConfig.qos.period = 10 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.5;
-    opts.iocostConfig.qos.vrateMax = 2.0;
+    opts.controller.iocost.qos.readLatTarget = 2 * sim::kMsec;
+    opts.controller.iocost.qos.writeLatTarget = 4 * sim::kMsec;
+    opts.controller.iocost.qos.period = 10 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.5;
+    opts.controller.iocost.qos.vrateMax = 2.0;
     opts.enableMemory = true;
     opts.memoryConfig.totalBytes = 3ull << 30;
     opts.memoryConfig.swapBytes = 8ull << 30;

@@ -65,13 +65,13 @@ run(const std::string &mechanism)
     for (unsigned h = 0; h < kHosts; ++h) {
         host::HostOptions opts;
         opts.controller = mechanism;
-        opts.iocostConfig.model =
+        opts.controller.iocost.model =
             core::CostModel::fromConfig(prof.model);
-        opts.iocostConfig.qos.readLatTarget = 10 * sim::kMsec;
-        opts.iocostConfig.qos.writeLatTarget = 30 * sim::kMsec;
-        opts.iocostConfig.qos.period = 20 * sim::kMsec;
-        opts.iocostConfig.qos.vrateMin = 0.5;
-        opts.iocostConfig.qos.vrateMax = 1.0;
+        opts.controller.iocost.qos.readLatTarget = 10 * sim::kMsec;
+        opts.controller.iocost.qos.writeLatTarget = 30 * sim::kMsec;
+        opts.controller.iocost.qos.period = 20 * sim::kMsec;
+        opts.controller.iocost.qos.vrateMin = 0.5;
+        opts.controller.iocost.qos.vrateMax = 1.0;
         hosts.push_back(std::make_unique<host::Host>(
             sim, std::make_unique<device::SsdModel>(sim, spec),
             opts));

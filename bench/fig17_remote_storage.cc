@@ -35,18 +35,18 @@ run(const device::RemoteSpec &spec, const std::string &mechanism,
 
     host::HostOptions opts;
     opts.controller = mechanism;
-    opts.iocostConfig.model =
+    opts.controller.iocost.model =
         core::CostModel::fromConfig(prof.model);
     // Remote volumes: latency targets scale with the RTT floor.
-    opts.iocostConfig.qos.readLatTarget = 8 * spec.baseRtt;
-    opts.iocostConfig.qos.writeLatTarget = 12 * spec.baseRtt;
-    opts.iocostConfig.qos.period = 25 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.5;
-    opts.iocostConfig.qos.vrateMax = 2.0;
+    opts.controller.iocost.qos.readLatTarget = 8 * spec.baseRtt;
+    opts.controller.iocost.qos.writeLatTarget = 12 * spec.baseRtt;
+    opts.controller.iocost.qos.period = 25 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.5;
+    opts.controller.iocost.qos.vrateMax = 2.0;
     // Provisioned volumes are easily monopolized by a swap flood;
     // pace debtors aggressively at return-to-userspace.
-    opts.iocostConfig.qos.debtThreshold = 5 * sim::kMsec;
-    opts.iocostConfig.qos.maxUserspaceDelay = 2 * sim::kSec;
+    opts.controller.iocost.qos.debtThreshold = 5 * sim::kMsec;
+    opts.controller.iocost.qos.maxUserspaceDelay = 2 * sim::kSec;
     opts.enableMemory = true;
     opts.memoryConfig.totalBytes = 3ull << 30;
     opts.memoryConfig.swapBytes = 8ull << 30;

@@ -61,8 +61,9 @@ simulatedMaxIops(const std::string &mechanism)
     cgroup::CgroupTree tree;
     blk::BlockLayer layer(sim, device, tree);
     layer.setSubmissionCpuEnabled(true);
-    layer.setController(
-        controllers::makeController(mechanism, permissiveIoCost()));
+    controllers::ControllerSpec spec_ctl(mechanism);
+    spec_ctl.iocost = permissiveIoCost();
+    layer.setController(controllers::makeController(spec_ctl));
 
     const auto cg = tree.create(cgroup::kRoot, "fio");
     workload::FioConfig cfg;
@@ -86,8 +87,9 @@ issuePathBenchmark(benchmark::State &state,
     device::SsdModel device(sim, spec);
     cgroup::CgroupTree tree;
     blk::BlockLayer layer(sim, device, tree);
-    layer.setController(
-        controllers::makeController(mechanism, permissiveIoCost()));
+    controllers::ControllerSpec spec_ctl(mechanism);
+    spec_ctl.iocost = permissiveIoCost();
+    layer.setController(controllers::makeController(spec_ctl));
     const auto cg = tree.create(cgroup::kRoot, "bench");
 
     uint64_t offset = 0;

@@ -31,6 +31,7 @@
 #include "fleet/fleet_sim.hh"
 #include "profile/device_profiler.hh"
 #include "sim/event_queue.hh"
+#include "stat/telemetry.hh"
 
 namespace legacy {
 
@@ -203,6 +204,50 @@ scheduleFireRate(uint64_t total)
 }
 
 /**
+ * FireCb plus a telemetry emit against a sinkless (disabled) bus —
+ * what every publisher-instrumented hot path pays when nobody is
+ * listening. The tracked ratio against the plain FireCb run must
+ * stay ~1.0: disabled telemetry is one pointer test.
+ */
+struct TelFireCb
+{
+    uint64_t *fired;
+    stat::Telemetry *tel;
+    uint64_t a, b;
+    void
+    operator()() const
+    {
+        tel->emit(static_cast<sim::Time>(a), "bench",
+                  stat::kNoCgroup, "fire", 1.0);
+        *fired += 1 + ((a ^ b) & 0);
+    }
+};
+
+/** scheduleFireRate with the disabled-telemetry callback. */
+template <typename Queue>
+double
+scheduleFireTelemetryRate(uint64_t total)
+{
+    Queue q;
+    stat::Telemetry tel; // no sink installed
+    uint64_t fired = 0;
+    uint64_t lcg = 0x2545F4914F6CDD1Dull;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (fired < total) {
+        for (int i = 0; i < kBatch; ++i) {
+            lcg = lcg * 6364136223846793005ull +
+                  1442695040888963407ull;
+            q.scheduleAfter(
+                static_cast<sim::Time>((lcg >> 33) % 1000),
+                TelFireCb{&fired, &tel, lcg, lcg >> 7});
+        }
+        q.runAll();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(fired) / seconds(t0, t1);
+}
+
+/**
  * Cancel-heavy mix: schedule a batch, cancel every other event via
  * its handle, drain the survivors. Ops = schedules + cancels.
  */
@@ -322,6 +367,15 @@ main()
     const Comparison ch = compare(
         7, [] { return cancelHeavyRate<sim::EventQueue>(kCancel); },
         [] { return cancelHeavyRate<legacy::EventQueue>(kCancel); });
+    // Disabled-telemetry variant vs plain, both on the current
+    // kernel: the paired ratio is the no-listener overhead.
+    const Comparison tel = compare(
+        7,
+        [] {
+            return scheduleFireTelemetryRate<sim::EventQueue>(
+                kSchedFire);
+        },
+        [] { return scheduleFireRate<sim::EventQueue>(kSchedFire); });
 
     const unsigned hw = std::max(
         1u, std::thread::hardware_concurrency());
@@ -342,6 +396,10 @@ main()
     table.row({"cancel-heavy (ops/s)", bench::fmtCount(ch.current),
                bench::fmtCount(ch.legacy),
                bench::fmt("%.2fx", ch.speedup)});
+    table.row({"sched+fire, telemetry off (events/s)",
+               bench::fmtCount(tel.current),
+               bench::fmtCount(tel.legacy),
+               bench::fmt("%.2fx", tel.speedup)});
     table.row({"fleet seq (host-days/s)",
                bench::fmt("%.1f", fleet_seq), "-", "-"});
     table.row({"fleet --jobs 4 (host-days/s)",
@@ -369,6 +427,11 @@ main()
         "    \"seed_replica_ops_per_sec\": %.0f,\n"
         "    \"speedup\": %.3f\n"
         "  },\n"
+        "  \"telemetry\": {\n"
+        "    \"disabled_emit_events_per_sec\": %.0f,\n"
+        "    \"plain_events_per_sec\": %.0f,\n"
+        "    \"disabled_over_plain_ratio\": %.3f\n"
+        "  },\n"
         "  \"fleet\": {\n"
         "    \"hostdays_per_sec_seq\": %.2f,\n"
         "    \"hostdays_per_sec_jobs4\": %.2f,\n"
@@ -377,7 +440,8 @@ main()
         "  }\n"
         "}\n",
         sf.current, sf.legacy, sf.speedup, ch.current, ch.legacy,
-        ch.speedup, fleet_seq, fleet_j4, fleet_j4 / fleet_seq, hw);
+        ch.speedup, tel.current, tel.legacy, tel.speedup, fleet_seq,
+        fleet_j4, fleet_j4 / fleet_seq, hw);
     std::fclose(json);
     std::printf("wrote BENCH_kernel.json\n");
     return 0;

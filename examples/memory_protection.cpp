@@ -37,10 +37,10 @@ run(bool with_leaker, double *debt_out, unsigned *kills_out)
 
     host::HostOptions opts;
     opts.controller = "iocost";
-    opts.iocostConfig.model = core::CostModel::fromConfig(
+    opts.controller.iocost.model = core::CostModel::fromConfig(
         profile::DeviceProfiler::profileSsd(spec).model);
-    opts.iocostConfig.qos.readLatTarget = 2 * sim::kMsec;
-    opts.iocostConfig.qos.writeLatTarget = 4 * sim::kMsec;
+    opts.controller.iocost.qos.readLatTarget = 2 * sim::kMsec;
+    opts.controller.iocost.qos.writeLatTarget = 4 * sim::kMsec;
     opts.enableMemory = true;
     opts.memoryConfig.totalBytes = 3ull << 30;
     opts.memoryConfig.swapBytes = 8ull << 30;

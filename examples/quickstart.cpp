@@ -42,14 +42,14 @@ main()
     sim::Simulator sim(/*seed=*/42);
     host::HostOptions opts;
     opts.controller = "iocost";
-    opts.iocostConfig.model =
+    opts.controller.iocost.model =
         core::CostModel::fromConfig(profile.model);
-    opts.iocostConfig.qos.readLatTarget = 400 * sim::kUsec;
+    opts.controller.iocost.qos.readLatTarget = 400 * sim::kUsec;
     // QoS bounds come from the tuning procedure in practice (see
     // examples/profile_and_tune); max 100% = never overdrive the
     // profiled peak, which is what makes the weights binding.
-    opts.iocostConfig.qos.vrateMin = 0.5;
-    opts.iocostConfig.qos.vrateMax = 1.0;
+    opts.controller.iocost.qos.vrateMin = 0.5;
+    opts.controller.iocost.qos.vrateMax = 1.0;
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),
                     opts);

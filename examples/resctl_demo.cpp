@@ -62,12 +62,12 @@ main()
 
     host::HostOptions opts;
     opts.controller = "iocost";
-    opts.iocostConfig.model = core::CostModel::fromConfig(
+    opts.controller.iocost.model = core::CostModel::fromConfig(
         profile::DeviceProfiler::profileSsd(spec).model);
-    opts.iocostConfig.qos.readLatTarget = 2 * sim::kMsec;
-    opts.iocostConfig.qos.writeLatTarget = 4 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.5;
-    opts.iocostConfig.qos.vrateMax = 1.25;
+    opts.controller.iocost.qos.readLatTarget = 2 * sim::kMsec;
+    opts.controller.iocost.qos.writeLatTarget = 4 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.5;
+    opts.controller.iocost.qos.vrateMax = 1.25;
     opts.enableMemory = true;
     opts.memoryConfig.totalBytes = 3ull << 30;
     opts.memoryConfig.swapBytes = 2ull << 30; // small swap: the

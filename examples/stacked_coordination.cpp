@@ -39,10 +39,10 @@ main()
     for (int h = 0; h < 3; ++h) {
         host::HostOptions opts;
         opts.controller = "iocost";
-        opts.iocostConfig.model =
+        opts.controller.iocost.model =
             core::CostModel::fromConfig(prof.model);
-        opts.iocostConfig.qos.readLatTarget = 10 * sim::kMsec;
-        opts.iocostConfig.qos.writeLatTarget = 30 * sim::kMsec;
+        opts.controller.iocost.qos.readLatTarget = 10 * sim::kMsec;
+        opts.controller.iocost.qos.writeLatTarget = 30 * sim::kMsec;
         hosts.push_back(std::make_unique<host::Host>(
             sim, std::make_unique<device::SsdModel>(sim, spec),
             opts));

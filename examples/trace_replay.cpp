@@ -80,7 +80,7 @@ main()
         const device::SsdSpec spec = device::oldGenSsd();
         host::HostOptions opts;
         opts.controller = name;
-        opts.iocostConfig.model = core::CostModel::fromConfig(
+        opts.controller.iocost.model = core::CostModel::fromConfig(
             profile::DeviceProfiler::profileSsd(spec).model);
         host::Host host(
             sim, std::make_unique<device::SsdModel>(sim, spec),

@@ -18,6 +18,10 @@
 #include "blk/bio.hh"
 #include "sim/time.hh"
 
+namespace iocost::stat {
+class Telemetry;
+}
+
 namespace iocost::blk {
 
 /** Invoked by a device when a request finishes. */
@@ -56,7 +60,20 @@ class BlockDevice
         complete_ = std::move(fn);
     }
 
+    /**
+     * Borrow the owning layer's telemetry handle (set by the
+     * BlockLayer; may stay null for bare-device tests). Device
+     * models publish internal-state records (GC transitions,
+     * firmware hiccups, rate-limiter stalls) through it.
+     */
+    void setTelemetry(stat::Telemetry *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
   protected:
+    /** The telemetry handle, or nullptr when never attached. */
+    stat::Telemetry *telemetry() const { return telemetry_; }
     /** Deliver a completion to the block layer. */
     void
     finish(BioPtr bio, sim::Time device_latency)
@@ -67,6 +84,7 @@ class BlockDevice
 
   private:
     DeviceEndFn complete_;
+    stat::Telemetry *telemetry_ = nullptr;
 };
 
 } // namespace iocost::blk

@@ -12,6 +12,7 @@ BlockLayer::BlockLayer(sim::Simulator &sim, BlockDevice &device,
         [this](BioPtr bio, sim::Time device_latency) {
             onDeviceComplete(std::move(bio), device_latency);
         });
+    device_.setTelemetry(&telemetry_);
 }
 
 void
@@ -129,8 +130,28 @@ BlockLayer::onDeviceComplete(BioPtr bio, sim::Time device_latency)
     st.totalLatency.record(sim_.now() - bio->submitTime);
     st.deviceLatency.record(device_latency);
 
+    CompletionInfo info;
+    info.deviceLatency = device_latency;
+    info.totalLatency = sim_.now() - bio->submitTime;
+    info.sizeBytes = bio->size;
+    info.op = bio->op;
+    info.deviceInFlight = device_.inFlight();
+    info.dispatchQueueDepth = dispatchQueue_.size();
+
+    // Per-completion records are detail-gated: a period-level sink
+    // (the default) sees controller/planning records only.
+    if (telemetry_.detailEnabled()) {
+        const sim::Time now = sim_.now();
+        telemetry_.emit(now, "blk", bio->cgroup, "device_lat_us",
+                        sim::toMicros(device_latency));
+        telemetry_.emit(now, "blk", bio->cgroup, "total_lat_us",
+                        sim::toMicros(info.totalLatency));
+        telemetry_.emit(now, "blk", bio->cgroup, "queue_depth",
+                        static_cast<double>(info.dispatchQueueDepth));
+    }
+
     if (controller_)
-        controller_->onComplete(*bio, device_latency);
+        controller_->onComplete(*bio, info);
 
     // A completed request frees a device slot: feed parked bios in.
     drainDispatchQueue();

@@ -26,6 +26,7 @@
 #include "cgroup/cgroup_tree.hh"
 #include "sim/simulator.hh"
 #include "stat/histogram.hh"
+#include "stat/telemetry.hh"
 
 namespace iocost::blk {
 
@@ -109,6 +110,20 @@ class BlockLayer
     /** The device. */
     BlockDevice &device() { return device_; }
 
+    /**
+     * The stack's telemetry handle. The layer owns it; the
+     * controller and the device publish through it. Install a sink
+     * (setTelemetrySink) to start the record flow.
+     */
+    stat::Telemetry &telemetry() { return telemetry_; }
+
+    /** Install a telemetry sink (not owned; nullptr disconnects). */
+    void
+    setTelemetrySink(stat::TelemetrySink *sink)
+    {
+        telemetry_.setSink(sink);
+    }
+
     /** Per-cgroup accounting (grows on demand). */
     const CgroupIoStats &stats(cgroup::CgroupId cg) const;
 
@@ -146,6 +161,7 @@ class BlockLayer
     sim::Simulator &sim_;
     BlockDevice &device_;
     cgroup::CgroupTree &tree_;
+    stat::Telemetry telemetry_;
     std::unique_ptr<IoController> controller_;
     std::deque<BioPtr> dispatchQueue_;
     mutable std::vector<CgroupIoStats> stats_;

@@ -24,6 +24,28 @@ namespace iocost::blk {
 class BlockLayer;
 
 /**
+ * Everything a controller may want to know about one completion,
+ * assembled by the BlockLayer. Extending observability means adding
+ * a field here — not threading another parameter through every
+ * controller override.
+ */
+struct CompletionInfo
+{
+    /** Dispatch-to-completion time (what the device delivered). */
+    sim::Time deviceLatency = 0;
+    /** Submission-to-completion time (what the app observed). */
+    sim::Time totalLatency = 0;
+    /** Request size in bytes (post-merge). */
+    uint32_t sizeBytes = 0;
+    /** Request direction. */
+    Op op = Op::Read;
+    /** Device requests still in flight after this completion. */
+    uint32_t deviceInFlight = 0;
+    /** Bios parked in the dispatch FIFO at completion time. */
+    size_t dispatchQueueDepth = 0;
+};
+
+/**
  * Static feature flags, used to regenerate the paper's Table 1.
  */
 struct ControllerCaps
@@ -61,13 +83,13 @@ class IoController
      * A bio completed on the device.
      *
      * @param bio The completed request.
-     * @param device_latency dispatch-to-completion time.
+     * @param info Measured latencies and queue state.
      */
     virtual void
-    onComplete(const Bio &bio, sim::Time device_latency)
+    onComplete(const Bio &bio, const CompletionInfo &info)
     {
         (void)bio;
-        (void)device_latency;
+        (void)info;
     }
 
     /**

@@ -70,6 +70,13 @@ Bfq::selectNext()
     if (best != cgroup::kNone) {
         budgetLeft_ = cfg_.budgetBytes;
         vtime_ = std::max(vtime_, best_vf);
+        stat::Telemetry &tel = layer().telemetry();
+        if (tel.enabled()) {
+            // Service-turn transitions: which queue holds the device
+            // and at what virtual time it was picked.
+            tel.emit(layer().sim().now(), "bfq", best, "in_service",
+                     1.0);
+        }
     }
 }
 
@@ -162,9 +169,10 @@ Bfq::inject()
 }
 
 void
-Bfq::onComplete(const blk::Bio &bio, sim::Time device_latency)
+Bfq::onComplete(const blk::Bio &bio,
+                const blk::CompletionInfo &info)
 {
-    (void)device_latency;
+    (void)info;
     if (bio.cgroup == inService_ && inServiceInFlight_ > 0) {
         --inServiceInFlight_;
     } else if (injectedInFlight_ > 0) {

@@ -74,7 +74,7 @@ class Bfq : public blk::IoController
     void attach(blk::BlockLayer &layer) override;
     void onSubmit(blk::BioPtr bio) override;
     void onComplete(const blk::Bio &bio,
-                    sim::Time device_latency) override;
+                    const blk::CompletionInfo &info) override;
 
     /** Currently in-service cgroup, or kNone. */
     cgroup::CgroupId inService() const { return inService_; }

@@ -13,8 +13,12 @@ BlkThrottle::setLimits(cgroup::CgroupId cg, ThrottleLimits limits)
 BlkThrottle::State &
 BlkThrottle::state(cgroup::CgroupId cg)
 {
-    if (cg >= states_.size())
+    if (cg >= states_.size()) {
+        const size_t old = states_.size();
         states_.resize(cg + 1);
+        for (size_t i = old; i < states_.size(); ++i)
+            states_[i].limits = cfg_.defaultLimits;
+    }
     return states_[cg];
 }
 
@@ -98,6 +102,11 @@ BlkThrottle::kick(cgroup::CgroupId cg)
             blk::BioPtr bio = std::move(st.waiting.front());
             st.waiting.pop_front();
             charge(st, *bio);
+            stat::Telemetry &tel = layer().telemetry();
+            if (tel.detailEnabled()) {
+                tel.emit(now, "blk-throttle", cg, "throttle_wait_us",
+                         sim::toMicros(now - bio->submitTime));
+            }
             layer().dispatch(std::move(bio));
         } else {
             st.kick = layer().sim().at(when, [this, cg] {

@@ -32,12 +32,27 @@ struct ThrottleLimits
     double wbps = 0;
 };
 
+/** Construction-time configuration for blk-throttle. */
+struct BlkThrottleConfig
+{
+    /**
+     * Limits applied to every cgroup that has no explicit
+     * setLimits() call — what a config file can express without
+     * knowing cgroup ids. Default: unlimited.
+     */
+    ThrottleLimits defaultLimits;
+};
+
 /**
  * blk-throttle controller.
  */
 class BlkThrottle : public blk::IoController
 {
   public:
+    explicit BlkThrottle(BlkThrottleConfig cfg = {})
+        : cfg_(cfg)
+    {}
+
     blk::ControllerCaps
     caps() const override
     {
@@ -82,6 +97,7 @@ class BlkThrottle : public blk::IoController
     void charge(State &st, const blk::Bio &bio);
     void kick(cgroup::CgroupId cg);
 
+    BlkThrottleConfig cfg_;
     std::deque<State> states_;
 };
 

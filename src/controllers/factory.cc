@@ -1,34 +1,180 @@
 #include "controllers/factory.hh"
 
-#include "controllers/bfq.hh"
-#include "controllers/blk_throttle.hh"
-#include "controllers/io_latency.hh"
-#include "controllers/kyber.hh"
-#include "controllers/mq_deadline.hh"
+#include <algorithm>
+
 #include "controllers/noop.hh"
+#include "core/config_parse.hh"
 #include "sim/logging.hh"
 
 namespace iocost::controllers {
 
 std::unique_ptr<blk::IoController>
-makeController(const std::string &name,
-               const core::IoCostConfig &iocost_config)
+makeController(const ControllerSpec &spec)
 {
-    if (name == "none")
+    if (spec.name == "none")
         return std::make_unique<NoopScheduler>();
-    if (name == "mq-deadline")
-        return std::make_unique<MqDeadline>();
-    if (name == "kyber")
-        return std::make_unique<Kyber>();
-    if (name == "bfq")
-        return std::make_unique<Bfq>();
-    if (name == "blk-throttle")
-        return std::make_unique<BlkThrottle>();
-    if (name == "iolatency")
-        return std::make_unique<IoLatency>();
-    if (name == "iocost")
-        return std::make_unique<core::IoCost>(iocost_config);
-    sim::fatal("unknown IO control mechanism: " + name);
+    if (spec.name == "mq-deadline")
+        return std::make_unique<MqDeadline>(spec.mqDeadline);
+    if (spec.name == "kyber")
+        return std::make_unique<Kyber>(spec.kyber);
+    if (spec.name == "bfq")
+        return std::make_unique<Bfq>(spec.bfq);
+    if (spec.name == "blk-throttle")
+        return std::make_unique<BlkThrottle>(spec.throttle);
+    if (spec.name == "iolatency")
+        return std::make_unique<IoLatency>(spec.iolatency);
+    if (spec.name == "iocost")
+        return std::make_unique<core::IoCost>(spec.iocost);
+    sim::fatal("unknown IO control mechanism: " + spec.name);
+}
+
+namespace {
+
+sim::Time
+micros(double v)
+{
+    return static_cast<sim::Time>(v * sim::kUsec);
+}
+
+/**
+ * Apply one key=value setting to the mechanism named by spec.name.
+ * @return false on an unrecognized key (iocost accepts everything
+ *         here; its keys are validated by the io.cost parsers).
+ */
+bool
+applyKey(ControllerSpec &spec, const std::string &key, double v)
+{
+    if (spec.name == "kyber") {
+        if (key == "rlat")
+            spec.kyber.readTarget = micros(v);
+        else if (key == "wlat")
+            spec.kyber.writeTarget = micros(v);
+        else if (key == "window")
+            spec.kyber.window = micros(v);
+        else if (key == "wdepth")
+            spec.kyber.maxWriteDepth = static_cast<unsigned>(v);
+        else
+            return false;
+        return true;
+    }
+    if (spec.name == "mq-deadline") {
+        if (key == "rexpire")
+            spec.mqDeadline.readExpire = micros(v);
+        else if (key == "wexpire")
+            spec.mqDeadline.writeExpire = micros(v);
+        else if (key == "batch")
+            spec.mqDeadline.fifoBatch = static_cast<unsigned>(v);
+        else
+            return false;
+        return true;
+    }
+    if (spec.name == "bfq") {
+        if (key == "budget")
+            spec.bfq.budgetBytes = static_cast<uint64_t>(v);
+        else if (key == "idle")
+            spec.bfq.idleWait = micros(v);
+        else if (key == "inject")
+            spec.bfq.injectionDepth = static_cast<unsigned>(v);
+        else
+            return false;
+        return true;
+    }
+    if (spec.name == "blk-throttle") {
+        if (key == "riops")
+            spec.throttle.defaultLimits.riops = v;
+        else if (key == "wiops")
+            spec.throttle.defaultLimits.wiops = v;
+        else if (key == "rbps")
+            spec.throttle.defaultLimits.rbps = v;
+        else if (key == "wbps")
+            spec.throttle.defaultLimits.wbps = v;
+        else
+            return false;
+        return true;
+    }
+    if (spec.name == "iolatency") {
+        if (key == "window")
+            spec.iolatency.window = micros(v);
+        else if (key == "mindepth")
+            spec.iolatency.minDepth = static_cast<unsigned>(v);
+        else if (key == "maxdepth")
+            spec.iolatency.maxDepth = static_cast<unsigned>(v);
+        else
+            return false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::optional<ControllerSpec>
+parseControllerSpec(const std::string &line)
+{
+    const std::vector<std::string> toks = core::configTokens(line);
+    if (toks.empty())
+        return std::nullopt;
+
+    ControllerSpec spec(toks[0]);
+    {
+        const auto known = allMechanisms();
+        if (std::find(known.begin(), known.end(), spec.name) ==
+            known.end()) {
+            return std::nullopt;
+        }
+    }
+
+    if (spec.name == "iocost") {
+        // The remainder is an io.cost.model + io.cost.qos payload
+        // plus donation=/debt= extensions: strip the extensions,
+        // delegate the rest to the kernel-format parsers (which
+        // each ignore the other's keys).
+        std::string rest;
+        for (size_t i = 1; i < toks.size(); ++i) {
+            std::string key, value;
+            if (!core::configKeyValue(toks[i], key, value))
+                return std::nullopt;
+            if (key == "donation") {
+                spec.iocost.donationEnabled = value != "0";
+                continue;
+            }
+            if (key == "debt") {
+                if (value == "production")
+                    spec.iocost.debtMode =
+                        core::DebtMode::Production;
+                else if (value == "root")
+                    spec.iocost.debtMode =
+                        core::DebtMode::RootCharge;
+                else if (value == "inversion")
+                    spec.iocost.debtMode =
+                        core::DebtMode::Inversion;
+                else
+                    return std::nullopt;
+                continue;
+            }
+            if (!rest.empty())
+                rest += ' ';
+            rest += toks[i];
+        }
+        if (!rest.empty()) {
+            if (auto model = core::parseModelLine(rest))
+                spec.iocost.model = core::CostModel::fromConfig(*model);
+            if (auto qos = core::parseQosLine(rest))
+                spec.iocost.qos = *qos;
+        }
+        return spec;
+    }
+
+    for (size_t i = 1; i < toks.size(); ++i) {
+        std::string key, value;
+        double v = 0;
+        if (!core::configKeyValue(toks[i], key, value) ||
+            !core::configPositiveNumber(value, v) ||
+            !applyKey(spec, key, v)) {
+            return std::nullopt;
+        }
+    }
+    return spec;
 }
 
 std::vector<std::string>
@@ -43,7 +189,7 @@ allCapabilities()
 {
     std::vector<blk::ControllerCaps> out;
     for (const std::string &name : allMechanisms())
-        out.push_back(makeController(name)->caps());
+        out.push_back(makeController(ControllerSpec(name))->caps());
     return out;
 }
 

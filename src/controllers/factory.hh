@@ -1,37 +1,117 @@
 /**
  * @file
- * Controller factory: build any IO control mechanism by name.
+ * Controller factory: build any IO control mechanism from one spec.
  *
  * Benches sweep mechanisms ("none", "mq-deadline", "kyber", "bfq",
  * "blk-throttle", "iolatency", "iocost") against identical stacks;
  * the factory centralizes construction and the Table 1 capability
- * listing.
+ * listing. A ControllerSpec carries the per-mechanism configuration
+ * so every caller — host options, CLI flags, fleet scenarios — can
+ * hand over one value instead of threading mechanism-specific
+ * config structs through every layer.
  */
 
 #ifndef IOCOST_CONTROLLERS_FACTORY_HH
 #define IOCOST_CONTROLLERS_FACTORY_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "blk/io_controller.hh"
+#include "controllers/bfq.hh"
+#include "controllers/blk_throttle.hh"
+#include "controllers/io_latency.hh"
+#include "controllers/kyber.hh"
+#include "controllers/mq_deadline.hh"
 #include "core/iocost.hh"
 
 namespace iocost::controllers {
 
 /**
- * Construct a controller by mechanism name.
+ * Mechanism name plus every mechanism's construction-time config.
  *
- * @param name One of: none, mq-deadline, kyber, bfq, blk-throttle,
- *        iolatency, iocost.
- * @param iocost_config Configuration used when name == "iocost".
- * @return The controller, or nullptr for the literal "none-null"
- *         (no controller object at all).
+ * Only the config matching `name` is consulted by makeController();
+ * the others ride along at their defaults, which keeps the struct a
+ * plain value that call sites can copy, mutate, and pass around.
+ *
+ * Implicit conversion from a mechanism-name string is deliberate:
+ * `opts.controller = "kyber";` keeps working, and assignment of a
+ * bare name replaces ONLY the name (configs are preserved), so the
+ * order of "set name" vs "set config" at a call site never matters.
+ */
+struct ControllerSpec
+{
+    std::string name = "iocost";
+
+    core::IoCostConfig iocost;
+    KyberConfig kyber;
+    MqDeadlineConfig mqDeadline;
+    BfqConfig bfq;
+    BlkThrottleConfig throttle;
+    IoLatencyConfig iolatency;
+
+    ControllerSpec() = default;
+    ControllerSpec(const char *mechanism) : name(mechanism) {}
+    ControllerSpec(std::string mechanism)
+        : name(std::move(mechanism))
+    {}
+
+    /** Assigning a bare mechanism name keeps the configs. */
+    ControllerSpec &
+    operator=(const char *mechanism)
+    {
+        name = mechanism;
+        return *this;
+    }
+    ControllerSpec &
+    operator=(const std::string &mechanism)
+    {
+        name = mechanism;
+        return *this;
+    }
+
+    bool operator==(const std::string &n) const { return name == n; }
+    bool operator!=(const std::string &n) const { return name != n; }
+};
+
+/**
+ * Construct the controller selected by @p spec.
+ *
+ * @param spec Mechanism name ("none", "mq-deadline", "kyber", "bfq",
+ *        "blk-throttle", "iolatency", "iocost") plus per-mechanism
+ *        configuration; only the selected mechanism's config is
+ *        read.
+ * @return The controller; fatal error on an unknown name.
  */
 std::unique_ptr<blk::IoController>
-makeController(const std::string &name,
-               const core::IoCostConfig &iocost_config = {});
+makeController(const ControllerSpec &spec);
+
+/**
+ * Parse a controller spec line: a mechanism name followed by
+ * optional space-separated key=value settings in the style of the
+ * kernel's io.cost.* files.
+ *
+ *   "kyber rlat=2000 wlat=10000 window=25000 wdepth=128"
+ *   "mq-deadline rexpire=500000 wexpire=5000000 batch=16"
+ *   "bfq budget=524288 idle=2000 inject=4"
+ *   "blk-throttle rbps=100e6 wbps=50e6 riops=1000 wiops=500"
+ *   "iolatency window=100000 mindepth=1 maxdepth=65536"
+ *   "iocost rbps=... rseqiops=... rpct=95 rlat=5000 min=50 max=150
+ *           donation=1 debt=production"
+ *
+ * Times are microseconds (matching io.cost.qos rlat/wlat). For
+ * "iocost" the remaining tokens are handed to parseModelLine() and
+ * parseQosLine(), so any valid io.cost.model / io.cost.qos payload
+ * is accepted verbatim after the mechanism name; donation=0|1 and
+ * debt=production|root|inversion extend those.
+ *
+ * @return The parsed spec, or std::nullopt on an unknown mechanism
+ *         or malformed key=value syntax.
+ */
+std::optional<ControllerSpec>
+parseControllerSpec(const std::string &line);
 
 /** All mechanism names in Table 1 order. */
 std::vector<std::string> allMechanisms();

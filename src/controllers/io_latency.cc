@@ -71,12 +71,13 @@ IoLatency::onSubmit(blk::BioPtr bio)
 }
 
 void
-IoLatency::onComplete(const blk::Bio &bio, sim::Time device_latency)
+IoLatency::onComplete(const blk::Bio &bio,
+                      const blk::CompletionInfo &info)
 {
     State &st = state(bio.cgroup);
     if (st.inFlight > 0)
         --st.inFlight;
-    st.windowLat.record(device_latency);
+    st.windowLat.record(info.deviceLatency);
     pump(bio.cgroup);
 }
 
@@ -111,6 +112,8 @@ IoLatency::evaluate()
         }
     }
 
+    stat::Telemetry &tel = layer().telemetry();
+    const sim::Time now = layer().sim().now();
     for (cgroup::CgroupId cg = 0; cg < states_.size(); ++cg) {
         State &st = states_[cg];
         if (any_violation) {
@@ -124,7 +127,13 @@ IoLatency::evaluate()
                 cfg_.maxDepth,
                 st.depth + std::max(1u, st.depth / 4));
         }
-        st.windowLat.reset();
+        if (tel.enabled() && st.windowLat.count() > 0) {
+            tel.emit(now, "iolatency", cg, "depth_limit",
+                     static_cast<double>(st.depth));
+            tel.emitSnapshot(now, "iolatency", cg, "lat",
+                             st.windowLat.snapshot(now));
+        }
+        st.windowLat.reset(now);
         pump(cg);
     }
 }

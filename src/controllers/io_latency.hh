@@ -72,7 +72,7 @@ class IoLatency : public blk::IoController
     void attach(blk::BlockLayer &layer) override;
     void onSubmit(blk::BioPtr bio) override;
     void onComplete(const blk::Bio &bio,
-                    sim::Time device_latency) override;
+                    const blk::CompletionInfo &info) override;
 
     /**
      * Return-to-userspace throttle for heavily punished cgroups

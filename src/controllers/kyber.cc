@@ -25,12 +25,13 @@ Kyber::onSubmit(blk::BioPtr bio)
 }
 
 void
-Kyber::onComplete(const blk::Bio &bio, sim::Time device_latency)
+Kyber::onComplete(const blk::Bio &bio,
+                  const blk::CompletionInfo &info)
 {
     if (bio.op == blk::Op::Read) {
-        windowReadLat_.record(device_latency);
+        windowReadLat_.record(info.deviceLatency);
     } else {
-        windowWriteLat_.record(device_latency);
+        windowWriteLat_.record(info.deviceLatency);
         if (writeInFlight_ > 0)
             --writeInFlight_;
         pump();
@@ -64,8 +65,21 @@ Kyber::adjust()
         // Additive recovery once latencies are healthy again.
         writeDepth_ = std::min(cfg_.maxWriteDepth, writeDepth_ + 4);
     }
-    windowReadLat_.reset();
-    windowWriteLat_.reset();
+
+    stat::Telemetry &tel = layer().telemetry();
+    if (tel.enabled()) {
+        const sim::Time now = layer().sim().now();
+        tel.emit(now, "kyber", stat::kNoCgroup, "write_depth",
+                 static_cast<double>(writeDepth_));
+        tel.emitSnapshot(now, "kyber", stat::kNoCgroup, "lat_read",
+                         windowReadLat_.snapshot(now));
+        tel.emitSnapshot(now, "kyber", stat::kNoCgroup, "lat_write",
+                         windowWriteLat_.snapshot(now));
+    }
+
+    const sim::Time now = layer().sim().now();
+    windowReadLat_.reset(now);
+    windowWriteLat_.reset(now);
     pump();
 }
 

@@ -64,7 +64,7 @@ class Kyber : public blk::IoController
     void attach(blk::BlockLayer &layer) override;
     void onSubmit(blk::BioPtr bio) override;
     void onComplete(const blk::Bio &bio,
-                    sim::Time device_latency) override;
+                    const blk::CompletionInfo &info) override;
 
     /** Current adaptive write depth (for tests). */
     unsigned writeDepth() const { return writeDepth_; }

@@ -22,10 +22,11 @@ MqDeadline::onSubmit(blk::BioPtr bio)
 }
 
 void
-MqDeadline::onComplete(const blk::Bio &bio, sim::Time device_latency)
+MqDeadline::onComplete(const blk::Bio &bio,
+                       const blk::CompletionInfo &info)
 {
     (void)bio;
-    (void)device_latency;
+    (void)info;
     pump();
 }
 
@@ -63,6 +64,15 @@ MqDeadline::pump()
         if (dir == batchDir_) {
             ++batchCount_;
         } else {
+            // Direction flips are the scheduler's only interesting
+            // decision; emitting them (not every dispatch) keeps the
+            // record volume proportional to batches.
+            stat::Telemetry &tel = layer().telemetry();
+            if (tel.enabled()) {
+                tel.emit(now, "mq-deadline", stat::kNoCgroup,
+                         "batch_dir",
+                         dir == blk::Op::Write ? 1.0 : 0.0);
+            }
             batchDir_ = dir;
             batchCount_ = 1;
         }

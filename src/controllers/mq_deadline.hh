@@ -58,7 +58,7 @@ class MqDeadline : public blk::IoController
 
     void onSubmit(blk::BioPtr bio) override;
     void onComplete(const blk::Bio &bio,
-                    sim::Time device_latency) override;
+                    const blk::CompletionInfo &info) override;
 
   private:
     bool deviceHasRoom() const;

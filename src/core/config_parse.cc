@@ -6,11 +6,8 @@
 
 namespace iocost::core {
 
-namespace {
-
-/** Split a line into whitespace-separated tokens. */
 std::vector<std::string>
-tokens(const std::string &line)
+configTokens(const std::string &line)
 {
     std::vector<std::string> out;
     std::istringstream in(line);
@@ -20,10 +17,9 @@ tokens(const std::string &line)
     return out;
 }
 
-/** Parse one "key=value" token; returns false on syntax error. */
 bool
-keyValue(const std::string &tok, std::string &key,
-         std::string &value)
+configKeyValue(const std::string &tok, std::string &key,
+               std::string &value)
 {
     const auto eq = tok.find('=');
     if (eq == std::string::npos || eq == 0 ||
@@ -35,9 +31,8 @@ keyValue(const std::string &tok, std::string &key,
     return true;
 }
 
-/** Parse a positive double; returns false on garbage. */
 bool
-positiveNumber(const std::string &s, double &out)
+configPositiveNumber(const std::string &s, double &out)
 {
     char *end = nullptr;
     const double v = std::strtod(s.c_str(), &end);
@@ -46,6 +41,8 @@ positiveNumber(const std::string &s, double &out)
     out = v;
     return true;
 }
+
+namespace {
 
 /** @return true if the token looks like a "MAJ:MIN" device id. */
 bool
@@ -62,16 +59,16 @@ parseModelLine(const std::string &line)
 {
     LinearModelConfig cfg;
     bool any = false;
-    for (const std::string &tok : tokens(line)) {
+    for (const std::string &tok : configTokens(line)) {
         if (isDevNumber(tok))
             continue;
         std::string key, value;
-        if (!keyValue(tok, key, value))
+        if (!configKeyValue(tok, key, value))
             return std::nullopt;
         if (key == "ctrl" || key == "model")
             continue; // "ctrl=user model=linear" markers
         double v = 0;
-        if (!positiveNumber(value, v))
+        if (!configPositiveNumber(value, v))
             return std::nullopt;
         if (key == "rbps") {
             cfg.rbps = v;
@@ -113,16 +110,16 @@ parseQosLine(const std::string &line)
 {
     QosParams qos;
     bool any = false;
-    for (const std::string &tok : tokens(line)) {
+    for (const std::string &tok : configTokens(line)) {
         if (isDevNumber(tok))
             continue;
         std::string key, value;
-        if (!keyValue(tok, key, value))
+        if (!configKeyValue(tok, key, value))
             return std::nullopt;
         if (key == "ctrl" || key == "enable")
             continue;
         double v = 0;
-        if (!positiveNumber(value, v))
+        if (!configPositiveNumber(value, v))
             return std::nullopt;
         if (key == "rpct") {
             qos.readLatQuantile = v / 100.0;

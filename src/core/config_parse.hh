@@ -21,11 +21,25 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/cost_model.hh"
 #include "core/qos.hh"
 
 namespace iocost::core {
+
+/** Split a config line into whitespace-separated tokens. */
+std::vector<std::string> configTokens(const std::string &line);
+
+/**
+ * Split one "key=value" token into key and value.
+ * @return false on syntax error (missing '=', empty key or value).
+ */
+bool configKeyValue(const std::string &tok, std::string &key,
+                    std::string &value);
+
+/** Parse a strictly positive number; returns false on garbage. */
+bool configPositiveNumber(const std::string &s, double &out);
 
 /**
  * Parse an io.cost.model line.

@@ -177,6 +177,7 @@ IoCost::chargeAndDispatch(blk::BioPtr bio, Iocg &st,
     st.absUsage += abs_cost;
     st.statUsage += abs_cost;
     st.statWait += sim_->now() - bio->submitTime;
+    st.periodWait += sim_->now() - bio->submitTime;
     dispatchTracked(std::move(bio), st);
 }
 
@@ -321,12 +322,13 @@ IoCost::kickWaiters(cgroup::CgroupId cg)
 }
 
 void
-IoCost::onComplete(const blk::Bio &bio, sim::Time device_latency)
+IoCost::onComplete(const blk::Bio &bio,
+                   const blk::CompletionInfo &info)
 {
     if (bio.op == blk::Op::Read)
-        periodReadLat_.record(device_latency);
+        periodReadLat_.record(info.deviceLatency);
     else
-        periodWriteLat_.record(device_latency);
+        periodWriteLat_.record(info.deviceLatency);
 
     Iocg &st = iocg(bio.cgroup);
     if (st.outstanding > 0 && --st.outstanding == 0)
@@ -477,25 +479,67 @@ IoCost::runPlanning()
 
     vrateSeries_.record(now, vrate_ * 100.0);
 
+    emitPeriodTelemetry(now, elapsed, avg_vrate);
+
     // Reset period-local accounting and wake throttled cgroups under
     // the new weights and vrate. Latency histograms that were still
     // accumulating toward a stable percentile carry over.
     if (latReadReady_)
-        periodReadLat_.reset();
+        periodReadLat_.reset(now);
     if (latWriteReady_)
-        periodWriteLat_.reset();
+        periodWriteLat_.reset(now);
     for (cgroup::CgroupId cg = 0; cg < iocgs_.size(); ++cg) {
         Iocg &st = iocgs_[cg];
         st.absUsage = 0.0;
         st.hadWait = false;
         st.busyAccum = 0;
         st.busySince = now;
+        st.periodWait = 0;
         if (!st.waiting.empty())
             kickWaiters(cg);
     }
 
     lastPlanning_ = now;
     gvtimeAtPlanning_ = gvtime_;
+}
+
+void
+IoCost::emitPeriodTelemetry(sim::Time now, sim::Time elapsed,
+                            double avg_vrate)
+{
+    stat::Telemetry &tel = layer().telemetry();
+    if (!tel.enabled())
+        return;
+
+    // Machine-wide signals: the vrate the planner just settled on
+    // and the QoS completion-latency windows it judged it by.
+    tel.emit(now, "iocost", stat::kNoCgroup, "vrate_pct",
+             vrate_ * 100.0);
+    tel.emitSnapshot(now, "iocost", stat::kNoCgroup, "lat_read",
+                     periodReadLat_.snapshot(now));
+    tel.emitSnapshot(now, "iocost", stat::kNoCgroup, "lat_write",
+                     periodWriteLat_.snapshot(now));
+
+    // Per-cgroup period records for every active iocg, in the shape
+    // the kernel's iocost_monitor prints: share of the occupancy
+    // granted this period, waitq time, outstanding debt, and the
+    // donation-adjusted hierarchical weight.
+    const double granted = std::max(
+        1.0, static_cast<double>(elapsed) * avg_vrate);
+    for (cgroup::CgroupId cg = 0; cg < iocgs_.size(); ++cg) {
+        const Iocg &st = iocgs_[cg];
+        if (!st.active)
+            continue;
+        tel.emit(now, "iocost", cg, "usage_pct",
+                 100.0 * st.absUsage / granted);
+        tel.emit(now, "iocost", cg, "wait_us",
+                 sim::toMicros(st.periodWait));
+        tel.emit(now, "iocost", cg, "debt_us", st.absDebt / 1e3);
+        tel.emit(now, "iocost", cg, "hweight_inuse_pct",
+                 100.0 * tree_->hweightInuse(cg));
+        tel.emit(now, "iocost", cg, "hweight_active_pct",
+                 100.0 * tree_->hweightActive(cg));
+    }
 }
 
 } // namespace iocost::core

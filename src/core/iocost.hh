@@ -89,7 +89,7 @@ class IoCost : public blk::IoController
     void attach(blk::BlockLayer &layer) override;
     void onSubmit(blk::BioPtr bio) override;
     void onComplete(const blk::Bio &bio,
-                    sim::Time device_latency) override;
+                    const blk::CompletionInfo &info) override;
     sim::Time userspaceDelay(cgroup::CgroupId cg) override;
 
     /** Online model update (Fig. 13). Takes effect immediately. */
@@ -185,6 +185,8 @@ class IoCost : public blk::IoController
         sim::Time busySince = 0;
         /** Accumulated busy (outstanding > 0) time this period. */
         sim::Time busyAccum = 0;
+        /** Waitq time accumulated during the current period. */
+        sim::Time periodWait = 0;
         /** Throttled bios in submission order. */
         std::deque<blk::BioPtr> waiting;
         /** Pending wakeup for the waiting queue. */
@@ -231,6 +233,15 @@ class IoCost : public blk::IoController
 
     /** Planning-path donation pass. */
     void planDonation(double avg_vrate, sim::Time elapsed);
+
+    /**
+     * Publish the period's records (vrate, QoS latency percentiles,
+     * per-cgroup usage/wait/debt/hweight) into the block layer's
+     * telemetry bus. Runs just before the period-local accounting is
+     * reset, so the records describe the completed period.
+     */
+    void emitPeriodTelemetry(sim::Time now, sim::Time elapsed,
+                             double avg_vrate);
 
     IoCostConfig config_;
     sim::Simulator *sim_ = nullptr;

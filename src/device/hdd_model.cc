@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stat/telemetry.hh"
+
 namespace iocost::device {
 
 HddModel::HddModel(sim::Simulator &sim, HddSpec spec)
@@ -99,6 +101,15 @@ HddModel::maybeStartService()
     const sim::Time svc = serviceTime(*chosen.bio);
     headPos_ = chosen.bio->offset + chosen.bio->size;
     serving_ = true;
+
+    // Per-service records (seek-dominated service time and the NCQ
+    // backlog the elevator is working through) are detail-gated.
+    if (telemetry() && telemetry()->detailEnabled()) {
+        telemetry()->emit(now, "hdd", chosen.bio->cgroup,
+                          "service_us", sim::toMicros(svc));
+        telemetry()->emit(now, "hdd", stat::kNoCgroup, "ncq_depth",
+                          static_cast<double>(queue_.size()));
+    }
 
     auto owned =
         std::make_shared<blk::BioPtr>(std::move(chosen.bio));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stat/telemetry.hh"
+
 namespace iocost::device {
 
 RemoteModel::RemoteModel(sim::Simulator &sim, RemoteSpec spec)
@@ -23,6 +25,15 @@ RemoteModel::submit(blk::BioPtr &bio)
         static_cast<double>(bio->size) / spec_.bpsCap * 1e9;
     const sim::Time admitted = std::max(now, limiterNext_);
     limiterNext_ = admitted + static_cast<sim::Time>(slot_ns);
+
+    // The provisioning limiter is the controller-relevant state of a
+    // remote volume; per-request stall times are detail records.
+    if (telemetry() && telemetry()->detailEnabled() &&
+        admitted > now) {
+        telemetry()->emit(now, "remote", bio->cgroup,
+                          "limiter_wait_us",
+                          sim::toMicros(admitted - now));
+    }
 
     const double rtt = rng_.logNormal(
         static_cast<double>(spec_.baseRtt), spec_.rttSigma);

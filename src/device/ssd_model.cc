@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stat/telemetry.hh"
+
 namespace iocost::device {
 
 SsdModel::SsdModel(sim::Simulator &sim, SsdSpec spec)
@@ -85,6 +87,11 @@ SsdModel::submit(blk::BioPtr &bio)
             free_at = std::max(free_at, stall_end);
         gcNext_ = std::max(gcNext_, stall_end);
         ++hiccups_;
+        if (telemetry() && telemetry()->enabled()) {
+            telemetry()->emit(now, "ssd", stat::kNoCgroup,
+                              "hiccup_us",
+                              sim::toMicros(spec_.hiccupDuration));
+        }
         nextHiccup_ =
             stall_end + static_cast<sim::Time>(rng_.exponential(
                             static_cast<double>(
@@ -92,6 +99,14 @@ SsdModel::submit(blk::BioPtr &bio)
     }
 
     const bool was_gc = gcActive();
+    // GC regime transitions are the device's headline state change
+    // (burst buffer drained / recovered); emit edges, not levels.
+    if (telemetry() && telemetry()->enabled() &&
+        was_gc != lastGcTelemetry_) {
+        lastGcTelemetry_ = was_gc;
+        telemetry()->emit(now, "ssd", stat::kNoCgroup, "gc_active",
+                          was_gc ? 1.0 : 0.0);
+    }
     const sim::Time svc = serviceTime(*bio);
     lastEndOffset_ = bio->offset + bio->size;
 

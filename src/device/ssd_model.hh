@@ -149,6 +149,8 @@ class SsdModel : public blk::BlockDevice
     /** Next injected firmware hiccup (kTimeNever when disabled). */
     sim::Time nextHiccup_ = sim::kTimeNever;
     uint64_t hiccups_ = 0;
+    /** Last GC state published, for edge-triggered telemetry. */
+    bool lastGcTelemetry_ = false;
 };
 
 } // namespace iocost::device

@@ -136,16 +136,20 @@ FleetSim::runHostDay(const std::string &controller, int host_kind,
 
     host::HostOptions opts;
     opts.controller = controller;
+    // Slice-private ring: drained into the outcome after the run.
+    stat::RingSink ring;
+    if (cfg.telemetry)
+        opts.telemetrySink = &ring;
     if (controller == "iocost") {
         const auto &prof =
             profile::DeviceProfiler::profileSsd(spec);
-        opts.iocostConfig.model =
+        opts.controller.iocost.model =
             core::CostModel::fromConfig(prof.model);
-        opts.iocostConfig.qos.readLatTarget = 2 * sim::kMsec;
-        opts.iocostConfig.qos.writeLatTarget = 4 * sim::kMsec;
-        opts.iocostConfig.qos.period = 10 * sim::kMsec;
-        opts.iocostConfig.qos.vrateMin = 0.5;
-        opts.iocostConfig.qos.vrateMax = 2.0;
+        opts.controller.iocost.qos.readLatTarget = 2 * sim::kMsec;
+        opts.controller.iocost.qos.writeLatTarget = 4 * sim::kMsec;
+        opts.controller.iocost.qos.period = 10 * sim::kMsec;
+        opts.controller.iocost.qos.vrateMin = 0.5;
+        opts.controller.iocost.qos.vrateMax = 2.0;
     }
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),
@@ -210,11 +214,20 @@ FleetSim::runHostDay(const std::string &controller, int host_kind,
                           : cleanup.doneAt - agent_start;
     out.fetchFailed = out.fetchTime > cfg.fetchDeadline;
     out.cleanupFailed = out.cleanupTime > cfg.cleanupDeadline;
+    if (cfg.telemetry)
+        out.records = ring.drain();
     return out;
 }
 
 std::vector<FleetDayResult>
 FleetSim::run(const FleetConfig &cfg, unsigned jobs)
+{
+    return run(cfg, jobs, nullptr);
+}
+
+std::vector<FleetDayResult>
+FleetSim::run(const FleetConfig &cfg, unsigned jobs,
+              std::vector<HostDayOutcome> *outcomes_out)
 {
     const uint64_t total =
         static_cast<uint64_t>(cfg.days) * cfg.hosts;
@@ -297,6 +310,8 @@ FleetSim::run(const FleetConfig &cfg, unsigned jobs)
             static_cast<double>(migrated) / cfg.hosts;
         out.push_back(r);
     }
+    if (outcomes_out != nullptr)
+        *outcomes_out = std::move(outcomes);
     return out;
 }
 

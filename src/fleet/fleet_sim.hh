@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/time.hh"
+#include "stat/telemetry.hh"
 
 namespace iocost::fleet {
 
@@ -63,6 +64,14 @@ struct FleetConfig
 
     /** Base RNG seed. */
     uint64_t seed = 2022;
+
+    /**
+     * Capture per-slice telemetry (period-level records from the
+     * controller, block layer, and device) into
+     * HostDayOutcome::records. Off by default: the migration
+     * benches only need the aggregate counters.
+     */
+    bool telemetry = false;
 };
 
 /** One day's aggregate outcome. */
@@ -83,6 +92,8 @@ struct HostDayOutcome
     bool cleanupFailed = false;
     sim::Time fetchTime = 0;
     sim::Time cleanupTime = 0;
+    /** Telemetry captured when FleetConfig::telemetry is set. */
+    std::vector<stat::Record> records;
 };
 
 /**
@@ -117,6 +128,16 @@ class FleetSim
      */
     static std::vector<FleetDayResult> run(const FleetConfig &cfg,
                                            unsigned jobs = 1);
+
+    /**
+     * As run(), additionally exposing every host-day outcome
+     * (indexed day * cfg.hosts + host) so callers can serialize
+     * per-slice telemetry. The outcome grid, like the day results,
+     * is byte-identical for any jobs value.
+     */
+    static std::vector<FleetDayResult>
+    run(const FleetConfig &cfg, unsigned jobs,
+        std::vector<HostDayOutcome> *outcomes_out);
 
     /** Day a given host migrates (staggered across the window). */
     static unsigned migrationDay(unsigned host,

@@ -15,8 +15,11 @@ Host::Host(sim::Simulator &sim,
 
     layer_ = std::make_unique<blk::BlockLayer>(sim_, *device_, tree_);
     layer_->setSubmissionCpuEnabled(opts.submissionCpu);
+    if (opts.telemetrySink != nullptr)
+        layer_->setTelemetrySink(opts.telemetrySink);
+    layer_->telemetry().setDetail(opts.telemetryDetail);
     layer_->setController(controllers::makeController(
-        opts.controller, opts.iocostConfig));
+        opts.controller));
 
     if (opts.enableMemory) {
         mm_ = std::make_unique<mm::MemoryManager>(sim_, *layer_,

@@ -28,11 +28,23 @@ namespace iocost::host {
 /** Host assembly options. */
 struct HostOptions
 {
-    /** Mechanism name (see controllers::makeController). */
-    std::string controller = "iocost";
+    /**
+     * Mechanism plus its configuration (see
+     * controllers::makeController). Assigning a bare name string
+     * keeps the embedded configs, so `opts.controller = "kyber";`
+     * and `opts.controller.iocost.qos.period = ...;` compose in
+     * either order.
+     */
+    controllers::ControllerSpec controller = "iocost";
 
-    /** IOCost configuration when controller == "iocost". */
-    core::IoCostConfig iocostConfig;
+    /**
+     * Telemetry sink installed on the block layer (not owned; must
+     * outlive the Host). nullptr leaves telemetry disabled.
+     */
+    stat::TelemetrySink *telemetrySink = nullptr;
+
+    /** Emit per-completion detail records (see stat::Telemetry). */
+    bool telemetryDetail = false;
 
     /** Construct a MemoryManager backed by this host's device. */
     bool enableMemory = false;

@@ -34,17 +34,17 @@ hostOptions(const device::SsdSpec &spec, double vrate)
     host::HostOptions opts;
     opts.controller = "iocost";
     const auto &prof = DeviceProfiler::profileSsd(spec);
-    opts.iocostConfig.model =
+    opts.controller.iocost.model =
         core::CostModel::fromConfig(prof.model);
-    opts.iocostConfig.qos.vrateMin = vrate;
-    opts.iocostConfig.qos.vrateMax = vrate; // pinned
-    opts.iocostConfig.qos.readLatTarget = 10 * sim::kMsec;
-    opts.iocostConfig.qos.writeLatTarget = 10 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = vrate;
+    opts.controller.iocost.qos.vrateMax = vrate; // pinned
+    opts.controller.iocost.qos.readLatTarget = 10 * sim::kMsec;
+    opts.controller.iocost.qos.writeLatTarget = 10 * sim::kMsec;
     // Tuning measures worst-case interference: keep the debt
     // pacing weak so device-level throttling (vrate) is what
     // protects latency, as in the paper's procedure.
-    opts.iocostConfig.qos.debtThreshold = 50 * sim::kMsec;
-    opts.iocostConfig.qos.maxUserspaceDelay = 10 * sim::kMsec;
+    opts.controller.iocost.qos.debtThreshold = 50 * sim::kMsec;
+    opts.controller.iocost.qos.maxUserspaceDelay = 10 * sim::kMsec;
     opts.enableMemory = true;
     opts.memoryConfig.totalBytes = 1ull << 30;
     opts.memoryConfig.swapBytes = 8ull << 30;

@@ -110,6 +110,24 @@ Histogram::quantile(double q) const
     return max_;
 }
 
+WindowSnapshot
+Histogram::snapshot(sim::Time now) const
+{
+    WindowSnapshot s;
+    s.windowStart = windowStart_;
+    s.windowEnd = now;
+    s.count = count_;
+    const sim::Time elapsed = now - windowStart_;
+    if (elapsed > 0) {
+        s.perSecond = static_cast<double>(count_) /
+                      sim::toSeconds(elapsed);
+    }
+    s.mean = mean();
+    s.p50 = quantile(0.50);
+    s.p99 = quantile(0.99);
+    return s;
+}
+
 void
 Histogram::reset()
 {

@@ -17,6 +17,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/time.hh"
+#include "stat/window.hh"
+
 namespace iocost::stat {
 
 /**
@@ -65,8 +68,22 @@ class Histogram
     /** Convenience: value at percentile p in [0, 100]. */
     int64_t percentile(double p) const { return quantile(p / 100.0); }
 
-    /** Remove all observations. */
+    /** Remove all observations (window start is unchanged). */
     void reset();
+
+    /**
+     * Remove all observations and start a new measurement window at
+     * @p now (the common window convention, stat/window.hh).
+     */
+    void
+    reset(sim::Time now)
+    {
+        reset();
+        windowStart_ = now;
+    }
+
+    /** Summarize the current window as of @p now. */
+    WindowSnapshot snapshot(sim::Time now) const;
 
     /** Merge another histogram's observations into this one. */
     void merge(const Histogram &other);
@@ -82,6 +99,7 @@ class Histogram
     double sumSquares_ = 0.0;
     int64_t min_ = 0;
     int64_t max_ = 0;
+    sim::Time windowStart_ = 0;
 };
 
 } // namespace iocost::stat

@@ -9,20 +9,22 @@
 #include <cstdint>
 
 #include "sim/time.hh"
+#include "stat/window.hh"
 
 namespace iocost::stat {
 
 /**
  * Accumulates a count over simulated time and reports the average
  * rate per second between reset points. Used for IOPS / bytes-per-
- * second reporting in workloads and benches.
+ * second reporting in workloads and benches. Follows the common
+ * reset(now)/snapshot(now) window convention (stat/window.hh).
  */
 class RateMeter
 {
   public:
     /** Begin (or restart) the measurement window at time @p now. */
     void
-    start(sim::Time now)
+    reset(sim::Time now)
     {
         windowStart_ = now;
         count_ = 0;
@@ -31,10 +33,10 @@ class RateMeter
     /** Add @p n to the count. */
     void add(uint64_t n = 1) { count_ += n; }
 
-    /** Total accumulated count since start(). */
+    /** Total accumulated count since reset(). */
     uint64_t count() const { return count_; }
 
-    /** Average rate per second across [start, now]. */
+    /** Average rate per second across [reset, now]. */
     double
     perSecond(sim::Time now) const
     {
@@ -43,6 +45,18 @@ class RateMeter
             return 0.0;
         return static_cast<double>(count_) /
                sim::toSeconds(elapsed);
+    }
+
+    /** Summarize the window as of @p now (percentiles stay 0). */
+    WindowSnapshot
+    snapshot(sim::Time now) const
+    {
+        WindowSnapshot s;
+        s.windowStart = windowStart_;
+        s.windowEnd = now;
+        s.count = count_;
+        s.perSecond = perSecond(now);
+        return s;
     }
 
   private:

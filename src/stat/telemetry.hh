@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Telemetry bus: period-level observability records.
+ *
+ * The planning path, the comparison controllers, the block layer and
+ * the device models publish flat (time, source, cgroup, key, value)
+ * records into a TelemetrySink — the simulator's analogue of the
+ * kernel's iocost_monitor drgn scraper, except the data is pushed at
+ * the points where the decisions are made instead of scraped from
+ * kernel memory.
+ *
+ * Emission goes through a Telemetry handle whose enabled() check is a
+ * single pointer test: with no sink installed (the default) every
+ * publisher reduces to a branch, so simulation hot paths pay nothing
+ * (bench/perf_kernel.cc tracks this). Three sinks cover the use
+ * cases: none (default), a JSONL file (tools/iocost_mon), and an
+ * in-memory ring (tests, fleet capture).
+ *
+ * Record volume discipline: publishers emit once per planning period
+ * / evaluation window by default. Per-completion records (block layer
+ * latencies, device service details) are additionally gated behind
+ * the `detail` flag, so fleet-scale captures stay period-sized.
+ */
+
+#ifndef IOCOST_STAT_TELEMETRY_HH
+#define IOCOST_STAT_TELEMETRY_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hh"
+#include "stat/window.hh"
+
+namespace iocost::stat {
+
+/** Record cgroup value for machine-wide (non-cgroup) records. */
+inline constexpr uint32_t kNoCgroup = UINT32_MAX;
+
+/**
+ * One telemetry record. `source` names the publisher ("iocost",
+ * "kyber", "blk", "ssd", ...), `key` the metric within it
+ * ("vrate_pct", "wait_us", ...). Units are suffixed onto the key
+ * (_us, _pct, _bytes) so a record stream is self-describing.
+ */
+struct Record
+{
+    sim::Time time = 0;
+    std::string source;
+    uint32_t cgroup = kNoCgroup;
+    std::string key;
+    double value = 0.0;
+};
+
+/**
+ * Abstract telemetry sink.
+ */
+class TelemetrySink
+{
+  public:
+    virtual ~TelemetrySink() = default;
+
+    /**
+     * Whether this sink wants records at all. A sink returning false
+     * is never installed into a Telemetry handle, which keeps the
+     * publisher-side fast path a null check.
+     */
+    virtual bool enabled() const { return true; }
+
+    /** Consume one record. */
+    virtual void emit(const Record &record) = 0;
+
+    /** Flush buffered output (file sinks). */
+    virtual void flush() {}
+};
+
+/**
+ * The null sink: explicitly requests no records. Installing it is
+ * identical to installing no sink; it exists so "telemetry off" can
+ * be expressed as a sink choice in configuration code.
+ */
+class NullSink : public TelemetrySink
+{
+  public:
+    bool enabled() const override { return false; }
+    void emit(const Record &) override {}
+};
+
+/**
+ * Bounded (or unbounded) in-memory record buffer. The test sink, and
+ * the capture vehicle for fleet host-day slices.
+ */
+class RingSink : public TelemetrySink
+{
+  public:
+    /** @param capacity Max records retained; 0 = unbounded. */
+    explicit RingSink(size_t capacity = 0)
+        : capacity_(capacity)
+    {}
+
+    void
+    emit(const Record &record) override
+    {
+        records_.push_back(record);
+        if (capacity_ > 0 && records_.size() > capacity_)
+            records_.pop_front();
+    }
+
+    /** Records in emission order (oldest first). */
+    const std::deque<Record> &records() const { return records_; }
+
+    size_t size() const { return records_.size(); }
+
+    void clear() { records_.clear(); }
+
+    /** Move the records out (fleet slices hand them to the caller). */
+    std::vector<Record>
+    drain()
+    {
+        std::vector<Record> out(
+            std::make_move_iterator(records_.begin()),
+            std::make_move_iterator(records_.end()));
+        records_.clear();
+        return out;
+    }
+
+  private:
+    size_t capacity_;
+    std::deque<Record> records_;
+};
+
+/** Serialize one record as a JSONL line (with trailing newline). */
+std::string toJsonl(const Record &record);
+
+/**
+ * The inner fields of the JSONL object, without braces or newline,
+ * so callers can prepend context fields (the fleet writer adds
+ * "day" and "host").
+ */
+std::string toJsonlFields(const Record &record);
+
+/**
+ * JSONL file sink: one record per line,
+ * {"t":<ns>,"src":"...","cg":<id|-1>,"key":"...","val":<v>}.
+ */
+class JsonlSink : public TelemetrySink
+{
+  public:
+    /** Open @p path for writing (truncates). */
+    explicit JsonlSink(const std::string &path);
+
+    /** Write to an externally owned stream (e.g. stdout). */
+    explicit JsonlSink(FILE *stream)
+        : file_(stream), owned_(false)
+    {}
+
+    ~JsonlSink() override;
+
+    /** @return false when the file could not be opened. */
+    bool ok() const { return file_ != nullptr; }
+
+    void emit(const Record &record) override;
+    void flush() override;
+
+  private:
+    FILE *file_ = nullptr;
+    bool owned_ = true;
+};
+
+/**
+ * Publisher-side handle. Components own one (the BlockLayer) or
+ * borrow a pointer to it (controllers, devices); callers install a
+ * sink to start the flow. Emission is a no-op until then.
+ */
+class Telemetry
+{
+  public:
+    /**
+     * Install @p sink (not owned; nullptr disconnects). A sink whose
+     * enabled() is false is treated as nullptr so the emit fast path
+     * stays a single pointer test.
+     */
+    void
+    setSink(TelemetrySink *sink)
+    {
+        sink_ = (sink && sink->enabled()) ? sink : nullptr;
+    }
+
+    TelemetrySink *sink() const { return sink_; }
+
+    /** Fast path: anything listening? */
+    bool enabled() const { return sink_ != nullptr; }
+
+    /**
+     * Enable per-completion records (block layer / device detail).
+     * Off by default: period-level records only.
+     */
+    void setDetail(bool on) { detail_ = on; }
+
+    /** Whether per-completion records should be emitted. */
+    bool detailEnabled() const
+    {
+        return sink_ != nullptr && detail_;
+    }
+
+    /** Emit one record (no-op without a sink). */
+    void
+    emit(sim::Time time, std::string_view source, uint32_t cgroup,
+         std::string_view key, double value)
+    {
+        if (!sink_)
+            return;
+        Record r;
+        r.time = time;
+        r.source.assign(source);
+        r.cgroup = cgroup;
+        r.key.assign(key);
+        r.value = value;
+        sink_->emit(r);
+    }
+
+    /**
+     * Emit a WindowSnapshot as a set of records:
+     * <prefix>_count, <prefix>_per_sec, <prefix>_mean, <prefix>_p50,
+     * <prefix>_p99. Percentile/mean records are skipped for empty
+     * windows (count record is always emitted).
+     */
+    void emitSnapshot(sim::Time time, std::string_view source,
+                      uint32_t cgroup, std::string_view prefix,
+                      const WindowSnapshot &snap);
+
+    /** Flush the installed sink, if any. */
+    void
+    flush()
+    {
+        if (sink_)
+            sink_->flush();
+    }
+
+  private:
+    TelemetrySink *sink_ = nullptr;
+    bool detail_ = false;
+};
+
+} // namespace iocost::stat
+
+#endif // IOCOST_STAT_TELEMETRY_HH

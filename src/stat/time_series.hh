@@ -10,11 +10,13 @@
 #ifndef IOCOST_STAT_TIME_SERIES_HH
 #define IOCOST_STAT_TIME_SERIES_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sim/time.hh"
+#include "stat/window.hh"
 
 namespace iocost::stat {
 
@@ -46,6 +48,55 @@ class TimeSeries
     const std::vector<SeriesPoint> &points() const { return points_; }
     bool empty() const { return points_.empty(); }
     size_t size() const { return points_.size(); }
+
+    /**
+     * Start a new measurement window at @p now (the common window
+     * convention, stat/window.hh). Recorded points are retained —
+     * figure output needs the full series — only the window marker
+     * that snapshot() summarizes over moves forward.
+     */
+    void
+    reset(sim::Time now)
+    {
+        windowStart_ = now;
+        windowFrom_ = points_.size();
+    }
+
+    /** Summarize the samples recorded since reset() as of @p now. */
+    WindowSnapshot
+    snapshot(sim::Time now) const
+    {
+        WindowSnapshot s;
+        s.windowStart = windowStart_;
+        s.windowEnd = now;
+        s.count = points_.size() - windowFrom_;
+        const sim::Time elapsed = now - windowStart_;
+        if (elapsed > 0) {
+            s.perSecond = static_cast<double>(s.count) /
+                          sim::toSeconds(elapsed);
+        }
+        if (s.count == 0)
+            return s;
+        std::vector<double> vals;
+        vals.reserve(s.count);
+        double sum = 0.0;
+        for (size_t i = windowFrom_; i < points_.size(); ++i) {
+            vals.push_back(points_[i].value);
+            sum += points_[i].value;
+        }
+        s.mean = sum / static_cast<double>(s.count);
+        std::sort(vals.begin(), vals.end());
+        auto at = [&](double q) {
+            const size_t idx = std::min(
+                vals.size() - 1,
+                static_cast<size_t>(q *
+                                    static_cast<double>(vals.size())));
+            return static_cast<int64_t>(vals[idx]);
+        };
+        s.p50 = at(0.50);
+        s.p99 = at(0.99);
+        return s;
+    }
 
     /** Mean of all sample values, 0 when empty. */
     double
@@ -99,6 +150,8 @@ class TimeSeries
   private:
     std::string name_;
     std::vector<SeriesPoint> points_;
+    sim::Time windowStart_ = 0;
+    size_t windowFrom_ = 0;
 };
 
 } // namespace iocost::stat

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The common windowed-statistic convention.
+ *
+ * Every period-resettable statistic (RateMeter, Histogram,
+ * TimeSeries) exposes the same pair of operations:
+ *
+ *   reset(now)     — start a new measurement window at `now`;
+ *   snapshot(now)  — summarize the current window as of `now`.
+ *
+ * A WindowSnapshot is the lowest common denominator the telemetry
+ * layer can flush uniformly: fields a given statistic cannot supply
+ * (e.g. percentiles of a pure counter) stay zero. Consumers check
+ * `count` before trusting the derived fields.
+ */
+
+#ifndef IOCOST_STAT_WINDOW_HH
+#define IOCOST_STAT_WINDOW_HH
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace iocost::stat {
+
+/** Summary of one measurement window. */
+struct WindowSnapshot
+{
+    /** Window bounds ([start, end], simulated time). */
+    sim::Time windowStart = 0;
+    sim::Time windowEnd = 0;
+
+    /** Observations recorded within the window. */
+    uint64_t count = 0;
+
+    /** count / window length (0 when the window is empty). */
+    double perSecond = 0.0;
+
+    /** Mean observed value (0 when not applicable). */
+    double mean = 0.0;
+
+    /** Median and tail value (0 when not applicable). */
+    int64_t p50 = 0;
+    int64_t p99 = 0;
+};
+
+} // namespace iocost::stat
+
+#endif // IOCOST_STAT_WINDOW_HH

@@ -67,6 +67,73 @@ TEST(Factory, AllMechanismsConstruct)
     }
 }
 
+TEST(Factory, SpecNameAssignmentKeepsConfigs)
+{
+    controllers::ControllerSpec spec;
+    spec.iocost.qos.period = 42 * sim::kMsec;
+    spec.kyber.maxWriteDepth = 7;
+    // Assigning a bare mechanism name must not wipe the configs,
+    // so "set name" and "set config" compose in either order.
+    spec = "kyber";
+    EXPECT_EQ(spec.name, "kyber");
+    EXPECT_EQ(spec.iocost.qos.period, 42 * sim::kMsec);
+    EXPECT_EQ(spec.kyber.maxWriteDepth, 7u);
+}
+
+TEST(Factory, ParseControllerSpecLines)
+{
+    const auto kyber = controllers::parseControllerSpec(
+        "kyber rlat=1000 wlat=8000 wdepth=32");
+    ASSERT_TRUE(kyber.has_value());
+    EXPECT_EQ(kyber->name, "kyber");
+    EXPECT_EQ(kyber->kyber.readTarget, 1 * sim::kMsec);
+    EXPECT_EQ(kyber->kyber.writeTarget, 8 * sim::kMsec);
+    EXPECT_EQ(kyber->kyber.maxWriteDepth, 32u);
+
+    const auto thr = controllers::parseControllerSpec(
+        "blk-throttle rbps=100e6 wiops=500");
+    ASSERT_TRUE(thr.has_value());
+    EXPECT_DOUBLE_EQ(thr->throttle.defaultLimits.rbps, 100e6);
+    EXPECT_DOUBLE_EQ(thr->throttle.defaultLimits.wiops, 500.0);
+
+    const auto ioc = controllers::parseControllerSpec(
+        "iocost rbps=500000000 rseqiops=10000 rrandiops=8000 "
+        "wbps=400000000 wseqiops=9000 wrandiops=7000 "
+        "rpct=90 rlat=2000 min=50 max=150 donation=0 debt=root");
+    ASSERT_TRUE(ioc.has_value());
+    EXPECT_FALSE(ioc->iocost.donationEnabled);
+    EXPECT_EQ(ioc->iocost.debtMode, core::DebtMode::RootCharge);
+    EXPECT_DOUBLE_EQ(ioc->iocost.qos.readLatQuantile, 0.90);
+    EXPECT_EQ(ioc->iocost.qos.readLatTarget, 2 * sim::kMsec);
+    EXPECT_DOUBLE_EQ(ioc->iocost.qos.vrateMin, 0.5);
+
+    // Bare names parse; junk does not.
+    EXPECT_TRUE(controllers::parseControllerSpec("none"));
+    EXPECT_FALSE(controllers::parseControllerSpec(""));
+    EXPECT_FALSE(controllers::parseControllerSpec("cfq"));
+    EXPECT_FALSE(
+        controllers::parseControllerSpec("kyber bogus=1"));
+    EXPECT_FALSE(
+        controllers::parseControllerSpec("iocost debt=bogus"));
+}
+
+TEST(Factory, SpecConfigsReachControllers)
+{
+    controllers::ControllerSpec spec("blk-throttle");
+    spec.throttle.defaultLimits.riops = 123;
+    auto ctl = controllers::makeController(spec);
+    auto *thr =
+        dynamic_cast<controllers::BlkThrottle *>(ctl.get());
+    ASSERT_NE(thr, nullptr);
+    // Spot-check via behaviour below (ThrottleHardLimits); here we
+    // just assert the factory dispatched the right type per name.
+    for (const auto &name : controllers::allMechanisms()) {
+        auto c = controllers::makeController(
+            controllers::ControllerSpec(name));
+        EXPECT_EQ(c->caps().name, name);
+    }
+}
+
 TEST(Factory, TableOneCapabilityMatrix)
 {
     // The paper's Table 1, row by row.

@@ -29,13 +29,13 @@ iocostOptions(const device::SsdSpec &spec)
 {
     host::HostOptions opts;
     opts.controller = "iocost";
-    opts.iocostConfig.model = core::CostModel::fromConfig(
+    opts.controller.iocost.model = core::CostModel::fromConfig(
         profile::DeviceProfiler::profileSsd(spec).model);
-    opts.iocostConfig.qos.readLatTarget = 250 * sim::kUsec;
-    opts.iocostConfig.qos.writeLatTarget = 2 * sim::kMsec;
-    opts.iocostConfig.qos.period = 10 * sim::kMsec;
-    opts.iocostConfig.qos.vrateMin = 0.25;
-    opts.iocostConfig.qos.vrateMax = 1.0;
+    opts.controller.iocost.qos.readLatTarget = 250 * sim::kUsec;
+    opts.controller.iocost.qos.writeLatTarget = 2 * sim::kMsec;
+    opts.controller.iocost.qos.period = 10 * sim::kMsec;
+    opts.controller.iocost.qos.vrateMin = 0.25;
+    opts.controller.iocost.qos.vrateMax = 1.0;
     return opts;
 }
 
@@ -103,9 +103,9 @@ TEST(Scenario, Fig13VrateCompensatesModelError)
     sim::Simulator sim(3003);
     const device::SsdSpec spec = device::newGenSsd();
     host::HostOptions opts = iocostOptions(spec);
-    opts.iocostConfig.qos.readLatTarget = 250 * sim::kUsec;
-    opts.iocostConfig.qos.vrateMin = 0.25;
-    opts.iocostConfig.qos.vrateMax = 4.0;
+    opts.controller.iocost.qos.readLatTarget = 250 * sim::kUsec;
+    opts.controller.iocost.qos.vrateMin = 0.25;
+    opts.controller.iocost.qos.vrateMax = 4.0;
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),
                     opts);
@@ -134,8 +134,8 @@ TEST(Scenario, Fig14MemoryIsolationHeadline)
         const device::SsdSpec spec = device::oldGenSsd();
         host::HostOptions opts = iocostOptions(spec);
         opts.controller = controller;
-        opts.iocostConfig.qos.readLatTarget = 2 * sim::kMsec;
-        opts.iocostConfig.qos.vrateMin = 0.5;
+        opts.controller.iocost.qos.readLatTarget = 2 * sim::kMsec;
+        opts.controller.iocost.qos.vrateMin = 0.5;
         opts.enableMemory = true;
         opts.memoryConfig.totalBytes = 2ull << 30;
         opts.memoryConfig.swapBytes = 8ull << 30;
@@ -192,10 +192,10 @@ TEST(Scenario, Fig16SnapshotBurstHeadline)
         spec.sustainedWriteBps = 400e6;
         host::HostOptions opts;
         opts.controller = controller;
-        opts.iocostConfig.model = core::CostModel::fromConfig(
+        opts.controller.iocost.model = core::CostModel::fromConfig(
             profile::DeviceProfiler::profileSsd(spec).model);
-        opts.iocostConfig.qos.writeLatTarget = 30 * sim::kMsec;
-        opts.iocostConfig.qos.vrateMax = 1.0;
+        opts.controller.iocost.qos.writeLatTarget = 30 * sim::kMsec;
+        opts.controller.iocost.qos.vrateMax = 1.0;
         host::Host host(
             sim, std::make_unique<device::SsdModel>(sim, spec),
             opts);
@@ -247,13 +247,13 @@ TEST(Scenario, Fig17RemoteProtectionHeadline)
         const device::RemoteSpec spec = device::awsGp3();
         host::HostOptions opts;
         opts.controller = controller;
-        opts.iocostConfig.model = core::CostModel::fromConfig(
+        opts.controller.iocost.model = core::CostModel::fromConfig(
             profile::DeviceProfiler::profileRemote(spec).model);
-        opts.iocostConfig.qos.readLatTarget = 8 * spec.baseRtt;
-        opts.iocostConfig.qos.writeLatTarget = 12 * spec.baseRtt;
-        opts.iocostConfig.qos.debtThreshold = 5 * sim::kMsec;
-        opts.iocostConfig.qos.maxUserspaceDelay = 2 * sim::kSec;
-        opts.iocostConfig.qos.vrateMax = 1.0;
+        opts.controller.iocost.qos.readLatTarget = 8 * spec.baseRtt;
+        opts.controller.iocost.qos.writeLatTarget = 12 * spec.baseRtt;
+        opts.controller.iocost.qos.debtThreshold = 5 * sim::kMsec;
+        opts.controller.iocost.qos.maxUserspaceDelay = 2 * sim::kSec;
+        opts.controller.iocost.qos.vrateMax = 1.0;
         opts.enableMemory = true;
         opts.memoryConfig.totalBytes = 2ull << 30;
         opts.memoryConfig.chargeSwapToOwner =

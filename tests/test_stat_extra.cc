@@ -16,7 +16,7 @@ using namespace iocost;
 TEST(RateMeter, AveragesOverWindow)
 {
     stat::RateMeter m;
-    m.start(0);
+    m.reset(0);
     m.add(500);
     EXPECT_DOUBLE_EQ(m.perSecond(500 * sim::kMsec), 1000.0);
     m.add(500);
@@ -26,9 +26,9 @@ TEST(RateMeter, AveragesOverWindow)
 TEST(RateMeter, RestartResetsCount)
 {
     stat::RateMeter m;
-    m.start(0);
+    m.reset(0);
     m.add(100);
-    m.start(1 * sim::kSec);
+    m.reset(1 * sim::kSec);
     EXPECT_EQ(m.count(), 0u);
     EXPECT_DOUBLE_EQ(m.perSecond(1 * sim::kSec), 0.0);
 }

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * iocost_mon — period-level observability console.
+ *
+ * The simulation analogue of the kernel's iocost_monitor drgn
+ * script: it replays a scenario with a telemetry sink installed and
+ * renders what the controller did each planning period — vrate,
+ * per-cgroup usage, wait, debt, and hierarchical weights — instead
+ * of only end-of-run aggregates.
+ *
+ * Single-host mode mirrors iocost_sim's flags:
+ *   iocost_mon [--device oldgen|newgen|enterprise|hdd|gp3|io2|
+ *               pd-balanced|pd-ssd]
+ *              [--controller "<spec>"] [--model "..."] [--qos "..."]
+ *              [--seconds N] [--seed N] [--job name:key=value:...]
+ *              [--every N]     render every Nth period (default:
+ *                              auto, ~32 rows)
+ *              [--detail]      per-completion device/blk records
+ *              [--out FILE]    also dump every record as JSONL
+ *
+ * Fleet mode replays the §4.8 migration studies with telemetry on,
+ * writing one JSONL record per telemetry sample prefixed with the
+ * (day, host) slice coordinates. Output is byte-identical for any
+ * --jobs value (records are serialized in (day, host, time) order):
+ *   iocost_mon --fleet --scenario fig18|fig19
+ *              [--hosts N] [--days N] [--jobs N] [--out FILE]
+ *
+ * Examples:
+ *   iocost_mon --device newgen --seconds 5 \
+ *     --job web:weight=200:depth=32 --job batch:weight=100:depth=32
+ *   iocost_mon --fleet --scenario fig18 --jobs 8 --out fig18.jsonl
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config_parse.hh"
+#include "device/device_profiles.hh"
+#include "device/hdd_model.hh"
+#include "device/remote_model.hh"
+#include "device/ssd_model.hh"
+#include "fleet/fleet_sim.hh"
+#include "host/host.hh"
+#include "profile/device_profiler.hh"
+#include "sim/logging.hh"
+#include "stat/telemetry.hh"
+#include "workload/fio_workload.hh"
+
+namespace {
+
+using namespace iocost;
+
+struct JobSpec
+{
+    std::string name = "job";
+    uint32_t weight = 100;
+    workload::FioConfig fio;
+};
+
+/** Parse "name:key=value:..." (same grammar as iocost_sim). */
+JobSpec
+parseJob(const std::string &arg)
+{
+    JobSpec job;
+    size_t pos = 0;
+    bool first = true;
+    while (pos <= arg.size()) {
+        const size_t colon = arg.find(':', pos);
+        const std::string part =
+            arg.substr(pos, colon == std::string::npos
+                                ? std::string::npos
+                                : colon - pos);
+        if (first) {
+            job.name = part;
+            first = false;
+        } else {
+            const size_t eq = part.find('=');
+            if (eq == std::string::npos)
+                sim::fatal("bad job attribute: " + part);
+            const std::string key = part.substr(0, eq);
+            const std::string value = part.substr(eq + 1);
+            if (key == "weight") {
+                job.weight =
+                    static_cast<uint32_t>(std::stoul(value));
+            } else if (key == "depth") {
+                job.fio.iodepth =
+                    static_cast<unsigned>(std::stoul(value));
+            } else if (key == "bs") {
+                job.fio.blockSize =
+                    static_cast<uint32_t>(std::stoul(value));
+            } else if (key == "rw") {
+                job.fio.readFraction = value == "read"    ? 1.0
+                                       : value == "write" ? 0.0
+                                                          : 0.5;
+            } else if (key == "pattern") {
+                job.fio.randomFraction =
+                    value == "seq" ? 0.0 : 1.0;
+            } else if (key == "rate") {
+                job.fio.arrival = workload::Arrival::Rate;
+                job.fio.ratePerSec = std::stod(value);
+            } else {
+                sim::fatal("unknown job key: " + key);
+            }
+        }
+        if (colon == std::string::npos)
+            break;
+        pos = colon + 1;
+    }
+    return job;
+}
+
+std::unique_ptr<blk::BlockDevice>
+makeDevice(const std::string &name, sim::Simulator &sim,
+           core::LinearModelConfig &model_out)
+{
+    auto ssd = [&](const device::SsdSpec &spec) {
+        model_out =
+            profile::DeviceProfiler::profileSsd(spec).model;
+        return std::make_unique<device::SsdModel>(sim, spec);
+    };
+    if (name == "oldgen")
+        return ssd(device::oldGenSsd());
+    if (name == "newgen")
+        return ssd(device::newGenSsd());
+    if (name == "enterprise")
+        return ssd(device::enterpriseSsd());
+    if (name == "hdd") {
+        model_out = profile::DeviceProfiler::profileHdd(
+                        device::nearlineHdd())
+                        .model;
+        return std::make_unique<device::HddModel>(
+            sim, device::nearlineHdd());
+    }
+    const device::RemoteSpec *remote = nullptr;
+    static const device::RemoteSpec gp3 = device::awsGp3();
+    static const device::RemoteSpec io2 = device::awsIo2();
+    static const device::RemoteSpec pdb = device::gcpBalanced();
+    static const device::RemoteSpec pds = device::gcpSsd();
+    if (name == "gp3")
+        remote = &gp3;
+    else if (name == "io2")
+        remote = &io2;
+    else if (name == "pd-balanced")
+        remote = &pdb;
+    else if (name == "pd-ssd")
+        remote = &pds;
+    if (remote) {
+        model_out =
+            profile::DeviceProfiler::profileRemote(*remote).model;
+        return std::make_unique<device::RemoteModel>(sim, *remote);
+    }
+    sim::fatal("unknown device: " + name);
+}
+
+/** One planning period reassembled from the record stream. */
+struct Period
+{
+    sim::Time time = 0;
+    double vratePct = 0.0;
+    // key ("lat_read_p50" etc.) -> value for host-wide records.
+    std::map<std::string, double> global;
+    // cgroup -> key -> value.
+    std::map<uint32_t, std::map<std::string, double>> cgroups;
+};
+
+/** Group the iocost-source records into planning periods. */
+std::vector<Period>
+collectPeriods(const std::vector<stat::Record> &records)
+{
+    std::vector<Period> periods;
+    for (const stat::Record &r : records) {
+        if (r.source != "iocost")
+            continue;
+        if (r.key == "vrate_pct") {
+            periods.emplace_back();
+            periods.back().time = r.time;
+            periods.back().vratePct = r.value;
+            continue;
+        }
+        if (periods.empty())
+            continue; // records before the first period marker
+        if (r.cgroup == stat::kNoCgroup)
+            periods.back().global[r.key] = r.value;
+        else
+            periods.back().cgroups[r.cgroup][r.key] = r.value;
+    }
+    return periods;
+}
+
+double
+field(const std::map<std::string, double> &m,
+      const std::string &key)
+{
+    const auto it = m.find(key);
+    return it == m.end() ? 0.0 : it->second;
+}
+
+void
+printPeriods(const std::vector<Period> &periods,
+             cgroup::CgroupTree &tree, unsigned every)
+{
+    if (every == 0) {
+        every = static_cast<unsigned>(
+            std::max<size_t>(1, periods.size() / 32));
+    }
+    for (size_t i = 0; i < periods.size(); i += every) {
+        const Period &p = periods[i];
+        // Histogram-backed snapshots record nanoseconds.
+        std::printf(
+            "[%8.3fs] vrate=%6.1f%%  rlat p50/p99=%5.0f/%5.0fus"
+            "  wlat p50/p99=%5.0f/%5.0fus\n",
+            sim::toSeconds(p.time), p.vratePct,
+            field(p.global, "lat_read_p50") / 1e3,
+            field(p.global, "lat_read_p99") / 1e3,
+            field(p.global, "lat_write_p50") / 1e3,
+            field(p.global, "lat_write_p99") / 1e3);
+        std::printf("  %-28s %7s %8s %8s %9s %9s\n", "cgroup",
+                    "usage%", "wait_ms", "debt_ms", "hw_inuse%",
+                    "hw_active%");
+        for (const auto &[cg, vals] : p.cgroups) {
+            std::printf(
+                "  %-28s %7.1f %8.2f %8.2f %9.1f %9.1f\n",
+                tree.path(cg).c_str(), field(vals, "usage_pct"),
+                field(vals, "wait_us") / 1e3,
+                field(vals, "debt_us") / 1e3,
+                field(vals, "hweight_inuse_pct"),
+                field(vals, "hweight_active_pct"));
+        }
+    }
+}
+
+int
+runSingleHost(const std::string &device_name,
+              const std::string &controller,
+              const std::string &model_line,
+              const std::string &qos_line, double seconds,
+              uint64_t seed, std::vector<JobSpec> jobs,
+              unsigned every, bool detail,
+              const std::string &out_path)
+{
+    sim::Simulator sim(seed);
+    core::LinearModelConfig model;
+    auto device = makeDevice(device_name, sim, model);
+
+    if (!model_line.empty()) {
+        const auto parsed = core::parseModelLine(model_line);
+        if (!parsed)
+            sim::fatal("bad --model line");
+        model = *parsed;
+    }
+
+    const auto spec = controllers::parseControllerSpec(controller);
+    if (!spec)
+        sim::fatal("bad --controller spec: " + controller);
+
+    stat::RingSink ring;
+
+    host::HostOptions opts;
+    opts.controller = *spec;
+    opts.controller.iocost.model =
+        core::CostModel::fromConfig(model);
+    opts.controller.iocost.qos.vrateMin = 0.5;
+    opts.controller.iocost.qos.vrateMax = 1.0;
+    if (!qos_line.empty()) {
+        const auto parsed = core::parseQosLine(qos_line);
+        if (!parsed)
+            sim::fatal("bad --qos line");
+        opts.controller.iocost.qos = *parsed;
+    }
+    opts.telemetrySink = &ring;
+    opts.telemetryDetail = detail;
+
+    host::Host host(sim, std::move(device), opts);
+
+    if (jobs.empty()) {
+        jobs.push_back(parseJob("web:weight=200:depth=32"));
+        jobs.push_back(parseJob("batch:weight=100:depth=32"));
+    }
+
+    std::printf("device=%s controller=%s seconds=%.1f seed=%llu\n",
+                device_name.c_str(), spec->name.c_str(), seconds,
+                static_cast<unsigned long long>(seed));
+
+    std::vector<std::unique_ptr<workload::FioWorkload>> running;
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        JobSpec &js = jobs[j];
+        const auto cg = host.addWorkload(js.name, js.weight);
+        js.fio.offsetBase = j << 40;
+        running.push_back(std::make_unique<workload::FioWorkload>(
+            sim, host.layer(), cg, js.fio));
+        running.back()->start();
+    }
+    sim.runUntil(static_cast<sim::Time>(seconds * sim::kSec));
+
+    const auto &records = ring.records();
+    const auto periods = collectPeriods(
+        std::vector<stat::Record>(records.begin(), records.end()));
+    if (periods.empty()) {
+        // Non-iocost controllers have no planning periods; show
+        // what the stream contains instead.
+        std::map<std::string, uint64_t> by_source;
+        for (const stat::Record &r : records)
+            ++by_source[r.source + "/" + r.key];
+        std::printf("%zu records, no iocost periods:\n",
+                    records.size());
+        for (const auto &[k, n] : by_source) {
+            std::printf("  %-32s %8llu\n", k.c_str(),
+                        static_cast<unsigned long long>(n));
+        }
+    } else {
+        printPeriods(periods, host.tree(), every);
+        std::printf("%zu planning periods, %zu records\n",
+                    periods.size(), records.size());
+    }
+
+    if (!out_path.empty()) {
+        stat::JsonlSink out(out_path);
+        if (!out.ok())
+            sim::fatal("cannot write " + out_path);
+        for (const stat::Record &r : records)
+            out.emit(r);
+        out.flush();
+        std::printf("wrote %zu records to %s\n", records.size(),
+                    out_path.c_str());
+    }
+    return 0;
+}
+
+int
+runFleet(const std::string &scenario, fleet::FleetConfig cfg,
+         unsigned jobs, const std::string &out_path)
+{
+    if (scenario == "fig18") {
+        cfg.seed = 1818;
+    } else if (scenario == "fig19") {
+        cfg.seed = 1919;
+    } else if (!scenario.empty()) {
+        sim::fatal("unknown --scenario (fig18|fig19): " + scenario);
+    }
+    cfg.telemetry = true;
+
+    std::printf("fleet replay: scenario=%s hosts=%u days=%u "
+                "jobs=%u seed=%llu\n",
+                scenario.empty() ? "custom" : scenario.c_str(),
+                cfg.hosts, cfg.days, jobs,
+                static_cast<unsigned long long>(cfg.seed));
+
+    std::vector<fleet::HostDayOutcome> outcomes;
+    const auto days = fleet::FleetSim::run(cfg, jobs, &outcomes);
+
+    FILE *out = stdout;
+    if (!out_path.empty()) {
+        out = std::fopen(out_path.c_str(), "w");
+        if (out == nullptr)
+            sim::fatal("cannot write " + out_path);
+    }
+
+    // Serialize the outcome grid in (day, host, time) order: that
+    // is already the natural record order inside each slice, and
+    // the grid itself is (day, host)-indexed, so the byte stream
+    // is independent of the worker count.
+    uint64_t written = 0;
+    for (unsigned day = 0; day < cfg.days; ++day) {
+        for (unsigned h = 0; h < cfg.hosts; ++h) {
+            const auto &o =
+                outcomes[static_cast<uint64_t>(day) * cfg.hosts +
+                         h];
+            for (const stat::Record &r : o.records) {
+                std::fprintf(out, "{\"day\":%u,\"host\":%u,%s}\n",
+                             day, h,
+                             stat::toJsonlFields(r).c_str());
+                ++written;
+            }
+        }
+    }
+    if (out != stdout) {
+        std::fclose(out);
+        std::printf("wrote %llu records to %s\n",
+                    static_cast<unsigned long long>(written),
+                    out_path.c_str());
+    }
+
+    std::printf("%5s %10s %10s %10s\n", "day", "on-iocost",
+                "fetchfail", "cleanfail");
+    for (const auto &d : days) {
+        std::printf("%5u %9.0f%% %10u %10u\n", d.day,
+                    100.0 * d.fractionOnIoCost, d.fetchFailures,
+                    d.cleanupFailures);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string device_name = "newgen";
+    std::string controller = "iocost";
+    std::string model_line, qos_line, out_path, scenario;
+    double seconds = 5.0;
+    uint64_t seed = 42;
+    unsigned every = 0;
+    bool detail = false;
+    std::vector<JobSpec> jobs;
+    bool fleet_mode = false;
+    fleet::FleetConfig fleet_cfg;
+    // Replay default: a slice of the fleet large enough to cover
+    // both host generations and the full migration window without
+    // generating hundreds of megabytes of JSONL.
+    fleet_cfg.hosts = 12;
+    fleet_cfg.days = 8;
+    fleet_cfg.migrationStartDay = 2;
+    fleet_cfg.migrationEndDay = 6;
+    unsigned fleet_jobs = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                sim::fatal(arg + " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--device") {
+            device_name = next();
+        } else if (arg == "--controller") {
+            controller = next();
+        } else if (arg == "--model") {
+            model_line = next();
+        } else if (arg == "--qos") {
+            qos_line = next();
+        } else if (arg == "--seconds") {
+            seconds = std::stod(next());
+        } else if (arg == "--seed") {
+            seed = std::stoull(next());
+        } else if (arg == "--job") {
+            jobs.push_back(parseJob(next()));
+        } else if (arg == "--every") {
+            every = static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--detail") {
+            detail = true;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--fleet") {
+            fleet_mode = true;
+        } else if (arg == "--scenario") {
+            scenario = next();
+        } else if (arg == "--hosts") {
+            fleet_cfg.hosts =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--days") {
+            fleet_cfg.days =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--jobs") {
+            fleet_jobs =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header of tools/iocost_mon.cc\n");
+            return 0;
+        } else {
+            sim::fatal("unknown flag: " + arg);
+        }
+    }
+
+    if (fleet_mode)
+        return runFleet(scenario, fleet_cfg, fleet_jobs, out_path);
+    return runSingleHost(device_name, controller, model_line,
+                         qos_line, seconds, seed, std::move(jobs),
+                         every, detail, out_path);
+}

@@ -11,8 +11,11 @@
  * Usage:
  *   iocost_sim [--device oldgen|newgen|enterprise|hdd|gp3|io2|
  *               pd-balanced|pd-ssd]
- *              [--controller none|mq-deadline|kyber|bfq|
- *               blk-throttle|iolatency|iocost]
+ *              [--controller "<spec>"]  a mechanism name (none,
+ *               mq-deadline, kyber, bfq, blk-throttle, iolatency,
+ *               iocost) optionally followed by key=value settings —
+ *               see controllers::parseControllerSpec, e.g.
+ *               "kyber rlat=1000 wlat=8000"
  *              [--model "<io.cost.model line>"]   (default: profile)
  *              [--qos "<io.cost.qos line>"]
  *              [--seconds N] [--seed N]
@@ -239,28 +242,45 @@ main(int argc, char **argv)
         model = *parsed;
     }
 
+    const auto spec = controllers::parseControllerSpec(controller);
+    if (!spec)
+        sim::fatal("bad --controller spec: " + controller);
+
     host::HostOptions opts;
-    opts.controller = controller;
-    opts.iocostConfig.model = core::CostModel::fromConfig(model);
-    opts.iocostConfig.qos.vrateMin = 0.5;
-    opts.iocostConfig.qos.vrateMax = 1.0;
+    opts.controller = *spec;
+    // The iocost settings a bare mechanism name leaves at their
+    // struct defaults come from the device profile and the
+    // --model/--qos kernel-format lines instead; a spec line that
+    // carries its own model/qos keys wins over the profile.
+    const std::string spec_rest =
+        controller.find(' ') == std::string::npos
+            ? std::string()
+            : controller.substr(controller.find(' ') + 1);
+    if (!core::parseModelLine(spec_rest)) {
+        opts.controller.iocost.model =
+            core::CostModel::fromConfig(model);
+    }
+    if (!core::parseQosLine(spec_rest)) {
+        opts.controller.iocost.qos.vrateMin = 0.5;
+        opts.controller.iocost.qos.vrateMax = 1.0;
+    }
     if (!qos_line.empty()) {
         const auto parsed = core::parseQosLine(qos_line);
         if (!parsed)
             sim::fatal("bad --qos line");
-        opts.iocostConfig.qos = *parsed;
+        opts.controller.iocost.qos = *parsed;
     }
 
     host::Host host(sim, std::move(device), opts);
 
     std::printf("device=%s controller=%s seconds=%.1f seed=%llu\n",
-                device_name.c_str(), controller.c_str(), seconds,
+                device_name.c_str(), spec->name.c_str(), seconds,
                 static_cast<unsigned long long>(seed));
     std::printf("io.cost.model: %s\n",
                 core::formatModelLine(model).c_str());
-    if (controller == "iocost") {
+    if (spec->name == "iocost") {
         std::printf("io.cost.qos:   %s\n",
-                    core::formatQosLine(opts.iocostConfig.qos)
+                    core::formatQosLine(opts.controller.iocost.qos)
                         .c_str());
     }
 
