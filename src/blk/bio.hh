@@ -6,16 +6,26 @@
  * care about: operation type, byte offset and size, the issuing
  * cgroup, and flags identifying swap and filesystem-metadata IO
  * (which get special priority-inversion treatment, paper §3.5).
+ *
+ * Allocation model (mirroring the kernel's bio_set slabs): bios are
+ * recycled through a per-thread BioPool arena, so the steady-state
+ * submit→throttle→dispatch→complete path never touches the global
+ * allocator. A BioPtr is a unique_ptr whose deleter returns the bio
+ * to its owning pool instead of freeing it; completion callbacks are
+ * move-only InlineFunctions stored inside the bio itself (the
+ * kernel's bi_end_io + bi_private, not a heap-allocated closure).
  */
 
 #ifndef IOCOST_BLK_BIO_HH
 #define IOCOST_BLK_BIO_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "cgroup/cgroup_tree.hh"
+#include "sim/inline_function.hh"
 #include "sim/time.hh"
 
 namespace iocost::blk {
@@ -35,12 +45,26 @@ opName(Op op)
 }
 
 struct Bio;
+class BioPool;
+
+/** Returns a bio to its owning pool (or the heap when unpooled). */
+struct BioDeleter
+{
+    void operator()(Bio *bio) const noexcept;
+};
 
 /** Bios are owned uniquely and moved through the pipeline. */
-using BioPtr = std::unique_ptr<Bio>;
+using BioPtr = std::unique_ptr<Bio, BioDeleter>;
 
-/** Completion callback delivered to the submitter. */
-using BioEndFn = std::function<void(const Bio &)>;
+/**
+ * Completion callback delivered to the submitter. Move-only with
+ * inline storage: a capture up to kInlineBytes (an object pointer, a
+ * keep-alive shared_ptr and a few scalars) lives inside the bio and
+ * costs no allocation. Oversized captures fall back to the heap —
+ * fine on cold paths, a bug on the per-IO fast path (the bio-path
+ * bench asserts zero steady-state allocations).
+ */
+using BioEndFn = sim::InlineFunction<void(const Bio &), 48>;
 
 /**
  * One block IO request.
@@ -84,27 +108,65 @@ struct Bio
     BioEndFn onComplete;
 
     /**
+     * Completion callbacks of bios back-merged into this one, run
+     * after onComplete in merge order. A flat list, not a chain of
+     * nested closures: capture size stays constant per merge, and
+     * the vector's capacity survives pool recycling so repeated
+     * merging settles into zero allocations.
+     */
+    std::vector<BioEndFn> moreCompletions;
+
+    /**
      * Scratch slot for the installed controller (IOCost stores the
      * absolute cost computed at submission so queued bios are not
      * re-classified). Mirrors the kernel's per-bio blkcg annotations.
      */
     double controllerScratch = 0.0;
 
-    /** Convenience factory. */
-    static BioPtr
-    make(Op op, uint64_t offset, uint32_t size,
-         cgroup::CgroupId cg, BioEndFn on_complete = nullptr)
+    /** Owning pool; null for plain heap-allocated bios. */
+    BioPool *pool = nullptr;
+
+    /** Append a completion callback (used by the back-merge path). */
+    void
+    addCompletion(BioEndFn fn)
     {
-        auto bio = std::make_unique<Bio>();
-        bio->op = op;
-        bio->offset = offset;
-        bio->size = size;
-        bio->cgroup = cg;
-        bio->onComplete = std::move(on_complete);
-        return bio;
+        if (!onComplete)
+            onComplete = std::move(fn);
+        else
+            moreCompletions.push_back(std::move(fn));
     }
+
+    /** @return true if any completion callback is attached. */
+    bool
+    hasCompletion() const
+    {
+        return static_cast<bool>(onComplete) ||
+               !moreCompletions.empty();
+    }
+
+    /** Run every attached completion callback, in attach order. */
+    void
+    runCompletions()
+    {
+        if (onComplete)
+            onComplete(*this);
+        for (BioEndFn &fn : moreCompletions)
+            fn(*this);
+    }
+
+    /**
+     * Convenience factory: draws from the calling thread's BioPool
+     * arena (defined in bio_pool.hh).
+     */
+    static BioPtr make(Op op, uint64_t offset, uint32_t size,
+                       cgroup::CgroupId cg,
+                       BioEndFn on_complete = {});
 };
 
 } // namespace iocost::blk
+
+// The pool header completes BioDeleter and Bio::make; including it
+// here means every bio user sees the full allocation API.
+#include "blk/bio_pool.hh" // IWYU pragma: keep
 
 #endif // IOCOST_BLK_BIO_HH

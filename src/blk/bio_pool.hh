@@ -1,0 +1,259 @@
+/**
+ * @file
+ * BioPool: a slab/free-list arena recycling Bio objects.
+ *
+ * The paper's headline operational claim is that IOCost adds
+ * negligible per-IO overhead at millions of IOPS (Fig. 9); the
+ * kernel gets there by never allocating on the bio fast path (slab
+ * bio_sets, per-cgroup annotations inline in the bio). The simulated
+ * stack used to pay 3–5 heap allocations per bio — make_unique in
+ * Bio::make, a make_shared<BioPtr> trampoline per device submit, and
+ * std::function completion captures — which bounded every figure
+ * bench. BioPool closes that gap:
+ *
+ *  - bios live in slabs (kSlabBios per allocation) and recycle
+ *    through a pointer free list; steady state performs no global
+ *    allocator calls;
+ *  - recycling preserves each bio's moreCompletions capacity, so the
+ *    back-merge path also settles into zero allocations;
+ *  - under IOCOST_SANITIZE (ASan) free slots are poisoned, so
+ *    use-after-release and double-release of a BioPtr trip the
+ *    sanitizer exactly like a heap use-after-free would;
+ *  - a process-wide bypass flag reverts Bio::make to plain heap
+ *    allocation — the pre-pool behaviour — which the determinism
+ *    tests use to prove pooling cannot change simulated results and
+ *    the bio-path bench uses as its pinned seed-shaped baseline.
+ *
+ * One pool per thread (BioPool::local): each fleet worker owns a
+ * private arena, so pooling needs no locks and parallel runs stay
+ * byte-identical to sequential ones. Pool-backed bios must not
+ * outlive their pool; every simulation drains its bios before the
+ * owning thread exits, and the thread-local arena outlives any
+ * simulation stack constructed on that thread.
+ */
+
+#ifndef IOCOST_BLK_BIO_POOL_HH
+#define IOCOST_BLK_BIO_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blk/bio.hh"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define IOCOST_BIO_POOL_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define IOCOST_BIO_POOL_ASAN 1
+#endif
+#endif
+
+#ifdef IOCOST_BIO_POOL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace iocost::blk {
+
+/**
+ * Slab-backed free-list arena for Bio objects. Not thread safe; use
+ * one pool per thread (see BioPool::local()).
+ */
+class BioPool
+{
+  public:
+    /** Bios per slab allocation. */
+    static constexpr size_t kSlabBios = 64;
+
+    BioPool() = default;
+
+    /**
+     * Slabs are freed with the pool; outstanding BioPtrs must be
+     * gone by now (simulations drain before teardown).
+     */
+    ~BioPool()
+    {
+        for (auto &slab : slabs_)
+            unpoisonSlab(slab.get());
+    }
+
+    BioPool(const BioPool &) = delete;
+    BioPool &operator=(const BioPool &) = delete;
+
+    /** Draw a bio from the arena and initialize it for submission. */
+    BioPtr
+    make(Op op, uint64_t offset, uint32_t size,
+         cgroup::CgroupId cg, BioEndFn on_complete = {})
+    {
+        Bio *bio = bypass_.load(std::memory_order_relaxed)
+                       ? new Bio
+                       : acquire();
+        bio->id = 0;
+        bio->op = op;
+        bio->offset = offset;
+        bio->size = size;
+        bio->cgroup = cg;
+        bio->swap = false;
+        bio->meta = false;
+        bio->submitTime = 0;
+        bio->dispatchTime = 0;
+        bio->onComplete = std::move(on_complete);
+        bio->controllerScratch = 0.0;
+        return BioPtr(bio);
+    }
+
+    /** Return a bio to the free list (called by BioDeleter). */
+    void
+    release(Bio *bio) noexcept
+    {
+        // Drop captured state now (completion closures may hold
+        // keep-alive references); the vector keeps its capacity.
+        bio->onComplete.reset();
+        bio->moreCompletions.clear();
+        --outstanding_;
+        poison(bio);
+        free_.push_back(bio);
+    }
+
+    /** The calling thread's arena (what Bio::make draws from). */
+    static BioPool &
+    local()
+    {
+        static thread_local BioPool pool;
+        return pool;
+    }
+
+    /**
+     * Process-wide escape hatch: when set, make() heap-allocates
+     * every bio (the pre-pool behaviour) on all threads. Used by the
+     * determinism tests and the bio-path bench baseline; never in
+     * production paths.
+     */
+    static void
+    setBypass(bool on)
+    {
+        bypass_.store(on, std::memory_order_relaxed);
+    }
+
+    /** @return true while the bypass flag is set. */
+    static bool
+    bypassed()
+    {
+        return bypass_.load(std::memory_order_relaxed);
+    }
+
+    /** Pool-backed bios currently owned by callers. */
+    uint64_t outstanding() const { return outstanding_; }
+
+    /** Maximum outstanding() ever observed. */
+    uint64_t highWater() const { return highWater_; }
+
+    /** Slab slots constructed so far (pool capacity). */
+    uint64_t created() const { return created_; }
+
+    /** Total acquisitions served by this pool. */
+    uint64_t acquired() const { return acquired_; }
+
+    /**
+     * Lower bound on acquisitions served by recycling: every draw
+     * past one-per-slot must have reused a released bio.
+     */
+    uint64_t
+    recycled() const
+    {
+        return acquired_ > created_ ? acquired_ - created_ : 0;
+    }
+
+  private:
+    Bio *
+    acquire()
+    {
+        if (free_.empty())
+            grow();
+        Bio *bio = free_.back();
+        free_.pop_back();
+        unpoison(bio);
+        ++acquired_;
+        if (++outstanding_ > highWater_)
+            highWater_ = outstanding_;
+        return bio;
+    }
+
+    void
+    grow()
+    {
+        slabs_.push_back(std::make_unique<Bio[]>(kSlabBios));
+        Bio *slab = slabs_.back().get();
+        free_.reserve(free_.size() + kSlabBios);
+        for (size_t i = 0; i < kSlabBios; ++i) {
+            slab[i].pool = this;
+            poison(&slab[i]); // free slots stay poisoned until drawn
+            free_.push_back(&slab[i]);
+        }
+        created_ += kSlabBios;
+    }
+
+    static void
+    poison(Bio *bio)
+    {
+#ifdef IOCOST_BIO_POOL_ASAN
+        ASAN_POISON_MEMORY_REGION(bio, sizeof(Bio));
+#else
+        (void)bio;
+#endif
+    }
+
+    static void
+    unpoison(Bio *bio)
+    {
+#ifdef IOCOST_BIO_POOL_ASAN
+        ASAN_UNPOISON_MEMORY_REGION(bio, sizeof(Bio));
+#else
+        (void)bio;
+#endif
+    }
+
+    void
+    unpoisonSlab(Bio *slab)
+    {
+#ifdef IOCOST_BIO_POOL_ASAN
+        // delete[] runs destructors over the slab; lift the poison
+        // first so teardown doesn't read as use-after-release.
+        ASAN_UNPOISON_MEMORY_REGION(slab,
+                                    sizeof(Bio) * kSlabBios);
+#else
+        (void)slab;
+#endif
+    }
+
+    inline static std::atomic<bool> bypass_{false};
+
+    std::vector<std::unique_ptr<Bio[]>> slabs_;
+    std::vector<Bio *> free_;
+    uint64_t outstanding_ = 0;
+    uint64_t highWater_ = 0;
+    uint64_t created_ = 0;
+    uint64_t acquired_ = 0;
+};
+
+inline void
+BioDeleter::operator()(Bio *bio) const noexcept
+{
+    if (bio->pool)
+        bio->pool->release(bio);
+    else
+        delete bio;
+}
+
+inline BioPtr
+Bio::make(Op op, uint64_t offset, uint32_t size,
+          cgroup::CgroupId cg, BioEndFn on_complete)
+{
+    return BioPool::local().make(op, offset, size, cg,
+                                 std::move(on_complete));
+}
+
+} // namespace iocost::blk
+
+#endif // IOCOST_BLK_BIO_POOL_HH

@@ -12,10 +12,10 @@
 #ifndef IOCOST_BLK_BLOCK_DEVICE_HH
 #define IOCOST_BLK_BLOCK_DEVICE_HH
 
-#include <functional>
 #include <string>
 
 #include "blk/bio.hh"
+#include "sim/inline_function.hh"
 #include "sim/time.hh"
 
 namespace iocost::stat {
@@ -24,9 +24,10 @@ class Telemetry;
 
 namespace iocost::blk {
 
-/** Invoked by a device when a request finishes. */
+/** Invoked by a device when a request finishes. Move-only, inline:
+ *  installed once by the BlockLayer, invoked once per bio. */
 using DeviceEndFn =
-    std::function<void(BioPtr, sim::Time device_latency)>;
+    sim::InlineFunction<void(BioPtr, sim::Time), 32>;
 
 /**
  * Abstract block device.

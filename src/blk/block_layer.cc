@@ -41,9 +41,10 @@ BlockLayer::submit(BioPtr bio)
     const sim::Time cost = controller_ ? controller_->issueCpuCost()
                                        : kNoControllerCpuCost;
     cpuBusyUntil_ = std::max(sim_.now(), cpuBusyUntil_) + cost;
-    auto owned = std::make_shared<BioPtr>(std::move(bio));
-    sim_.at(cpuBusyUntil_, [this, owned] {
-        deliverToController(std::move(*owned));
+    // The BioPtr moves straight into the event's inline storage —
+    // no shared_ptr trampoline, no allocation.
+    sim_.at(cpuBusyUntil_, [this, owned = std::move(bio)]() mutable {
+        deliverToController(std::move(owned));
     });
 }
 
@@ -82,20 +83,13 @@ BlockLayer::dispatch(BioPtr bio)
             parked->size + bio->size <= kMaxMergedBytes) {
             parked->size += bio->size;
             ++mergedBios_;
-            if (bio->onComplete) {
-                if (parked->onComplete) {
-                    auto fa = std::move(parked->onComplete);
-                    auto fb = std::move(bio->onComplete);
-                    parked->onComplete =
-                        [fa = std::move(fa),
-                         fb = std::move(fb)](const Bio &b) {
-                            fa(b);
-                            fb(b);
-                        };
-                } else {
-                    parked->onComplete = std::move(bio->onComplete);
-                }
-            }
+            // Flat completion list: each merge appends one slot
+            // instead of nesting closures whose capture grows with
+            // every absorbed bio. The absorbed bio recycles here.
+            if (bio->onComplete)
+                parked->addCompletion(std::move(bio->onComplete));
+            for (BioEndFn &fn : bio->moreCompletions)
+                parked->addCompletion(std::move(fn));
             return;
         }
     }
@@ -156,8 +150,7 @@ BlockLayer::onDeviceComplete(BioPtr bio, sim::Time device_latency)
     // A completed request frees a device slot: feed parked bios in.
     drainDispatchQueue();
 
-    if (bio->onComplete)
-        bio->onComplete(*bio);
+    bio->runCompletions();
 }
 
 CgroupIoStats &

@@ -111,12 +111,13 @@ HddModel::maybeStartService()
                           static_cast<double>(queue_.size()));
     }
 
-    auto owned =
-        std::make_shared<blk::BioPtr>(std::move(chosen.bio));
+    // Ownership moves into the completion event's inline storage —
+    // no trampoline, no allocation.
     const sim::Time accepted = chosen.accepted;
-    sim_.after(svc, [this, owned, accepted] {
+    sim_.after(svc, [this, owned = std::move(chosen.bio),
+                     accepted]() mutable {
         serving_ = false;
-        finish(std::move(*owned), sim_.now() - accepted);
+        finish(std::move(owned), sim_.now() - accepted);
         maybeStartService();
     });
 }

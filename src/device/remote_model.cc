@@ -43,11 +43,13 @@ RemoteModel::submit(blk::BioPtr &bio)
         admitted + static_cast<sim::Time>(rtt + backend);
 
     ++inFlight_;
-    auto owned = std::make_shared<blk::BioPtr>(std::move(bio));
-    sim_.at(std::max(done, now + 1), [this, owned, now] {
-        --inFlight_;
-        finish(std::move(*owned), sim_.now() - now);
-    });
+    // Ownership moves into the completion event's inline storage —
+    // no trampoline, no allocation.
+    sim_.at(std::max(done, now + 1),
+            [this, owned = std::move(bio), now]() mutable {
+                --inFlight_;
+                finish(std::move(owned), sim_.now() - now);
+            });
     return true;
 }
 

@@ -1,6 +1,7 @@
 #include "device/ssd_model.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "stat/telemetry.hh"
 
@@ -10,9 +11,9 @@ SsdModel::SsdModel(sim::Simulator &sim, SsdSpec spec)
     : sim_(sim),
       spec_(std::move(spec)),
       rng_(sim.forkRng()),
-      channelFree_(spec_.channels, 0),
       writeCredit_(static_cast<double>(spec_.writeBufferBytes))
 {
+    channelHeap_.assign(spec_.channels, 0);
     if (spec_.hiccupMeanInterval > 0) {
         nextHiccup_ = static_cast<sim::Time>(rng_.exponential(
             static_cast<double>(spec_.hiccupMeanInterval)));
@@ -83,8 +84,10 @@ SsdModel::submit(blk::BioPtr &bio)
     while (now >= nextHiccup_) {
         const sim::Time stall_end =
             nextHiccup_ + spec_.hiccupDuration;
-        for (sim::Time &free_at : channelFree_)
+        for (sim::Time &free_at : channelHeap_)
             free_at = std::max(free_at, stall_end);
+        // Clamping to a common floor keeps the min-heap ordering
+        // (a monotone map preserves it), so no rebuild is needed.
         gcNext_ = std::max(gcNext_, stall_end);
         ++hiccups_;
         if (telemetry() && telemetry()->enabled()) {
@@ -110,11 +113,11 @@ SsdModel::submit(blk::BioPtr &bio)
     const sim::Time svc = serviceTime(*bio);
     lastEndOffset_ = bio->offset + bio->size;
 
-    // Pick the earliest-free channel; the request occupies it for the
-    // service time starting no earlier than now.
-    auto it = std::min_element(channelFree_.begin(),
-                               channelFree_.end());
-    sim::Time start = std::max(now, *it);
+    // Pick the earliest-free channel (heap top); the request
+    // occupies it for the service time starting no earlier than now.
+    std::pop_heap(channelHeap_.begin(), channelHeap_.end(),
+                  std::greater<>{});
+    sim::Time start = std::max(now, channelHeap_.back());
 
     if (bio->op == blk::Op::Write && was_gc) {
         // With the buffer depleted, writes admit no faster than the
@@ -129,14 +132,17 @@ SsdModel::submit(blk::BioPtr &bio)
     }
 
     const sim::Time done = start + svc;
-    *it = done;
+    channelHeap_.back() = done;
+    std::push_heap(channelHeap_.begin(), channelHeap_.end(),
+                   std::greater<>{});
 
     ++inFlight_;
-    // Move ownership into the completion event.
-    auto owned = std::make_shared<blk::BioPtr>(std::move(bio));
-    sim_.at(done, [this, owned, now] {
+    // Ownership moves into the completion event's inline storage
+    // (this + BioPtr + Time fits the slot); no trampoline, no
+    // allocation.
+    sim_.at(done, [this, owned = std::move(bio), now]() mutable {
         --inFlight_;
-        finish(std::move(*owned), sim_.now() - now);
+        finish(std::move(owned), sim_.now() - now);
     });
     return true;
 }

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "blk/block_device.hh"
@@ -137,8 +138,14 @@ class SsdModel : public blk::BlockDevice
     SsdSpec spec_;
     sim::Rng rng_;
 
-    /** Next-free time per internal channel (min selected per IO). */
-    std::vector<sim::Time> channelFree_;
+    /**
+     * Min-heap over the channels' next-free times. Only the value of
+     * the minimum matters for scheduling (replacing any minimal
+     * element with the new completion time evolves the multiset the
+     * same way a first-minimum scan would), so the heap keeps bare
+     * times and selection costs O(log channels), not O(channels).
+     */
+    std::vector<sim::Time> channelHeap_;
     uint32_t inFlight_ = 0;
     uint64_t lastEndOffset_ = UINT64_MAX;
 

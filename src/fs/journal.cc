@@ -68,16 +68,8 @@ Journal::maybeCommit(cgroup::CgroupId committer)
     const unsigned n_ios = static_cast<unsigned>(
         (payload + cfg_.ioBytes - 1) / cfg_.ioBytes);
 
-    auto remaining = std::make_shared<unsigned>(n_ios);
-    auto write_commit_record = [this, committer] {
-        auto record = blk::Bio::make(
-            blk::Op::Write, cfg_.areaOffset + cursor_, 4096,
-            committer,
-            [this](const blk::Bio &) { commitDone(); });
-        record->meta = true;
-        cursor_ = (cursor_ + 4096) % cfg_.areaBytes;
-        layer_.submit(std::move(record));
-    };
+    commitRemaining_ = n_ios;
+    committingCgroup_ = committer;
 
     uint64_t left = payload;
     for (unsigned i = 0; i < n_ios; ++i) {
@@ -87,16 +79,26 @@ Journal::maybeCommit(cgroup::CgroupId committer)
         bytesWritten_ += chunk;
         auto bio = blk::Bio::make(
             blk::Op::Write, cfg_.areaOffset + cursor_, chunk,
-            committer,
-            [remaining,
-             write_commit_record](const blk::Bio &) {
-                if (--*remaining == 0)
-                    write_commit_record();
+            committer, [this](const blk::Bio &) {
+                if (--commitRemaining_ == 0)
+                    writeCommitRecord();
             });
         bio->meta = true;
         cursor_ = (cursor_ + chunk) % cfg_.areaBytes;
         layer_.submit(std::move(bio));
     }
+}
+
+void
+Journal::writeCommitRecord()
+{
+    auto record = blk::Bio::make(
+        blk::Op::Write, cfg_.areaOffset + cursor_, 4096,
+        committingCgroup_,
+        [this](const blk::Bio &) { commitDone(); });
+    record->meta = true;
+    cursor_ = (cursor_ + 4096) % cfg_.areaBytes;
+    layer_.submit(std::move(record));
 }
 
 void

@@ -119,6 +119,9 @@ class Journal
     /** Begin committing the running transaction (if allowed). */
     void maybeCommit(cgroup::CgroupId committer);
 
+    /** Data blocks durable: write the commit record (barrier). */
+    void writeCommitRecord();
+
     /** Completion of the in-flight commit. */
     void commitDone();
 
@@ -132,6 +135,14 @@ class Journal
     /** A commit was requested while one was in flight. */
     bool commitPending_ = false;
     cgroup::CgroupId pendingCommitter_ = cgroup::kRoot;
+    /**
+     * In-flight commit state. At most one transaction commits at a
+     * time (commitInFlight_), so the data-block countdown and the
+     * charged cgroup are plain members — bio callbacks capture only
+     * `this` instead of a shared counter and a copied continuation.
+     */
+    unsigned commitRemaining_ = 0;
+    cgroup::CgroupId committingCgroup_ = cgroup::kRoot;
 
     uint64_t cursor_ = 0;
     uint64_t commits_ = 0;

@@ -124,8 +124,7 @@ MemoryManager::oomKill()
 
 uint64_t
 MemoryManager::reclaim(uint64_t bytes,
-                       const std::shared_ptr<uint64_t> &barrier,
-                       DoneFn done)
+                       const sim::AsyncBarrier::Ptr &barrier)
 {
     uint64_t reclaimed = 0;
     while (reclaimed < bytes) {
@@ -168,14 +167,13 @@ MemoryManager::reclaim(uint64_t bytes,
 
         blk::BioPtr bio;
         if (barrier) {
-            ++*barrier;
+            barrier->add();
             bio = blk::Bio::make(
                 blk::Op::Write, offset,
                 static_cast<uint32_t>(chunk), charge,
-                [this, chunk, barrier, done](const blk::Bio &) {
+                [this, chunk, barrier](const blk::Bio &) {
                     writebackBytes_ -= chunk;
-                    if (--*barrier == 0)
-                        done();
+                    barrier->arrive();
                 });
         } else {
             bio = blk::Bio::make(
@@ -218,10 +216,13 @@ MemoryManager::allocate(cgroup::CgroupId cg, uint64_t bytes,
     const auto low = static_cast<uint64_t>(
         cfg_.lowWatermark * static_cast<double>(cfg_.totalBytes));
 
-    auto barrier = std::make_shared<uint64_t>(1);
-    DoneFn fire = [this, cg, done = std::move(done)] {
-        finishWithDebtDelay(cg, done);
-    };
+    // The barrier's callback is the operation's continuation: the
+    // debt-delay hop, then the caller's done. One allocation for
+    // counter and callback together.
+    auto barrier = sim::AsyncBarrier::create(
+        [this, cg, done = std::move(done)]() mutable {
+            finishWithDebtDelay(cg, std::move(done));
+        });
 
     if (effectiveResident() > high) {
         // Direct reclaim: the allocator stalls on a bounded batch of
@@ -229,36 +230,35 @@ MemoryManager::allocate(cgroup::CgroupId cg, uint64_t bytes,
         const uint64_t want = std::min<uint64_t>(
             effectiveResident() - low,
             std::max(bytes, cfg_.directReclaimBatch));
-        directReclaim(want, barrier, fire);
+        directReclaim(want, barrier);
     }
-    if (--*barrier == 0)
-        fire();
+    barrier->arrive(); // the issuer's reference
 }
 
 void
-MemoryManager::directReclaim(
-    uint64_t want, const std::shared_ptr<uint64_t> &barrier,
-    DoneFn fire)
+MemoryManager::directReclaim(uint64_t want,
+                             const sim::AsyncBarrier::Ptr &barrier)
 {
     if (writebackBytes_ <= cfg_.maxWriteback) {
-        reclaim(want, barrier, fire);
+        reclaim(want, barrier);
         return;
     }
     // Writeback congested: the reclaimer sleeps until the in-flight
     // swap writes drain, then retries. A throttled swap-write path
     // therefore stalls every direct reclaimer on the host.
-    ++*barrier;
-    auto retry = std::make_shared<std::function<void()>>();
-    *retry = [this, want, barrier, fire, retry] {
-        if (writebackBytes_ <= cfg_.maxWriteback) {
-            reclaim(want, barrier, fire);
-            if (--*barrier == 0)
-                fire();
-            return;
-        }
-        sim_.after(cfg_.congestionWait, [retry] { (*retry)(); });
-    };
-    sim_.after(cfg_.congestionWait, [retry] { (*retry)(); });
+    barrier->add();
+    auto retry = sim::AsyncLoop::spawn(
+        [this, want, barrier](sim::AsyncLoop &loop) {
+            if (writebackBytes_ <= cfg_.maxWriteback) {
+                reclaim(want, barrier);
+                barrier->arrive();
+                return;
+            }
+            sim_.after(cfg_.congestionWait,
+                       [keep = loop.self()] { keep->step(); });
+        });
+    sim_.after(cfg_.congestionWait,
+               [keep = std::move(retry)] { keep->step(); });
 }
 
 void
@@ -280,10 +280,10 @@ MemoryManager::touch(cgroup::CgroupId cg, uint64_t bytes, DoneFn done)
                                std::min(bytes, footprint))));
     }
 
-    auto barrier = std::make_shared<uint64_t>(1);
-    DoneFn fire = [this, cg, done = std::move(done)] {
-        finishWithDebtDelay(cg, done);
-    };
+    auto barrier = sim::AsyncBarrier::create(
+        [this, cg, done = std::move(done)]() mutable {
+            finishWithDebtDelay(cg, std::move(done));
+        });
 
     if (fault_bytes > 0) {
         // Fault the swapped portion back in: page-in reads charged
@@ -302,12 +302,11 @@ MemoryManager::touch(cgroup::CgroupId cg, uint64_t bytes, DoneFn done)
             const uint64_t offset =
                 cfg_.swapAreaOffset +
                 rng_.below(cfg_.swapBytes);
-            ++*barrier;
+            barrier->add();
             blk::BioPtr bio = blk::Bio::make(
                 blk::Op::Read, offset, chunk, cg,
-                [barrier, fire](const blk::Bio &) {
-                    if (--*barrier == 0)
-                        fire();
+                [barrier](const blk::Bio &) {
+                    barrier->arrive();
                 });
             layer_.submit(std::move(bio));
         }
@@ -329,12 +328,11 @@ MemoryManager::touch(cgroup::CgroupId cg, uint64_t bytes, DoneFn done)
             const uint64_t want = std::min<uint64_t>(
                 effectiveResident() - low,
                 std::max(fault_bytes, cfg_.directReclaimBatch));
-            directReclaim(want, barrier, fire);
+            directReclaim(want, barrier);
         }
     }
 
-    if (--*barrier == 0)
-        fire();
+    barrier->arrive(); // the issuer's reference
 }
 
 void
@@ -361,7 +359,7 @@ MemoryManager::kswapd()
         const uint64_t want = std::min<uint64_t>(
             {cfg_.kswapdBatch, effectiveResident() - low,
              totalResident_});
-        reclaim(want, nullptr, nullptr);
+        reclaim(want, nullptr);
     }
 }
 

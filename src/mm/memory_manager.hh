@@ -33,6 +33,7 @@
 
 #include "blk/block_layer.hh"
 #include "cgroup/cgroup_tree.hh"
+#include "sim/async.hh"
 #include "sim/rng.hh"
 #include "sim/simulator.hh"
 
@@ -192,11 +193,11 @@ class MemoryManager
   private:
     MemCgroupStats &st(cgroup::CgroupId cg);
 
-    /** Reclaim up to @p bytes; returns bytes of swap-out IO issued
-     *  and arranges for @p barrier to be released per completion. */
+    /** Reclaim up to @p bytes; returns bytes of swap-out IO issued.
+     *  When @p barrier is set, each swap write registers with it and
+     *  arrives on completion (null for fire-and-forget kswapd IO). */
     uint64_t reclaim(uint64_t bytes,
-                     const std::shared_ptr<uint64_t> &barrier,
-                     DoneFn done);
+                     const sim::AsyncBarrier::Ptr &barrier);
 
     /** Pick the next victim cgroup, cold-biased. */
     cgroup::CgroupId pickVictim();
@@ -209,8 +210,7 @@ class MemoryManager
 
     /** Direct reclaim with writeback-congestion sleep-wait. */
     void directReclaim(uint64_t want,
-                       const std::shared_ptr<uint64_t> &barrier,
-                       DoneFn fire);
+                       const sim::AsyncBarrier::Ptr &barrier);
 
     /** Apply the controller's return-to-userspace delay, then done. */
     void finishWithDebtDelay(cgroup::CgroupId cg, DoneFn done);

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Continuation helpers for asynchronous simulation code.
+ *
+ * Two patterns recur all over the workloads, the filesystem journal
+ * and the memory manager:
+ *
+ *  - a *self-sustaining loop*: "issue a bio, and when it completes,
+ *    issue the next one" — which needs a callable that can hand a
+ *    reference to itself into a completion callback;
+ *  - a *completion barrier*: "fire one callback after N asynchronous
+ *    operations finish".
+ *
+ * Both used to be spelled with `make_shared<std::function<void()>>`
+ * self-captures plus a separate `make_shared<unsigned>` counter,
+ * paying one or two shared control blocks per loop plus a
+ * std::function heap allocation per *step* (the self-referential
+ * shared_ptr capture overflows std::function's inline buffer).
+ * AsyncLoop and AsyncBarrier pay exactly one allocation for the
+ * whole loop/barrier; the per-step handle is a shared_ptr that fits
+ * in InlineFunction's inline storage, so steady-state stepping is
+ * allocation-free.
+ */
+
+#ifndef IOCOST_SIM_ASYNC_HH
+#define IOCOST_SIM_ASYNC_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_function.hh"
+
+namespace iocost::sim {
+
+/**
+ * A self-referential asynchronous loop.
+ *
+ * The body runs once per step() and re-arms itself by capturing a
+ * keep-alive handle (`self()`) into whatever callback continues the
+ * loop. Loop state lives in the body's captures (use `mutable`
+ * lambdas); several concurrent continuation chains may share one
+ * loop object — they step the same body and therefore the same
+ * state. The loop dies when the last handle does.
+ *
+ * Usage:
+ * @code
+ *   auto loop = sim::AsyncLoop::spawn(
+ *       [&layer, left = total](sim::AsyncLoop &self) mutable {
+ *           if (left == 0)
+ *               return;
+ *           left -= chunk;
+ *           layer.submit(blk::Bio::make(
+ *               op, off, chunk, cg,
+ *               [keep = self.self()](const blk::Bio &) {
+ *                   keep->step();
+ *               }));
+ *       });
+ *   loop->step();
+ * @endcode
+ */
+class AsyncLoop : public std::enable_shared_from_this<AsyncLoop>
+{
+    struct Private
+    {
+    }; // make_shared needs a public ctor; this gates it
+
+  public:
+    using Ptr = std::shared_ptr<AsyncLoop>;
+
+    /** Loop bodies live inline up to this capture size. */
+    static constexpr std::size_t kBodyBytes = 64;
+
+    using Body = InlineFunction<void(AsyncLoop &), kBodyBytes>;
+
+    template <typename F>
+    AsyncLoop(Private, F &&body) : body_(std::forward<F>(body))
+    {}
+
+    /** Create a loop; one allocation for body and control block. */
+    template <typename F>
+    static Ptr
+    spawn(F &&body)
+    {
+        return std::make_shared<AsyncLoop>(Private{},
+                                           std::forward<F>(body));
+    }
+
+    /** Run one iteration of the body. */
+    void step() { body_(*this); }
+
+    /** Keep-alive handle for continuation captures. */
+    Ptr self() { return shared_from_this(); }
+
+  private:
+    Body body_;
+};
+
+/**
+ * A completion barrier: runs its callback when the count of pending
+ * operations drops to zero.
+ *
+ * Constructed with one pending reference held by the issuer; call
+ * add() per asynchronous operation started and arrive() per
+ * completion, then arrive() once from the issuer when everything has
+ * been launched (the issuer's own reference, which keeps a barrier
+ * whose operations complete synchronously from firing early).
+ */
+class AsyncBarrier
+{
+    struct Private
+    {
+    };
+
+  public:
+    using Ptr = std::shared_ptr<AsyncBarrier>;
+
+    using DoneFn = InlineFunction<void(), 48>;
+
+    template <typename F>
+    AsyncBarrier(Private, F &&done)
+        : done_(std::forward<F>(done))
+    {}
+
+    /** Create a barrier holding the issuer's pending reference. */
+    template <typename F>
+    static Ptr
+    create(F &&done)
+    {
+        return std::make_shared<AsyncBarrier>(
+            Private{}, std::forward<F>(done));
+    }
+
+    /** Register one more pending operation. */
+    void add(uint64_t n = 1) { pending_ += n; }
+
+    /** One operation finished; fires the callback on the last. */
+    void
+    arrive()
+    {
+        if (--pending_ == 0)
+            done_.consumeInvoke();
+    }
+
+    /** Operations still pending (incl. the issuer's reference). */
+    uint64_t pending() const { return pending_; }
+
+  private:
+    uint64_t pending_ = 1;
+    DoneFn done_;
+};
+
+} // namespace iocost::sim
+
+#endif // IOCOST_SIM_ASYNC_HH

@@ -33,7 +33,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/inline_callback.hh"
+#include "sim/inline_function.hh"
 #include "sim/time.hh"
 
 namespace iocost::sim {

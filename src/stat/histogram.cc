@@ -14,21 +14,6 @@ Histogram::Histogram(unsigned sub_bucket_bits)
     buckets_.assign((64u + 1u) << subBits_, 0);
 }
 
-unsigned
-Histogram::bucketIndex(uint64_t value) const
-{
-    // Octave o scales the value down so it fits in one sub-bucket
-    // span; values below 2^subBits are exact (o = 0). The resulting
-    // relative quantization error is bounded by 2^(1 - subBits).
-    if (value == 0)
-        return 0;
-    const unsigned msb = 63u - std::countl_zero(value);
-    const unsigned octave =
-        msb < subBits_ ? 0u : msb - subBits_ + 1u;
-    const auto sub = static_cast<unsigned>(value >> octave);
-    return (octave << subBits_) + sub;
-}
-
 uint64_t
 Histogram::bucketUpperEdge(unsigned index) const
 {
@@ -36,37 +21,6 @@ Histogram::bucketUpperEdge(unsigned index) const
     const unsigned octave = index >> subBits_;
     const uint64_t sub = index & (sub_count - 1u);
     return ((sub + 1u) << octave) - 1u;
-}
-
-void
-Histogram::record(int64_t value)
-{
-    record(value, 1);
-}
-
-void
-Histogram::record(int64_t value, uint64_t count)
-{
-    if (count == 0)
-        return;
-    if (value < 0)
-        value = 0;
-    const unsigned idx =
-        std::min<unsigned>(bucketIndex(static_cast<uint64_t>(value)),
-                           static_cast<unsigned>(buckets_.size() - 1));
-    buckets_[idx] += count;
-    if (count_ == 0) {
-        min_ = value;
-        max_ = value;
-    } else {
-        min_ = std::min(min_, value);
-        max_ = std::max(max_, value);
-    }
-    count_ += count;
-    total_ += value * static_cast<int64_t>(count);
-    sumSquares_ += static_cast<double>(value) *
-                   static_cast<double>(value) *
-                   static_cast<double>(count);
 }
 
 double

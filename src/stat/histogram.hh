@@ -14,6 +14,8 @@
 #ifndef IOCOST_STAT_HISTOGRAM_HH
 #define IOCOST_STAT_HISTOGRAM_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -35,10 +37,36 @@ class Histogram
     explicit Histogram(unsigned sub_bucket_bits = 5);
 
     /** Record one observation. Negative values clamp to zero. */
-    void record(int64_t value);
+    void record(int64_t value) { record(value, 1); }
 
-    /** Record @p count identical observations. */
-    void record(int64_t value, uint64_t count);
+    /**
+     * Record @p count identical observations. Inline: this sits on
+     * the per-bio completion path (several records per IO).
+     */
+    void
+    record(int64_t value, uint64_t count)
+    {
+        if (count == 0)
+            return;
+        if (value < 0)
+            value = 0;
+        const unsigned idx = std::min<unsigned>(
+            bucketIndex(static_cast<uint64_t>(value)),
+            static_cast<unsigned>(buckets_.size() - 1));
+        buckets_[idx] += count;
+        if (count_ == 0) {
+            min_ = value;
+            max_ = value;
+        } else {
+            min_ = std::min(min_, value);
+            max_ = std::max(max_, value);
+        }
+        count_ += count;
+        total_ += value * static_cast<int64_t>(count);
+        sumSquares_ += static_cast<double>(value) *
+                       static_cast<double>(value) *
+                       static_cast<double>(count);
+    }
 
     /** Number of recorded observations. */
     uint64_t count() const { return count_; }
@@ -89,7 +117,22 @@ class Histogram
     void merge(const Histogram &other);
 
   private:
-    unsigned bucketIndex(uint64_t value) const;
+    unsigned
+    bucketIndex(uint64_t value) const
+    {
+        // Octave o scales the value down so it fits in one
+        // sub-bucket span; values below 2^subBits are exact (o = 0).
+        // The relative quantization error is bounded by
+        // 2^(1 - subBits).
+        if (value == 0)
+            return 0;
+        const unsigned msb = 63u - std::countl_zero(value);
+        const unsigned octave =
+            msb < subBits_ ? 0u : msb - subBits_ + 1u;
+        const auto sub = static_cast<unsigned>(value >> octave);
+        return (octave << subBits_) + sub;
+    }
+
     uint64_t bucketUpperEdge(unsigned index) const;
 
     unsigned subBits_;

@@ -98,7 +98,7 @@ Hypervisor::pump()
         auto prev = std::move(bio->onComplete);
         bio->onComplete = [this, owner,
                            prev = std::move(prev)](
-                              const blk::Bio &done) {
+                              const blk::Bio &done) mutable {
             --inFlight_;
             ++owner->completed;
             if (prev)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "sim/async.hh"
+
 namespace iocost::workload {
 
 LatencyServer::LatencyServer(sim::Simulator &sim,
@@ -23,21 +25,23 @@ void
 LatencyServer::prepare(std::function<void()> ready)
 {
     // Allocate the working set in chunks so reclaim interleaves
-    // naturally instead of one giant stall.
+    // naturally instead of one giant stall. The remaining count and
+    // the ready continuation are loop state, not shared_ptr cells.
     static constexpr uint64_t kChunk = 16ull << 20;
-    auto left = std::make_shared<uint64_t>(cfg_.workingSetBytes);
-    auto step = std::make_shared<std::function<void()>>();
-    *step = [this, left, step, ready = std::move(ready)] {
-        if (*left == 0) {
-            ready();
-            return;
-        }
-        const uint64_t chunk = std::min(kChunk, *left);
-        *left -= chunk;
-        wsAllocated_ += chunk;
-        mm_.allocate(cg_, chunk, [step] { (*step)(); });
-    };
-    (*step)();
+    auto loop = sim::AsyncLoop::spawn(
+        [this, left = cfg_.workingSetBytes,
+         ready = std::move(ready)](sim::AsyncLoop &self) mutable {
+            if (left == 0) {
+                ready();
+                return;
+            }
+            const uint64_t chunk = std::min(kChunk, left);
+            left -= chunk;
+            wsAllocated_ += chunk;
+            mm_.allocate(cg_, chunk,
+                         [keep = self.self()] { keep->step(); });
+        });
+    loop->step();
 }
 
 void
@@ -135,56 +139,61 @@ LatencyServer::touchStage(sim::Time started)
             finishRequest(started);
             return;
         }
-        auto barrier = std::make_shared<unsigned>(
-            (cfg_.serialReads && cfg_.readsPerRequest > 0
-                 ? 1u
-                 : cfg_.readsPerRequest) +
-            (cfg_.logWriteSize > 0 ? 1 : 0));
-        auto fire = [this, started, barrier] {
-            if (--*barrier == 0)
-                finishRequest(started);
-        };
-        auto random_offset = [this] {
-            const uint64_t blocks =
-                cfg_.dataSpanBytes / cfg_.readSize;
-            return rng_.below(std::max<uint64_t>(1, blocks)) *
-                   cfg_.readSize;
-        };
+        auto barrier = sim::AsyncBarrier::create(
+            [this, started] { finishRequest(started); });
         if (cfg_.serialReads && cfg_.readsPerRequest > 0) {
             // Dependent lookups: read k completes before read k+1
-            // is issued.
-            auto chain =
-                std::make_shared<std::function<void(unsigned)>>();
-            *chain = [this, fire, chain,
-                      random_offset](unsigned left) {
-                if (left == 0) {
-                    fire();
-                    return;
-                }
-                layer_.submit(blk::Bio::make(
-                    blk::Op::Read, random_offset(), cfg_.readSize,
-                    cg_, [chain, left](const blk::Bio &) {
-                        (*chain)(left - 1);
-                    }));
-            };
-            (*chain)(cfg_.readsPerRequest);
+            // is issued. The countdown is loop state.
+            barrier->add();
+            auto chain = sim::AsyncLoop::spawn(
+                [this, barrier, left = cfg_.readsPerRequest](
+                    sim::AsyncLoop &self) mutable {
+                    if (left == 0) {
+                        barrier->arrive();
+                        return;
+                    }
+                    --left;
+                    layer_.submit(blk::Bio::make(
+                        blk::Op::Read, randomReadOffset(),
+                        cfg_.readSize, cg_,
+                        [keep = self.self()](const blk::Bio &) {
+                            keep->step();
+                        }));
+                });
+            chain->step();
         } else {
             for (unsigned i = 0; i < cfg_.readsPerRequest; ++i) {
+                barrier->add();
                 layer_.submit(blk::Bio::make(
-                    blk::Op::Read, random_offset(), cfg_.readSize,
-                    cg_, [fire](const blk::Bio &) { fire(); }));
+                    blk::Op::Read, randomReadOffset(),
+                    cfg_.readSize, cg_,
+                    [barrier](const blk::Bio &) {
+                        barrier->arrive();
+                    }));
             }
         }
         if (cfg_.logWriteSize > 0) {
             // Log appends are sequential journal-style writes.
+            barrier->add();
             static constexpr uint64_t kLogBase = 3ull << 40;
             const uint64_t log_offset = kLogBase + logCursor_;
             logCursor_ += cfg_.logWriteSize;
             layer_.submit(blk::Bio::make(
                 blk::Op::Write, log_offset, cfg_.logWriteSize, cg_,
-                [fire](const blk::Bio &) { fire(); }));
+                [barrier](const blk::Bio &) {
+                    barrier->arrive();
+                }));
         }
+        barrier->arrive(); // the issuer's reference
     });
+}
+
+uint64_t
+LatencyServer::randomReadOffset()
+{
+    const uint64_t blocks = cfg_.dataSpanBytes / cfg_.readSize;
+    return rng_.below(std::max<uint64_t>(1, blocks)) *
+           cfg_.readSize;
 }
 
 void

@@ -149,6 +149,8 @@ class LatencyServer
     void scheduleArrival();
     void finishRequest(sim::Time started);
     void windowTick();
+    /** Block-aligned uniform offset within the data span. */
+    uint64_t randomReadOffset();
 
     sim::Simulator &sim_;
     blk::BlockLayer &layer_;

@@ -72,7 +72,7 @@ TraceRecorder::wrap(blk::BioPtr bio)
 {
     auto prev = std::move(bio->onComplete);
     bio->onComplete = [this, prev = std::move(prev)](
-                          const blk::Bio &done) {
+                          const blk::Bio &done) mutable {
         TraceRecord rec;
         rec.when = layer_.sim().now();
         rec.op = done.op;

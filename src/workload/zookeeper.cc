@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "sim/async.hh"
 #include "sim/logging.hh"
 
 namespace iocost::workload {
@@ -28,12 +29,14 @@ struct ZkCluster::Participant
     {
         bool isRead;
         uint32_t payload;
-        std::function<void()> done;
+        TaskDoneFn done;
     };
 
     /** The request pipeline: one task processed at a time. */
     std::deque<Task> queue;
     bool busy = false;
+    /** Completion hook of the read being served (busy == true). */
+    TaskDoneFn currentDone;
 };
 
 /** One replicated ensemble. */
@@ -129,7 +132,7 @@ ZkCluster::stop()
 
 void
 ZkCluster::enqueueTask(Participant &p, bool is_read,
-                       uint32_t payload, std::function<void()> done)
+                       uint32_t payload, TaskDoneFn done)
 {
     p.queue.push_back(
         Participant::Task{is_read, payload, std::move(done)});
@@ -149,24 +152,29 @@ ZkCluster::maybeSnapshot(Participant &p)
     ++ensembles_[p.ensembleIdx]->stats.snapshots;
 
     // Background snapshot writer: keeps snapshotDepth sequential
-    // writes in flight until the database image is on disk.
-    auto left = std::make_shared<uint64_t>(cfg_.snapshotBytes);
-    auto issue_next = std::make_shared<std::function<void()>>();
+    // writes in flight until the database image is on disk. The
+    // remaining-byte count is loop state (a mutable capture), not a
+    // shared_ptr cell, and each bio's callback just re-steps the
+    // loop — one control-block allocation for the whole snapshot.
     Participant *pp = &p;
-    *issue_next = [this, pp, left, issue_next] {
-        if (*left == 0)
-            return;
-        const uint32_t chunk = static_cast<uint32_t>(
-            std::min<uint64_t>(cfg_.snapshotIoBytes, *left));
-        *left -= chunk;
-        pp->snapCursor = (pp->snapCursor + chunk) % (8ull << 30);
-        pp->layer->submit(blk::Bio::make(
-            blk::Op::Write, pp->snapBase + pp->snapCursor, chunk,
-            pp->cg,
-            [issue_next](const blk::Bio &) { (*issue_next)(); }));
-    };
+    auto writer = sim::AsyncLoop::spawn(
+        [this, pp,
+         left = cfg_.snapshotBytes](sim::AsyncLoop &loop) mutable {
+            if (left == 0)
+                return;
+            const uint32_t chunk = static_cast<uint32_t>(
+                std::min<uint64_t>(cfg_.snapshotIoBytes, left));
+            left -= chunk;
+            pp->snapCursor = (pp->snapCursor + chunk) % (8ull << 30);
+            pp->layer->submit(blk::Bio::make(
+                blk::Op::Write, pp->snapBase + pp->snapCursor,
+                chunk, pp->cg,
+                [keep = loop.self()](const blk::Bio &) {
+                    keep->step();
+                }));
+        });
     for (unsigned i = 0; i < cfg_.snapshotDepth; ++i)
-        (*issue_next)();
+        writer->step();
 }
 
 void
@@ -181,12 +189,15 @@ ZkCluster::pumpParticipant(Participant &p)
     Participant *pp = &p;
 
     if (task.isRead) {
-        auto finish = [this, pp, done = std::move(task.done)] {
+        // The served read's hook parks on the participant (one task
+        // at a time) so the timer capture stays small and inline.
+        pp->currentDone = std::move(task.done);
+        sim_.after(cfg_.readServiceTime, [this, pp] {
+            TaskDoneFn done = std::move(pp->currentDone);
             done();
             pp->busy = false;
             pumpParticipant(*pp);
-        };
-        sim_.after(cfg_.readServiceTime, std::move(finish));
+        });
         return;
     }
 
@@ -194,25 +205,27 @@ ZkCluster::pumpParticipant(Participant &p)
     // queue into one log append (ZooKeeper batches outstanding
     // transactions per fsync), bounded so one commit stays a
     // reasonable IO size.
-    auto batch =
-        std::make_shared<std::vector<std::function<void()>>>();
-    batch->push_back(std::move(task.done));
+    std::vector<TaskDoneFn> batch;
+    batch.push_back(std::move(task.done));
     uint64_t payload = task.payload;
     while (!p.queue.empty() && !p.queue.front().isRead &&
-           batch->size() < 64 && payload < (1u << 20)) {
+           batch.size() < 64 && payload < (1u << 20)) {
         payload += p.queue.front().payload;
-        batch->push_back(std::move(p.queue.front().done));
+        batch.push_back(std::move(p.queue.front().done));
         p.queue.pop_front();
     }
 
     // Append the batch to the transaction log (sequential write,
-    // completion models the fsync barrier).
+    // completion models the fsync barrier). The batch moves into
+    // the bio's inline callback storage — no shared_ptr wrapper.
     const uint64_t offset = pp->logBase + pp->logCursor;
     pp->logCursor = (pp->logCursor + payload) % (8ull << 30);
     pp->layer->submit(blk::Bio::make(
         blk::Op::Write, offset, static_cast<uint32_t>(payload),
-        pp->cg, [this, pp, batch](const blk::Bio &) {
-            for (auto &done : *batch) {
+        pp->cg,
+        [this, pp,
+         batch = std::move(batch)](const blk::Bio &) mutable {
+            for (TaskDoneFn &done : batch) {
                 ++pp->txns;
                 done();
             }

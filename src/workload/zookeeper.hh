@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "blk/block_layer.hh"
+#include "sim/inline_function.hh"
 #include "sim/rng.hh"
 #include "sim/simulator.hh"
 #include "stat/histogram.hh"
@@ -133,10 +134,14 @@ class ZkCluster
     struct Participant;
     struct Ensemble;
 
+    /** Per-operation completion hook; move-only, inline (a quorum
+     *  counter and a couple of pointers — no heap closure). */
+    using TaskDoneFn = sim::InlineFunction<void(), 48>;
+
     void scheduleRead(Ensemble &e);
     void scheduleWrite(Ensemble &e);
     void enqueueTask(Participant &p, bool is_read, uint32_t payload,
-                     std::function<void()> done);
+                     TaskDoneFn done);
     void pumpParticipant(Participant &p);
     void maybeSnapshot(Participant &p);
     void windowTick();

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Unit tests for the zero-allocation bio hot path: the BioPool
+ * slab/free-list arena, the pooled BioPtr lifecycle, the flat
+ * completion list used by the back-merge path, and the
+ * InlineFunction small-buffer callable the whole path is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "blk/bio.hh"
+#include "blk/block_layer.hh"
+#include "cgroup/cgroup_tree.hh"
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "sim/inline_function.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace iocost;
+
+// ---------------------------------------------------------------
+// InlineFunction
+// ---------------------------------------------------------------
+
+TEST(InlineFunction, SmallCaptureStoredInlineAndInvokes)
+{
+    int hits = 0;
+    sim::InlineFunction<void(), 48> fn = [&hits] { ++hits; };
+    ASSERT_TRUE(static_cast<bool>(fn));
+    EXPECT_TRUE(fn.storedInline());
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        char pad[96];
+    } big{};
+    big.pad[0] = 7;
+    int got = 0;
+    sim::InlineFunction<void(), 48> fn = [big, &got] {
+        got = big.pad[0];
+    };
+    EXPECT_FALSE(fn.storedInline());
+    fn();
+    EXPECT_EQ(got, 7);
+}
+
+TEST(InlineFunction, HotPathCaptureShapesFitInline)
+{
+    // The capture shapes the fast path relies on staying
+    // allocation-free. If one of these starts spilling to the heap,
+    // the perf_kernel --check-allocs gate fails too — this pins the
+    // budget at unit-test granularity.
+
+    // Device completion event: this + owned BioPtr + accept time.
+    void *self = nullptr;
+    blk::BioPtr owned;
+    sim::Time now = 0;
+    sim::InlineCallback device_done =
+        [self, owned = std::move(owned), now]() mutable {
+            (void)self;
+            (void)now;
+        };
+    EXPECT_TRUE(device_done.storedInline());
+
+    // Submission CPU event: this + owned BioPtr.
+    blk::BioPtr owned2;
+    sim::InlineCallback cpu_done =
+        [self, owned = std::move(owned2)]() mutable { (void)self; };
+    EXPECT_TRUE(cpu_done.storedInline());
+
+    // Bio completion: object pointer + keep-alive + a scalar.
+    auto keep = std::make_shared<int>(1);
+    blk::BioEndFn end = [self, keep,
+                         started = sim::Time{0}](const blk::Bio &) {
+        (void)self;
+        (void)started;
+    };
+    EXPECT_TRUE(end.storedInline());
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndEmptiesSource)
+{
+    int hits = 0;
+    sim::InlineFunction<void(), 48> a = [&hits] { ++hits; };
+    sim::InlineFunction<void(), 48> b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a)); // NOLINT: post-move probe
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MutableStateSurvivesMoves)
+{
+    sim::InlineFunction<int(), 48> counter = [n = 0]() mutable {
+        return ++n;
+    };
+    EXPECT_EQ(counter(), 1);
+    sim::InlineFunction<int(), 48> moved = std::move(counter);
+    EXPECT_EQ(moved(), 2);
+}
+
+TEST(InlineFunction, ConsumeInvokeEmptiesBeforeRunning)
+{
+    // consumeInvoke must vacate the wrapper before the callable
+    // runs, so the callable can reuse its own storage (the event
+    // queue recycles slots this way).
+    sim::InlineCallback fn;
+    bool was_empty_during_call = false;
+    fn = [&fn, &was_empty_during_call] {
+        was_empty_during_call = !static_cast<bool>(fn);
+    };
+    fn.consumeInvoke();
+    EXPECT_TRUE(was_empty_during_call);
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, ResetReleasesCapturedState)
+{
+    auto token = std::make_shared<int>(42);
+    sim::InlineCallback fn = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+    fn.reset();
+    EXPECT_EQ(token.use_count(), 1);
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+// ---------------------------------------------------------------
+// BioPool
+// ---------------------------------------------------------------
+
+/** Restores the process-wide bypass flag on scope exit. */
+struct BypassGuard
+{
+    explicit BypassGuard(bool on) { blk::BioPool::setBypass(on); }
+    ~BypassGuard() { blk::BioPool::setBypass(false); }
+};
+
+TEST(BioPool, RecyclesReleasedBios)
+{
+    blk::BioPool pool;
+    blk::BioPtr a = pool.make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+    blk::Bio *addr = a.get();
+    EXPECT_EQ(a->pool, &pool);
+    a.reset(); // returns to the free list, not the heap
+
+    blk::BioPtr b =
+        pool.make(blk::Op::Write, 4096, 4096, cgroup::kRoot);
+    EXPECT_EQ(b.get(), addr); // LIFO free list hands it right back
+    EXPECT_EQ(pool.acquired(), 2u);
+    EXPECT_EQ(pool.created(), blk::BioPool::kSlabBios);
+    EXPECT_EQ(pool.outstanding(), 1u);
+}
+
+TEST(BioPool, ReusedBioIsFullyReinitialized)
+{
+    blk::BioPool pool;
+    {
+        blk::BioPtr a = pool.make(blk::Op::Write, 123, 456,
+                                  cgroup::kRoot,
+                                  [](const blk::Bio &) {});
+        a->id = 99;
+        a->swap = true;
+        a->meta = true;
+        a->submitTime = 7;
+        a->dispatchTime = 8;
+        a->controllerScratch = 3.5;
+    }
+    blk::BioPtr b = pool.make(blk::Op::Read, 1, 2, cgroup::kRoot);
+    EXPECT_EQ(b->id, 0u);
+    EXPECT_EQ(b->op, blk::Op::Read);
+    EXPECT_EQ(b->offset, 1u);
+    EXPECT_EQ(b->size, 2u);
+    EXPECT_FALSE(b->swap);
+    EXPECT_FALSE(b->meta);
+    EXPECT_EQ(b->submitTime, 0);
+    EXPECT_EQ(b->dispatchTime, 0);
+    EXPECT_EQ(b->controllerScratch, 0.0);
+    EXPECT_FALSE(b->hasCompletion());
+}
+
+TEST(BioPool, ReleaseDropsCompletionCaptures)
+{
+    blk::BioPool pool;
+    auto keep = std::make_shared<int>(0);
+    {
+        blk::BioPtr a =
+            pool.make(blk::Op::Read, 0, 4096, cgroup::kRoot,
+                      [keep](const blk::Bio &) {});
+        a->addCompletion([keep](const blk::Bio &) {});
+        EXPECT_EQ(keep.use_count(), 3);
+    }
+    // Both closures (onComplete and the merged slot) released their
+    // keep-alive when the bio went back to the pool.
+    EXPECT_EQ(keep.use_count(), 1);
+}
+
+TEST(BioPool, ChurnIsBoundedBySteadyStateDepth)
+{
+    blk::BioPool pool;
+    constexpr unsigned kDepth = 8;
+    constexpr unsigned kCycles = 10'000;
+
+    std::deque<blk::BioPtr> window;
+    for (unsigned i = 0; i < kCycles; ++i) {
+        window.push_back(pool.make(blk::Op::Read,
+                                   uint64_t{i} * 4096, 4096,
+                                   cgroup::kRoot));
+        if (window.size() > kDepth)
+            window.pop_front();
+    }
+    window.clear();
+
+    // A closed loop of depth kDepth must never hold more than
+    // kDepth bios, and one slab covers it: no growth, all reuse.
+    EXPECT_EQ(pool.highWater(), kDepth + 1);
+    EXPECT_EQ(pool.created(), blk::BioPool::kSlabBios);
+    EXPECT_EQ(pool.outstanding(), 0u);
+    EXPECT_EQ(pool.acquired(), kCycles);
+    EXPECT_GE(pool.recycled(),
+              kCycles - blk::BioPool::kSlabBios);
+}
+
+TEST(BioPool, BypassRevertsToHeapAllocation)
+{
+    blk::BioPool pool;
+    BypassGuard guard(true);
+    EXPECT_TRUE(blk::BioPool::bypassed());
+    blk::BioPtr a = pool.make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+    EXPECT_EQ(a->pool, nullptr); // plain heap bio; deleter frees it
+    EXPECT_EQ(pool.acquired(), 0u);
+    a.reset();
+
+    blk::BioPool::setBypass(false);
+    blk::BioPtr b = pool.make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+    EXPECT_EQ(b->pool, &pool);
+}
+
+TEST(BioPool, MoreCompletionsCapacitySurvivesRecycle)
+{
+    blk::BioPool pool;
+    blk::Bio *addr = nullptr;
+    size_t cap = 0;
+    {
+        blk::BioPtr a =
+            pool.make(blk::Op::Read, 0, 4096, cgroup::kRoot,
+                      [](const blk::Bio &) {});
+        for (int i = 0; i < 4; ++i)
+            a->addCompletion([](const blk::Bio &) {});
+        addr = a.get();
+        cap = a->moreCompletions.capacity();
+        ASSERT_GT(cap, 0u);
+    }
+    blk::BioPtr b = pool.make(blk::Op::Read, 0, 4096, cgroup::kRoot);
+    ASSERT_EQ(b.get(), addr);
+    EXPECT_TRUE(b->moreCompletions.empty());
+    // The vector's buffer is part of the slab slot's steady state:
+    // repeated merging settles into zero allocations.
+    EXPECT_GE(b->moreCompletions.capacity(), cap);
+}
+
+// ---------------------------------------------------------------
+// Flat completion list (back-merge support)
+// ---------------------------------------------------------------
+
+TEST(Bio, CompletionsRunInAttachOrder)
+{
+    blk::BioPool pool;
+    std::vector<int> order;
+    blk::BioPtr bio =
+        pool.make(blk::Op::Write, 0, 4096, cgroup::kRoot,
+                  [&order](const blk::Bio &) {
+                      order.push_back(0);
+                  });
+    bio->addCompletion(
+        [&order](const blk::Bio &) { order.push_back(1); });
+    bio->addCompletion(
+        [&order](const blk::Bio &) { order.push_back(2); });
+    EXPECT_TRUE(bio->hasCompletion());
+    bio->runCompletions();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Bio, AddCompletionOnEmptyBioBecomesPrimary)
+{
+    blk::BioPool pool;
+    blk::BioPtr bio =
+        pool.make(blk::Op::Write, 0, 4096, cgroup::kRoot);
+    EXPECT_FALSE(bio->hasCompletion());
+    int hits = 0;
+    bio->addCompletion(
+        [&hits](const blk::Bio &) { ++hits; });
+    EXPECT_TRUE(bio->hasCompletion());
+    EXPECT_TRUE(bio->moreCompletions.empty()); // took the fast slot
+    bio->runCompletions();
+    EXPECT_EQ(hits, 1);
+}
+
+// ---------------------------------------------------------------
+// Pooled bios through the real stack
+// ---------------------------------------------------------------
+
+TEST(BioPool, IdsStayMonotonicAcrossRecycling)
+{
+    // The block layer stamps ids at submission; recycling a bio must
+    // never resurrect an old id. Run a closed loop deep enough that
+    // every bio is a reused slab slot several times over.
+    const uint64_t recycled_before = blk::BioPool::local().recycled();
+
+    sim::Simulator sim(99);
+    device::SsdModel device(sim, device::oldGenSsd());
+    cgroup::CgroupTree tree;
+    blk::BlockLayer layer(sim, device, tree);
+    const auto cg = tree.create(cgroup::kRoot, "ids");
+
+    std::vector<uint64_t> ids;
+    constexpr unsigned kDepth = 4;
+    constexpr unsigned kTotal = 500;
+    unsigned to_issue = kTotal;
+
+    // Self-refilling closed loop: each completion issues the next.
+    struct Driver
+    {
+        blk::BlockLayer &layer;
+        cgroup::CgroupId cg;
+        std::vector<uint64_t> &ids;
+        unsigned &to_issue;
+
+        void
+        issue()
+        {
+            // Stride 2x the size: never contiguous, so no bio is
+            // back-merged (a merge hands every absorbed callback the
+            // primary's id, which would break the strict ordering
+            // this test pins).
+            layer.submit(blk::Bio::make(
+                blk::Op::Read,
+                uint64_t{8192} * (ids.size() + 1), 4096, cg,
+                [this](const blk::Bio &bio) {
+                    ids.push_back(bio.id);
+                    if (to_issue > 0) {
+                        --to_issue;
+                        issue();
+                    }
+                }));
+        }
+    } drv{layer, cg, ids, to_issue};
+
+    for (unsigned i = 0; i < kDepth; ++i) {
+        --to_issue;
+        drv.issue();
+    }
+    sim.events().runAll();
+
+    ASSERT_EQ(ids.size(), kTotal);
+    // Completions arrive out of submission order (service times
+    // vary across channels), so don't expect sorted ids — expect
+    // that recycling never resurrected one: the 500 observed ids
+    // are exactly the 500 the layer assigned, each seen once.
+    std::sort(ids.begin(), ids.end());
+    for (size_t i = 0; i < ids.size(); ++i)
+        ASSERT_EQ(ids[i], i + 1);
+    // The loop really exercised recycling, not fresh slots.
+    EXPECT_GT(blk::BioPool::local().recycled(), recycled_before);
+}
+
+} // namespace
