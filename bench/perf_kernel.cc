@@ -40,6 +40,7 @@
 #include "fleet/fleet_sim.hh"
 #include "profile/device_profiler.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "stat/telemetry.hh"
 
@@ -625,6 +626,68 @@ bioPathRun(uint64_t measured_bios, bool seed_shaped)
 }
 
 /**
+ * Retry-path variant of the bio-path run: a FaultInjector fails 20%
+ * of requests and the layer requeues them with backoff. The tracked
+ * property is that the error path — status propagation, the backoff
+ * reschedule (a BioPtr captured into the event's inline storage),
+ * and the requeue re-dispatch — is as allocation-free as the happy
+ * path.
+ */
+BioPathResult
+retryPathRun(uint64_t measured_bios, uint64_t *retries_out)
+{
+    constexpr uint64_t kWarmupBios = 50'000;
+
+    BioPathResult out{};
+    {
+        sim::Simulator sim(4242);
+        device::SsdSpec spec = device::enterpriseSsd();
+        spec.jitterSigma = 0.0;
+        spec.hiccupMeanInterval = 0;
+        device::SsdModel device(sim, spec);
+
+        sim::FaultPlan plan;
+        plan.windows.push_back(sim::FaultWindow{
+            sim::FaultKind::ErrorRate, 0, 3600 * sim::kSec, 0.2});
+        sim::FaultInjector faults(std::move(plan));
+        device.setFaultInjector(&faults);
+
+        cgroup::CgroupTree tree;
+        blk::BlockLayer layer(sim, device, tree);
+        layer.setSubmissionCpuEnabled(true);
+        blk::BlockLayer::RetryPolicy retry;
+        retry.maxRetries = 4;
+        retry.backoffBase = 20 * sim::kUsec;
+        layer.setRetryPolicy(retry);
+        controllers::ControllerSpec spec_ctl("iocost");
+        spec_ctl.iocost = permissiveIoCost();
+        layer.setController(controllers::makeController(spec_ctl));
+        const auto cg = tree.create(cgroup::kRoot, "bench");
+
+        BioPathDriver drv(sim, layer, cg, false);
+        drv.prime(kWarmupBios + measured_bios);
+        drv.runUntil(kWarmupBios);
+
+        const uint64_t r0 = layer.retries();
+        const uint64_t a0 =
+            g_heapAllocs.load(std::memory_order_relaxed);
+        const auto t0 = std::chrono::steady_clock::now();
+        drv.runUntil(kWarmupBios + measured_bios);
+        const auto t1 = std::chrono::steady_clock::now();
+        const uint64_t a1 =
+            g_heapAllocs.load(std::memory_order_relaxed);
+
+        out.biosPerSec =
+            static_cast<double>(measured_bios) / seconds(t0, t1);
+        out.allocsPerBio = static_cast<double>(a1 - a0) /
+                           static_cast<double>(measured_bios);
+        if (retries_out)
+            *retries_out = layer.retries() - r0;
+    }
+    return out;
+}
+
+/**
  * `--check-allocs`: CI gate. Asserts the pooled bio path performs
  * (approximately) zero steady-state heap allocations per bio and
  * has not regressed against the seed-shaped lane or the pinned
@@ -671,6 +734,32 @@ checkAllocs()
                      "FAIL: only %.2fx over the seed-shaped "
                      "allocation lane (floor %.2fx)\n",
                      speedup, kMinSpeedup);
+        ok = false;
+    }
+
+    // Retry lane: with a 20% transient-error injector installed, the
+    // error/backoff/requeue machinery must be as allocation-free as
+    // the happy path (each failed attempt re-captures the BioPtr
+    // into an event's inline storage — no trampolines).
+    uint64_t retries = 0;
+    const BioPathResult rp = retryPathRun(kMeasure, &retries);
+    std::printf("retry path: %.0f bios/s, %.4f allocs/bio, "
+                "%llu retries in window\n",
+                rp.biosPerSec, rp.allocsPerBio,
+                static_cast<unsigned long long>(retries));
+    if (rp.allocsPerBio > kMaxAllocsPerBio) {
+        std::fprintf(stderr,
+                     "FAIL: %.4f heap allocations per bio with "
+                     "faults injected (limit %.2f) — the retry path "
+                     "is allocating\n",
+                     rp.allocsPerBio, kMaxAllocsPerBio);
+        ok = false;
+    }
+    if (retries == 0) {
+        std::fprintf(stderr,
+                     "FAIL: the retry lane performed no retries — "
+                     "the fault injector is not wired into the "
+                     "measured window\n");
         ok = false;
     }
 

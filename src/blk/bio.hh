@@ -44,6 +44,37 @@ opName(Op op)
     return op == Op::Read ? "read" : "write";
 }
 
+/**
+ * Completion status of a bio — the simulated analogue of the
+ * kernel's blk_status_t. Devices set Error when a fault window
+ * fails a request; the BlockLayer either retries (resetting the
+ * status) or delivers the final failure to the submitter.
+ */
+enum class BioStatus : uint8_t
+{
+    /** Completed successfully. */
+    Ok,
+    /** Failed on the device (after retries were exhausted). */
+    Error,
+    /** Exceeded the block layer's per-bio timeout. */
+    Timeout,
+};
+
+/** @return "ok" / "error" / "timeout". */
+inline const char *
+statusName(BioStatus status)
+{
+    switch (status) {
+    case BioStatus::Ok:
+        return "ok";
+    case BioStatus::Error:
+        return "error";
+    case BioStatus::Timeout:
+        return "timeout";
+    }
+    return "?";
+}
+
 struct Bio;
 class BioPool;
 
@@ -103,6 +134,18 @@ struct Bio
 
     /** When the bio was dispatched to the device. */
     sim::Time dispatchTime = 0;
+
+    /**
+     * Completion status, inspected by completion callbacks. Ok on
+     * the wire; a device sets Error when fault injection fails the
+     * request, and the BlockLayer resolves the final status
+     * (retried-to-success, Error, or Timeout) before running
+     * completions.
+     */
+    BioStatus status = BioStatus::Ok;
+
+    /** Retry attempts consumed so far (block-layer requeues). */
+    uint8_t retries = 0;
 
     /** Invoked by the block layer when the bio completes. */
     BioEndFn onComplete;

@@ -98,6 +98,8 @@ class BioPool
         bio->meta = false;
         bio->submitTime = 0;
         bio->dispatchTime = 0;
+        bio->status = BioStatus::Ok;
+        bio->retries = 0;
         bio->onComplete = std::move(on_complete);
         bio->controllerScratch = 0.0;
         return BioPtr(bio);

@@ -22,6 +22,10 @@ namespace iocost::stat {
 class Telemetry;
 }
 
+namespace iocost::sim {
+class FaultInjector;
+}
+
 namespace iocost::blk {
 
 /** Invoked by a device when a request finishes. Move-only, inline:
@@ -72,9 +76,23 @@ class BlockDevice
         telemetry_ = telemetry;
     }
 
+    /**
+     * Install a fault injector (owned by the caller, typically the
+     * Host). Device models consult it on every submission for
+     * latency multipliers, stalls, injected errors, and write-cliff
+     * onset; null (the default) means a well-behaved device with
+     * zero overhead on the submit path.
+     */
+    void setFaultInjector(sim::FaultInjector *faults)
+    {
+        faults_ = faults;
+    }
+
   protected:
     /** The telemetry handle, or nullptr when never attached. */
     stat::Telemetry *telemetry() const { return telemetry_; }
+    /** The fault injector, or nullptr for a healthy device. */
+    sim::FaultInjector *faults() const { return faults_; }
     /** Deliver a completion to the block layer. */
     void
     finish(BioPtr bio, sim::Time device_latency)
@@ -86,6 +104,7 @@ class BlockDevice
   private:
     DeviceEndFn complete_;
     stat::Telemetry *telemetry_ = nullptr;
+    sim::FaultInjector *faults_ = nullptr;
 };
 
 } // namespace iocost::blk

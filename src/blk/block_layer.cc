@@ -61,6 +61,17 @@ BlockLayer::deliverToController(BioPtr bio)
 void
 BlockLayer::dispatch(BioPtr bio)
 {
+    // A bio can reach dispatch already past its deadline (held by
+    // the controller, or a requeue whose backoff overshot). Failing
+    // it here runs its completion inline under dispatch() — the one
+    // place completions fire outside a device-completion event — so
+    // everything reachable from a completion callback must tolerate
+    // re-entry (see the stats_ deque comment in the header).
+    if (expired(*bio)) {
+        failBio(std::move(bio), 0);
+        return;
+    }
+
     bio->dispatchTime = sim_.now();
     if (dispatchQueue_.empty() && device_.submit(bio))
         return;
@@ -100,6 +111,16 @@ void
 BlockLayer::drainDispatchQueue()
 {
     while (!dispatchQueue_.empty()) {
+        // Expire parked bios before spending a device slot on them.
+        // failBio runs completions inline, which may re-enter
+        // submit()/dispatch() and mutate the queue — re-resolve
+        // front() every iteration, never hold it across the call.
+        if (expired(*dispatchQueue_.front())) {
+            BioPtr dead = std::move(dispatchQueue_.front());
+            dispatchQueue_.pop_front();
+            failBio(std::move(dead), 0);
+            continue;
+        }
         BioPtr &front = dispatchQueue_.front();
         front->dispatchTime = sim_.now();
         if (!device_.submit(front))
@@ -108,9 +129,21 @@ BlockLayer::drainDispatchQueue()
     }
 }
 
+bool
+BlockLayer::expired(const Bio &bio) const
+{
+    return retry_.bioTimeout > 0 &&
+           sim_.now() - bio.submitTime >= retry_.bioTimeout;
+}
+
 void
 BlockLayer::onDeviceComplete(BioPtr bio, sim::Time device_latency)
 {
+    if (bio->status != BioStatus::Ok) {
+        handleError(std::move(bio), device_latency);
+        return;
+    }
+
     ++completed_;
 
     CgroupIoStats &st = statsMutable(bio->cgroup);
@@ -150,6 +183,108 @@ BlockLayer::onDeviceComplete(BioPtr bio, sim::Time device_latency)
     // A completed request frees a device slot: feed parked bios in.
     drainDispatchQueue();
 
+    bio->runCompletions();
+}
+
+void
+BlockLayer::handleError(BioPtr bio, sim::Time device_latency)
+{
+    ++deviceErrors_;
+    ++statsMutable(bio->cgroup).errors;
+
+    if (telemetry_.enabled()) {
+        telemetry_.emit(sim_.now(), "blk", bio->cgroup, "error",
+                        1.0);
+    }
+
+    // Notify the controller of every failed attempt (error bursts
+    // are a saturation signal); the bio stays outstanding until its
+    // final onComplete.
+    if (controller_) {
+        CompletionInfo info;
+        info.deviceLatency = device_latency;
+        info.totalLatency = sim_.now() - bio->submitTime;
+        info.sizeBytes = bio->size;
+        info.op = bio->op;
+        info.deviceInFlight = device_.inFlight();
+        info.dispatchQueueDepth = dispatchQueue_.size();
+        info.status = bio->status;
+        controller_->onError(*bio, info);
+    }
+
+    // Even a failed request occupied — and now frees — a device
+    // slot.
+    drainDispatchQueue();
+
+    if (!expired(*bio) && bio->retries < retry_.maxRetries) {
+        // Bounded requeue with exponential backoff. The retry
+        // bypasses the controller (the bio was already charged at
+        // submission — the kernel's requeue path likewise skips
+        // rq-qos) and goes straight back to dispatch.
+        ++retries_;
+        ++statsMutable(bio->cgroup).retries;
+        const unsigned attempt = ++bio->retries;
+        bio->status = BioStatus::Ok;
+        if (telemetry_.detailEnabled()) {
+            telemetry_.emit(sim_.now(), "blk", bio->cgroup, "retry",
+                            static_cast<double>(attempt));
+        }
+        const sim::Time backoff = retry_.backoffBase
+                                  << (attempt - 1u);
+        sim_.after(backoff,
+                   [this, owned = std::move(bio)]() mutable {
+                       dispatch(std::move(owned));
+                   });
+        return;
+    }
+
+    failBio(std::move(bio), device_latency);
+}
+
+void
+BlockLayer::failBio(BioPtr bio, sim::Time device_latency)
+{
+    // Timeout dominates: a bio that blew its deadline reports
+    // Timeout even when the last attempt also errored, and a parked
+    // bio that never reached the device expires with status Ok.
+    const bool timed_out = expired(*bio);
+    bio->status =
+        timed_out ? BioStatus::Timeout : BioStatus::Error;
+
+    ++completed_;
+    ++failed_;
+    CgroupIoStats &st = statsMutable(bio->cgroup);
+    ++st.failures;
+    if (timed_out) {
+        ++timeouts_;
+        ++st.timeouts;
+    }
+    // Failed bios contribute no latency samples: their timings
+    // describe the failure path, not the device's service quality.
+
+    if (telemetry_.enabled()) {
+        telemetry_.emit(sim_.now(), "blk", bio->cgroup,
+                        timed_out ? "timeout" : "io_failed", 1.0);
+    }
+
+    // The terminal onComplete keeps the controller's in-flight
+    // accounting balanced (exactly one per accepted bio); info
+    // carries the non-Ok status so latency percentiles skip it.
+    if (controller_) {
+        CompletionInfo info;
+        info.deviceLatency = device_latency;
+        info.totalLatency = sim_.now() - bio->submitTime;
+        info.sizeBytes = bio->size;
+        info.op = bio->op;
+        info.deviceInFlight = device_.inFlight();
+        info.dispatchQueueDepth = dispatchQueue_.size();
+        info.status = bio->status;
+        controller_->onComplete(*bio, info);
+    }
+
+    // No drainDispatchQueue() here: failing a bio frees no device
+    // slot (queue-expired bios never held one), and the error path
+    // already drained after the device completion.
     bio->runCompletions();
 }
 

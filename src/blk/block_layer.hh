@@ -39,6 +39,14 @@ struct CgroupIoStats
     uint64_t writes = 0;
     uint64_t readBytes = 0;
     uint64_t writeBytes = 0;
+    /** Device-level failures observed (each failed attempt). */
+    uint64_t errors = 0;
+    /** Requeues after a failed attempt. */
+    uint64_t retries = 0;
+    /** Bios that exceeded the per-bio timeout. */
+    uint64_t timeouts = 0;
+    /** Bios delivered to the submitter with a non-Ok status. */
+    uint64_t failures = 0;
     /** Submission-to-completion latency (what the app observes). */
     stat::Histogram totalLatency;
     /** Dispatch-to-completion latency (what the device delivered). */
@@ -58,6 +66,28 @@ class BlockLayer
      */
     BlockLayer(sim::Simulator &sim, BlockDevice &device,
                cgroup::CgroupTree &tree);
+
+    /**
+     * Error-handling policy (the kernel's bounded requeue + request
+     * timeout). Defaults mean: up to 4 requeues with exponential
+     * backoff, no per-bio timeout — and, with no fault injector
+     * installed, zero behavioral change on the hot path.
+     */
+    struct RetryPolicy
+    {
+        /** Requeue attempts before a bio fails permanently. */
+        unsigned maxRetries = 4;
+        /** Backoff before attempt n is 'backoffBase << (n - 1)'. */
+        sim::Time backoffBase = 100 * sim::kUsec;
+        /** Submit-to-completion deadline; 0 disables timeouts. */
+        sim::Time bioTimeout = 0;
+    };
+
+    /** Install the error-handling policy. */
+    void setRetryPolicy(const RetryPolicy &policy) { retry_ = policy; }
+
+    /** The active error-handling policy. */
+    const RetryPolicy &retryPolicy() const { return retry_; }
 
     /** Install the IO controller (nullptr = no control, direct). */
     void setController(std::unique_ptr<IoController> controller);
@@ -133,8 +163,20 @@ class BlockLayer
     /** Bios accepted so far. */
     uint64_t submitted() const { return submitted_; }
 
-    /** Bios completed so far. */
+    /** Bios completed so far (successes and final failures). */
     uint64_t completed() const { return completed_; }
+
+    /** Failed device attempts observed so far. */
+    uint64_t deviceErrors() const { return deviceErrors_; }
+
+    /** Requeues performed so far. */
+    uint64_t retries() const { return retries_; }
+
+    /** Bios that exceeded the per-bio timeout. */
+    uint64_t timeouts() const { return timeouts_; }
+
+    /** Bios delivered to submitters with a non-Ok status. */
+    uint64_t failedBios() const { return failed_; }
 
     /** Bios sitting in the post-controller dispatch FIFO. */
     size_t dispatchQueueDepth() const { return dispatchQueue_.size(); }
@@ -154,6 +196,9 @@ class BlockLayer
 
   private:
     void onDeviceComplete(BioPtr bio, sim::Time device_latency);
+    void handleError(BioPtr bio, sim::Time device_latency);
+    void failBio(BioPtr bio, sim::Time device_latency);
+    bool expired(const Bio &bio) const;
     void drainDispatchQueue();
     void deliverToController(BioPtr bio);
     CgroupIoStats &statsMutable(cgroup::CgroupId cg);
@@ -163,11 +208,27 @@ class BlockLayer
     cgroup::CgroupTree &tree_;
     stat::Telemetry telemetry_;
     std::unique_ptr<IoController> controller_;
+    RetryPolicy retry_;
     std::deque<BioPtr> dispatchQueue_;
-    mutable std::vector<CgroupIoStats> stats_;
+    /**
+     * Per-cgroup table. Deliberately a deque, never a vector:
+     * stats() hands out references that callers (benches, tests,
+     * agents) hold across further submissions, and a completion
+     * callback — which can run inline under dispatch() since the
+     * timeout path — may submit from a previously-unseen cgroup id
+     * and grow this table. Contiguous storage would invalidate every
+     * held reference on reallocation (a use-after-free the
+     * regression test in test_error_retry.cc demonstrates); deque
+     * growth leaves existing elements in place.
+     */
+    mutable std::deque<CgroupIoStats> stats_;
     uint64_t nextBioId_ = 1;
     uint64_t submitted_ = 0;
     uint64_t completed_ = 0;
+    uint64_t deviceErrors_ = 0;
+    uint64_t retries_ = 0;
+    uint64_t timeouts_ = 0;
+    uint64_t failed_ = 0;
     uint64_t queueFullEvents_ = 0;
     uint64_t mergedBios_ = 0;
     bool cpuEnabled_ = false;

@@ -43,6 +43,12 @@ struct CompletionInfo
     uint32_t deviceInFlight = 0;
     /** Bios parked in the dispatch FIFO at completion time. */
     size_t dispatchQueueDepth = 0;
+    /**
+     * Final completion status. Non-Ok completions carry no valid
+     * device latency; controllers must not feed them into their
+     * latency percentiles.
+     */
+    BioStatus status = BioStatus::Ok;
 };
 
 /**
@@ -87,6 +93,22 @@ class IoController
      */
     virtual void
     onComplete(const Bio &bio, const CompletionInfo &info)
+    {
+        (void)bio;
+        (void)info;
+    }
+
+    /**
+     * A bio failed on the device. Fired once per failed attempt —
+     * before the block layer decides between requeue and final
+     * failure — so a controller can treat error bursts as a
+     * saturation signal (a degrading device behaves like a slow
+     * one). The bio is still outstanding: final accounting happens
+     * in the onComplete() that eventually follows, which carries the
+     * terminal status.
+     */
+    virtual void
+    onError(const Bio &bio, const CompletionInfo &info)
     {
         (void)bio;
         (void)info;

@@ -77,7 +77,11 @@ IoLatency::onComplete(const blk::Bio &bio,
     State &st = state(bio.cgroup);
     if (st.inFlight > 0)
         --st.inFlight;
-    st.windowLat.record(info.deviceLatency);
+    // Failed bios free their depth slot but contribute no latency
+    // sample — their timing describes the error path, not the
+    // cgroup's service quality.
+    if (info.status == blk::BioStatus::Ok)
+        st.windowLat.record(info.deviceLatency);
     pump(bio.cgroup);
 }
 

@@ -28,10 +28,14 @@ void
 Kyber::onComplete(const blk::Bio &bio,
                   const blk::CompletionInfo &info)
 {
+    // Failed bios still release their depth slot, but only Ok
+    // completions feed the percentile windows.
     if (bio.op == blk::Op::Read) {
-        windowReadLat_.record(info.deviceLatency);
+        if (info.status == blk::BioStatus::Ok)
+            windowReadLat_.record(info.deviceLatency);
     } else {
-        windowWriteLat_.record(info.deviceLatency);
+        if (info.status == blk::BioStatus::Ok)
+            windowWriteLat_.record(info.deviceLatency);
         if (writeInFlight_ > 0)
             --writeInFlight_;
         pump();

@@ -325,14 +325,27 @@ void
 IoCost::onComplete(const blk::Bio &bio,
                    const blk::CompletionInfo &info)
 {
-    if (bio.op == blk::Op::Read)
-        periodReadLat_.record(info.deviceLatency);
-    else
-        periodWriteLat_.record(info.deviceLatency);
+    // Failed bios carry no valid service latency; feeding them into
+    // the QoS percentiles would double-punish vrate (the error burst
+    // already reads as saturation via onError).
+    if (info.status == blk::BioStatus::Ok) {
+        if (bio.op == blk::Op::Read)
+            periodReadLat_.record(info.deviceLatency);
+        else
+            periodWriteLat_.record(info.deviceLatency);
+    }
 
     Iocg &st = iocg(bio.cgroup);
     if (st.outstanding > 0 && --st.outstanding == 0)
         st.busyAccum += sim_->now() - st.busySince;
+}
+
+void
+IoCost::onError(const blk::Bio &bio, const blk::CompletionInfo &info)
+{
+    (void)bio;
+    (void)info;
+    ++periodErrors_;
 }
 
 sim::Time
@@ -382,10 +395,15 @@ IoCost::adjustVrate(sim::Time elapsed)
     latReadReady_ = read_ready;
     latWriteReady_ = write_ready;
 
-    // Saturation signal 2: request depletion at the device.
+    // Saturation signal 2: request depletion at the device. An
+    // error burst counts too — a device dropping requests is not
+    // delivering its modeled capacity, and each failure re-occupies
+    // a slot on retry. The threshold keeps a stray transient error
+    // from backing off vrate (retries multiply the raw count).
     const bool depleted =
         layer().readAndResetQueueFullEvents() > 0 ||
-        layer().dispatchQueueDepth() > 0;
+        layer().dispatchQueueDepth() > 0 ||
+        periodErrors_ >= kErrorBurstThreshold;
 
     // Budget deficiency: someone was throttled this period.
     bool had_wait = false;
@@ -499,6 +517,7 @@ IoCost::runPlanning()
             kickWaiters(cg);
     }
 
+    periodErrors_ = 0;
     lastPlanning_ = now;
     gvtimeAtPlanning_ = gvtime_;
 }
@@ -519,6 +538,10 @@ IoCost::emitPeriodTelemetry(sim::Time now, sim::Time elapsed,
                      periodReadLat_.snapshot(now));
     tel.emitSnapshot(now, "iocost", stat::kNoCgroup, "lat_write",
                      periodWriteLat_.snapshot(now));
+    if (periodErrors_ > 0) {
+        tel.emit(now, "iocost", stat::kNoCgroup, "error_count",
+                 static_cast<double>(periodErrors_));
+    }
 
     // Per-cgroup period records for every active iocg, in the shape
     // the kernel's iocost_monitor prints: share of the occupancy

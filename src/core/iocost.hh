@@ -91,6 +91,8 @@ class IoCost : public blk::IoController
     void onSubmit(blk::BioPtr bio) override;
     void onComplete(const blk::Bio &bio,
                     const blk::CompletionInfo &info) override;
+    void onError(const blk::Bio &bio,
+                 const blk::CompletionInfo &info) override;
     sim::Time userspaceDelay(cgroup::CgroupId cg) override;
 
     /** Online model update (Fig. 13). Takes effect immediately. */
@@ -244,10 +246,26 @@ class IoCost : public blk::IoController
     void emitPeriodTelemetry(sim::Time now, sim::Time elapsed,
                              double avg_vrate);
 
+    /**
+     * Failed device attempts observed within the current period.
+     * An error burst reads as saturation: a device that is dropping
+     * requests is not delivering its modeled capacity, so
+     * adjustVrate treats it like request depletion (§3.3).
+     */
+    static constexpr uint64_t kErrorBurstThreshold = 8;
+
     IoCostConfig config_;
     sim::Simulator *sim_ = nullptr;
     cgroup::CgroupTree *tree_ = nullptr;
 
+    /**
+     * Per-cgroup table. Must be a deque (stable storage), never a
+     * vector: the issue path holds `Iocg &st` across
+     * chargeAndDispatch -> layer().dispatch(), and a dispatch can
+     * run completions inline (timeout expiry) whose callbacks may
+     * submit from a previously-unseen cgroup id and grow this table
+     * — contiguous storage would leave `st` dangling.
+     */
     std::deque<Iocg> iocgs_;
 
     double gvtime_ = 0.0;
@@ -260,6 +278,8 @@ class IoCost : public blk::IoController
     /** Completion latencies within the current period. */
     stat::Histogram periodReadLat_;
     stat::Histogram periodWriteLat_;
+    /** Failed device attempts within the current period. */
+    uint64_t periodErrors_ = 0;
     /** Whether the last planning pass consumed each histogram. */
     bool latReadReady_ = false;
     bool latWriteReady_ = false;

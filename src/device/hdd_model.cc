@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/fault.hh"
 #include "stat/telemetry.hh"
 
 namespace iocost::device {
@@ -98,7 +99,31 @@ HddModel::maybeStartService()
     queue_.erase(queue_.begin() +
                  static_cast<std::ptrdiff_t>(pick));
 
-    const sim::Time svc = serviceTime(*chosen.bio);
+    sim::Time svc = serviceTime(*chosen.bio);
+    if (faults()) {
+        const double mult = faults()->latencyMult(now);
+        if (mult != 1.0) {
+            svc = std::max<sim::Time>(
+                1, static_cast<sim::Time>(
+                       static_cast<double>(svc) * mult));
+        }
+        // Injected brownout: the mechanics freeze until the window
+        // ends; the chosen request simply finishes that much later.
+        const sim::Time stall_end = faults()->stallUntil(now);
+        if (stall_end > now) {
+            svc += stall_end - now;
+            if (telemetry() && telemetry()->enabled() &&
+                faults()->shouldReportStall(stall_end)) {
+                telemetry()->emit(now, "hdd", stat::kNoCgroup,
+                                  "stall_us",
+                                  sim::toMicros(stall_end - now));
+            }
+        }
+        // Media error (bad sector / unrecoverable seek): full
+        // service time is still paid before the failure reports.
+        if (faults()->drawError(now))
+            chosen.bio->status = blk::BioStatus::Error;
+    }
     headPos_ = chosen.bio->offset + chosen.bio->size;
     serving_ = true;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fault.hh"
 #include "stat/telemetry.hh"
 
 namespace iocost::device {
@@ -23,7 +24,22 @@ RemoteModel::submit(blk::BioPtr &bio)
     const double slot_ns =
         1e9 / spec_.iopsCap +
         static_cast<double>(bio->size) / spec_.bpsCap * 1e9;
-    const sim::Time admitted = std::max(now, limiterNext_);
+    sim::Time admitted = std::max(now, limiterNext_);
+
+    // Injected brownout: the backend (or the network path to it)
+    // goes dark; nothing admits before the window ends.
+    if (faults()) {
+        const sim::Time stall_end = faults()->stallUntil(now);
+        if (stall_end > admitted) {
+            admitted = stall_end;
+            if (telemetry() && telemetry()->enabled() &&
+                faults()->shouldReportStall(stall_end)) {
+                telemetry()->emit(now, "remote", stat::kNoCgroup,
+                                  "stall_us",
+                                  sim::toMicros(stall_end - now));
+            }
+        }
+    }
     limiterNext_ = admitted + static_cast<sim::Time>(slot_ns);
 
     // The provisioning limiter is the controller-relevant state of a
@@ -35,10 +51,18 @@ RemoteModel::submit(blk::BioPtr &bio)
                           sim::toMicros(admitted - now));
     }
 
-    const double rtt = rng_.logNormal(
+    double rtt = rng_.logNormal(
         static_cast<double>(spec_.baseRtt), spec_.rttSigma);
     const double backend =
         spec_.nsPerByte * static_cast<double>(bio->size);
+    if (faults()) {
+        // Congestion / degraded path: the network round trip bears
+        // the latency multiplier; a failed request (dropped reply,
+        // backend 5xx) still pays the full exchange.
+        rtt *= faults()->latencyMult(now);
+        if (faults()->drawError(now))
+            bio->status = blk::BioStatus::Error;
+    }
     const sim::Time done =
         admitted + static_cast<sim::Time>(rtt + backend);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "sim/fault.hh"
 #include "stat/telemetry.hh"
 
 namespace iocost::device {
@@ -31,6 +32,11 @@ SsdModel::refillWriteCredit()
     writeCredit_ = std::min(
         writeCredit_, static_cast<double>(spec_.writeBufferBytes));
     lastRefill_ = now;
+    // Injected early write-cliff: the burst buffer reads as empty
+    // for the window, forcing the GC regime (and its write pacing)
+    // regardless of the actual write history.
+    if (faults() && faults()->writeCliffActive(now))
+        writeCredit_ = 0.0;
 }
 
 sim::Time
@@ -101,6 +107,23 @@ SsdModel::submit(blk::BioPtr &bio)
                                 spec_.hiccupMeanInterval)));
     }
 
+    // Injected brownout: same mechanics as a firmware hiccup, but
+    // scheduled by the fault plan (and reported once per window).
+    if (faults()) {
+        const sim::Time stall_end = faults()->stallUntil(now);
+        if (stall_end > now) {
+            for (sim::Time &free_at : channelHeap_)
+                free_at = std::max(free_at, stall_end);
+            gcNext_ = std::max(gcNext_, stall_end);
+            if (telemetry() && telemetry()->enabled() &&
+                faults()->shouldReportStall(stall_end)) {
+                telemetry()->emit(now, "ssd", stat::kNoCgroup,
+                                  "stall_us",
+                                  sim::toMicros(stall_end - now));
+            }
+        }
+    }
+
     const bool was_gc = gcActive();
     // GC regime transitions are the device's headline state change
     // (burst buffer drained / recovered); emit edges, not levels.
@@ -110,7 +133,21 @@ SsdModel::submit(blk::BioPtr &bio)
         telemetry()->emit(now, "ssd", stat::kNoCgroup, "gc_active",
                           was_gc ? 1.0 : 0.0);
     }
-    const sim::Time svc = serviceTime(*bio);
+    sim::Time svc = serviceTime(*bio);
+    if (faults()) {
+        const double mult = faults()->latencyMult(now);
+        if (mult != 1.0) {
+            svc = std::max<sim::Time>(
+                1, static_cast<sim::Time>(
+                       static_cast<double>(svc) * mult));
+        }
+        // An errored request pays its full service time (the device
+        // discovers the failure only when the operation finishes),
+        // then completes with an error status for the block layer's
+        // retry path to handle.
+        if (faults()->drawError(now))
+            bio->status = blk::BioStatus::Error;
+    }
     lastEndOffset_ = bio->offset + bio->size;
 
     // Pick the earliest-free channel (heap top); the request

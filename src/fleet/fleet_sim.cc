@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "controllers/io_latency.hh"
@@ -136,6 +138,10 @@ FleetSim::runHostDay(const std::string &controller, int host_kind,
 
     host::HostOptions opts;
     opts.controller = controller;
+    // Device degradation, identical schedule on every host; the
+    // slice seed decorrelates the per-request error draws.
+    opts.faults = cfg.faults;
+    opts.faultSeedMix = seed;
     // Slice-private ring: drained into the outcome after the run.
     stat::RingSink ring;
     if (cfg.telemetry)
@@ -269,14 +275,38 @@ FleetSim::run(const FleetConfig &cfg, unsigned jobs,
         if (kind_on_iocost[1])
             profile::DeviceProfiler::profileSsd(device::newGenSsd());
 
+        // Exception boundary: a throwing slice (bad per-host config,
+        // malformed fault spec) must not std::terminate the process
+        // from a worker thread. The first exception is captured,
+        // every worker winds down, and the caller sees the rethrow
+        // after a clean join — same observable behaviour as the
+        // sequential path.
         std::atomic<uint64_t> next{0};
+        std::atomic<bool> failed{false};
+        std::mutex error_mutex;
+        std::exception_ptr first_error;
         auto worker = [&] {
             for (;;) {
+                if (failed.load(std::memory_order_relaxed))
+                    return;
                 const uint64_t i =
                     next.fetch_add(1, std::memory_order_relaxed);
                 if (i >= total)
                     return;
-                slice(i);
+                try {
+                    slice(i);
+                } catch (...) {
+                    {
+                        const std::lock_guard<std::mutex> lock(
+                            error_mutex);
+                        if (!first_error) {
+                            first_error =
+                                std::current_exception();
+                        }
+                    }
+                    failed.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         };
         std::vector<std::thread> pool;
@@ -286,6 +316,8 @@ FleetSim::run(const FleetConfig &cfg, unsigned jobs,
         worker();
         for (auto &t : pool)
             t.join();
+        if (first_error)
+            std::rethrow_exception(first_error);
     }
 
     // Phase 2: reduce in (day, host) order. The reduction is the

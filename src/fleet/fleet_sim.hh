@@ -72,6 +72,15 @@ struct FleetConfig
      * benches only need the aggregate counters.
      */
     bool telemetry = false;
+
+    /**
+     * Device fault spec applied to every host-day slice (see
+     * sim::FaultPlan::parse for the grammar; empty = healthy
+     * fleet). The plan seed is mixed with each slice's seed, so
+     * error draws decorrelate across hosts while the whole run
+     * stays byte-deterministic at any `jobs`.
+     */
+    std::string faults;
 };
 
 /** One day's aggregate outcome. */

@@ -18,6 +18,21 @@ Host::Host(sim::Simulator &sim,
     if (opts.telemetrySink != nullptr)
         layer_->setTelemetrySink(opts.telemetrySink);
     layer_->telemetry().setDetail(opts.telemetryDetail);
+
+    if (!opts.faults.empty()) {
+        // Throws std::invalid_argument on a malformed spec — before
+        // any IO runs, so a bad --faults string fails loudly.
+        sim::FaultPlan plan = sim::FaultPlan::parse(opts.faults);
+        blk::BlockLayer::RetryPolicy retry;
+        retry.maxRetries = plan.maxRetries;
+        retry.backoffBase = plan.retryBackoffBase;
+        retry.bioTimeout = plan.bioTimeout;
+        layer_->setRetryPolicy(retry);
+        faults_ = std::make_unique<sim::FaultInjector>(
+            std::move(plan), opts.faultSeedMix);
+        device_->setFaultInjector(faults_.get());
+    }
+
     layer_->setController(controllers::makeController(
         opts.controller));
 

@@ -21,6 +21,7 @@
 #include "controllers/factory.hh"
 #include "core/iocost.hh"
 #include "mm/memory_manager.hh"
+#include "sim/fault.hh"
 #include "sim/simulator.hh"
 
 namespace iocost::host {
@@ -57,6 +58,21 @@ struct HostOptions
     uint32_t workloadWeight = 500;
     uint32_t hostCriticalWeight = 100;
     uint32_t systemWeight = 50;
+
+    /**
+     * Device fault spec (sim::FaultPlan::parse grammar). Non-empty
+     * installs a FaultInjector on the device and the spec's retry
+     * policy on the block layer; parse errors throw
+     * std::invalid_argument from the Host constructor. Empty (the
+     * default) models a healthy device.
+     */
+    std::string faults;
+
+    /**
+     * Xored into the fault plan's seed (the fleet passes its slice
+     * seed so hosts decorrelate deterministically).
+     */
+    uint64_t faultSeedMix = 0;
 };
 
 /**
@@ -118,9 +134,14 @@ class Host
         return dynamic_cast<core::IoCost *>(layer_->controller());
     }
 
+    /** The fault injector, or nullptr for a healthy device. */
+    sim::FaultInjector *faults() { return faults_.get(); }
+
   private:
     sim::Simulator &sim_;
     std::unique_ptr<blk::BlockDevice> device_;
+    /** Owned injector; outlives the device's borrowed pointer. */
+    std::unique_ptr<sim::FaultInjector> faults_;
     cgroup::CgroupTree tree_;
     std::unique_ptr<blk::BlockLayer> layer_;
     std::unique_ptr<mm::MemoryManager> mm_;

@@ -101,25 +101,34 @@ Histogram::merge(const Histogram &other)
     if (other.subBits_ == subBits_) {
         for (size_t i = 0; i < buckets_.size(); ++i)
             buckets_[i] += other.buckets_[i];
-        if (count_ == 0) {
-            min_ = other.min_;
-            max_ = other.max_;
-        } else {
-            min_ = std::min(min_, other.min_);
-            max_ = std::max(max_, other.max_);
-        }
-        count_ += other.count_;
-        total_ += other.total_;
-        sumSquares_ += other.sumSquares_;
-        return;
-    }
-    // Differing resolutions: re-record representative values.
-    for (unsigned i = 0; i < other.buckets_.size(); ++i) {
-        if (other.buckets_[i]) {
-            record(static_cast<int64_t>(other.bucketUpperEdge(i)),
-                   other.buckets_[i]);
+    } else {
+        // Differing resolutions: re-bucket counts at each source
+        // bucket's representative (upper-edge) value. Quantiles
+        // degrade to the coarser resolution; the exact moments are
+        // carried over below — re-*recording* the representative
+        // values here would inflate total_/sumSquares_ (every
+        // observation rounds up to its bucket edge) and bias
+        // mean/stddev after fleet aggregation.
+        for (unsigned i = 0; i < other.buckets_.size(); ++i) {
+            if (!other.buckets_[i])
+                continue;
+            const unsigned idx = std::min<unsigned>(
+                bucketIndex(other.bucketUpperEdge(i)),
+                static_cast<unsigned>(buckets_.size() - 1));
+            buckets_[idx] += other.buckets_[i];
         }
     }
+    // Moments and extrema merge exactly regardless of resolution.
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    total_ += other.total_;
+    sumSquares_ += other.sumSquares_;
 }
 
 } // namespace iocost::stat

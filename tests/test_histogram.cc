@@ -113,6 +113,89 @@ TEST(Histogram, MergeCombinesCounts)
     EXPECT_LE(a.quantile(0.25), 110);
 }
 
+TEST(Histogram, MergeResolutionMismatchPreservesExactMoments)
+{
+    // Split one population across histograms of different
+    // resolutions, merge both into a third, and compare against
+    // recording everything directly: counts and moments must be
+    // exact (they are carried as running sums, not recomputed from
+    // re-bucketed counts — re-bucketing through coarse bucket edges
+    // would inflate total and sumSquares).
+    iocost::sim::Rng rng(42);
+    Histogram direct(5);
+    Histogram coarse(3);
+    Histogram fine(7);
+    for (int i = 0; i < 4000; ++i) {
+        const auto v =
+            static_cast<int64_t>(rng.logNormal(250e3, 1.8));
+        direct.record(v);
+        (i % 2 ? coarse : fine).record(v);
+    }
+
+    Histogram merged(5);
+    merged.merge(coarse);
+    merged.merge(fine);
+
+    EXPECT_EQ(merged.count(), direct.count());
+    EXPECT_EQ(merged.total(), direct.total());
+    EXPECT_DOUBLE_EQ(merged.mean(), direct.mean());
+    // sumSquares accumulates in a different order; allow only
+    // floating-point reassociation noise, no systematic inflation.
+    EXPECT_NEAR(merged.stddev(), direct.stddev(),
+                1e-9 * direct.stddev());
+    EXPECT_EQ(merged.minValue(), direct.minValue());
+    EXPECT_EQ(merged.maxValue(), direct.maxValue());
+
+    // Quantiles go through re-bucketing and are approximate, but
+    // must stay within the coarsest participant's error bound.
+    for (double q : {0.5, 0.9, 0.99}) {
+        const double exact =
+            static_cast<double>(direct.quantile(q));
+        const double est =
+            static_cast<double>(merged.quantile(q));
+        EXPECT_NEAR(est, exact, exact * 0.30 + 1) << "q=" << q;
+    }
+}
+
+TEST(Histogram, MergeAcrossResolutionsBothDirections)
+{
+    Histogram source(6);
+    for (int i = 1; i <= 1000; ++i)
+        source.record(i * 997);
+
+    for (unsigned bits : {3u, 5u, 7u}) {
+        Histogram dst(bits);
+        dst.merge(source);
+        EXPECT_EQ(dst.count(), source.count()) << bits;
+        EXPECT_EQ(dst.total(), source.total()) << bits;
+        EXPECT_DOUBLE_EQ(dst.mean(), source.mean()) << bits;
+        EXPECT_NEAR(dst.stddev(), source.stddev(),
+                    1e-9 * source.stddev())
+            << bits;
+        EXPECT_EQ(dst.minValue(), source.minValue()) << bits;
+        EXPECT_EQ(dst.maxValue(), source.maxValue()) << bits;
+    }
+}
+
+TEST(Histogram, MergeEmptyIsNoOp)
+{
+    Histogram a(5);
+    a.record(123, 7);
+    const uint64_t count = a.count();
+    const int64_t total = a.total();
+    Histogram empty(3);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), count);
+    EXPECT_EQ(a.total(), total);
+
+    // And merging into an empty histogram adopts min/max.
+    Histogram b(3);
+    b.merge(a);
+    EXPECT_EQ(b.minValue(), a.minValue());
+    EXPECT_EQ(b.maxValue(), a.maxValue());
+    EXPECT_EQ(b.count(), a.count());
+}
+
 /**
  * Property: for any population, every quantile estimate is within
  * the structural relative error bound (one sub-bucket width).

@@ -12,6 +12,8 @@
  *   iocost_mon [--device oldgen|newgen|enterprise|hdd|gp3|io2|
  *               pd-balanced|pd-ssd]
  *              [--controller "<spec>"] [--model "..."] [--qos "..."]
+ *              [--faults "<spec>"]  deterministic device fault plan
+ *                              (see sim::FaultPlan::parse)
  *              [--seconds N] [--seed N] [--job name:key=value:...]
  *              [--every N]     render every Nth period (default:
  *                              auto, ~32 rows)
@@ -37,6 +39,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -214,12 +217,15 @@ printPeriods(const std::vector<Period> &periods,
         // Histogram-backed snapshots record nanoseconds.
         std::printf(
             "[%8.3fs] vrate=%6.1f%%  rlat p50/p99=%5.0f/%5.0fus"
-            "  wlat p50/p99=%5.0f/%5.0fus\n",
+            "  wlat p50/p99=%5.0f/%5.0fus",
             sim::toSeconds(p.time), p.vratePct,
             field(p.global, "lat_read_p50") / 1e3,
             field(p.global, "lat_read_p99") / 1e3,
             field(p.global, "lat_write_p50") / 1e3,
             field(p.global, "lat_write_p99") / 1e3);
+        if (const double errs = field(p.global, "error_count"))
+            std::printf("  errs=%.0f", errs);
+        std::printf("\n");
         std::printf("  %-28s %7s %8s %8s %9s %9s\n", "cgroup",
                     "usage%", "wait_ms", "debt_ms", "hw_inuse%",
                     "hw_active%");
@@ -239,7 +245,8 @@ int
 runSingleHost(const std::string &device_name,
               const std::string &controller,
               const std::string &model_line,
-              const std::string &qos_line, double seconds,
+              const std::string &qos_line,
+              const std::string &faults_spec, double seconds,
               uint64_t seed, std::vector<JobSpec> jobs,
               unsigned every, bool detail,
               const std::string &out_path)
@@ -275,6 +282,7 @@ runSingleHost(const std::string &device_name,
     }
     opts.telemetrySink = &ring;
     opts.telemetryDetail = detail;
+    opts.faults = faults_spec;
 
     host::Host host(sim, std::move(device), opts);
 
@@ -404,6 +412,7 @@ main(int argc, char **argv)
     std::string device_name = "newgen";
     std::string controller = "iocost";
     std::string model_line, qos_line, out_path, scenario;
+    std::string faults_spec;
     double seconds = 5.0;
     uint64_t seed = 42;
     unsigned every = 0;
@@ -435,6 +444,8 @@ main(int argc, char **argv)
             model_line = next();
         } else if (arg == "--qos") {
             qos_line = next();
+        } else if (arg == "--faults") {
+            faults_spec = next();
         } else if (arg == "--seconds") {
             seconds = std::stod(next());
         } else if (arg == "--seed") {
@@ -468,9 +479,21 @@ main(int argc, char **argv)
         }
     }
 
-    if (fleet_mode)
+    // Validate the fault spec up front so both modes reject a bad
+    // --faults string before any simulation work happens.
+    if (!faults_spec.empty()) {
+        try {
+            (void)sim::FaultPlan::parse(faults_spec);
+        } catch (const std::invalid_argument &err) {
+            sim::fatal(err.what());
+        }
+    }
+
+    if (fleet_mode) {
+        fleet_cfg.faults = faults_spec;
         return runFleet(scenario, fleet_cfg, fleet_jobs, out_path);
+    }
     return runSingleHost(device_name, controller, model_line,
-                         qos_line, seconds, seed, std::move(jobs),
-                         every, detail, out_path);
+                         qos_line, faults_spec, seconds, seed,
+                         std::move(jobs), every, detail, out_path);
 }

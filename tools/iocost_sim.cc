@@ -18,6 +18,9 @@
  *               "kyber rlat=1000 wlat=8000"
  *              [--model "<io.cost.model line>"]   (default: profile)
  *              [--qos "<io.cost.qos line>"]
+ *              [--faults "<spec>"]  deterministic device fault plan
+ *               (see sim::FaultPlan::parse), e.g.
+ *               "lat@2s+1s=6,err@2s+1s=0.02,timeout=80ms"
  *              [--seconds N] [--seed N]
  *              [--job name:weight=W:depth=D:bs=B:rw=read|write|mixed
  *                         :pattern=rand|seq[:rate=R]] ...
@@ -36,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -163,7 +167,7 @@ main(int argc, char **argv)
 {
     std::string device_name = "newgen";
     std::string controller = "iocost";
-    std::string model_line, qos_line;
+    std::string model_line, qos_line, faults_spec;
     double seconds = 10.0;
     uint64_t seed = 42;
     std::vector<JobSpec> jobs;
@@ -186,6 +190,8 @@ main(int argc, char **argv)
             model_line = next();
         } else if (arg == "--qos") {
             qos_line = next();
+        } else if (arg == "--faults") {
+            faults_spec = next();
         } else if (arg == "--seconds") {
             seconds = std::stod(next());
         } else if (arg == "--seed") {
@@ -210,8 +216,18 @@ main(int argc, char **argv)
             sim::fatal("unknown flag: " + arg);
         }
     }
+    // Validate the fault spec up front: both modes should reject a
+    // bad --faults string before any simulation work happens.
+    if (!faults_spec.empty()) {
+        try {
+            (void)sim::FaultPlan::parse(faults_spec);
+        } catch (const std::invalid_argument &err) {
+            sim::fatal(err.what());
+        }
+    }
     if (fleet_mode) {
         fleet_cfg.seed = seed;
+        fleet_cfg.faults = faults_spec;
         std::printf("fleet: hosts=%u days=%u jobs=%u seed=%llu\n",
                     fleet_cfg.hosts, fleet_cfg.days, fleet_jobs,
                     static_cast<unsigned long long>(seed));
@@ -248,6 +264,7 @@ main(int argc, char **argv)
 
     host::HostOptions opts;
     opts.controller = *spec;
+    opts.faults = faults_spec;
     // The iocost settings a bare mechanism name leaves at their
     // struct defaults come from the device profile and the
     // --model/--qos kernel-format lines instead; a spec line that
