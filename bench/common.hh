@@ -37,6 +37,26 @@ jobsFromArgs(int argc, char **argv)
     return jobs;
 }
 
+/**
+ * Parse `--shards N` for the fleet benches. Default 0 = auto (8 per
+ * worker, clamped to the host count). Like --jobs, the shard count
+ * only changes scheduling granularity — fleet aggregates are
+ * byte-identical for any value — so it too reports to stderr.
+ */
+inline unsigned
+shardsFromArgs(int argc, char **argv)
+{
+    unsigned shards = 0;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--shards") == 0)
+            shards = static_cast<unsigned>(
+                std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    if (shards != 0)
+        std::fprintf(stderr, "shards=%u\n", shards);
+    return shards;
+}
+
 /** Print a banner naming the reproduced figure/table. */
 inline void
 banner(const std::string &title, const std::string &description)

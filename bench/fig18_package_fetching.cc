@@ -28,10 +28,14 @@ main(int argc, char **argv)
 
     fleet::FleetConfig cfg;
     cfg.seed = 1818;
-    // Results are byte-identical for any --jobs value; the default
-    // uses every hardware thread.
-    const unsigned jobs = bench::jobsFromArgs(argc, argv);
-    const auto days = fleet::FleetSim::run(cfg, jobs);
+    // Results are byte-identical for any --jobs/--shards value; the
+    // default uses every hardware thread.
+    fleet::RunOptions opts;
+    opts.jobs = bench::jobsFromArgs(argc, argv);
+    opts.shards = bench::shardsFromArgs(argc, argv);
+    const fleet::FleetAggregate agg = fleet::FleetSim::runScenario(
+        fleet::scenarioFromConfig(cfg), opts);
+    const auto &days = agg.days;
 
     bench::Table table({"Day", "Fleet on IOCost", "Fetches",
                         "Failures", "Failure rate"});
@@ -67,5 +71,20 @@ main(int argc, char **argv)
     } else {
         std::printf("Reduction: complete (paper: ~10x)\n");
     }
+    std::printf(
+        "Completed-fetch latency: iolatency p50=%s p99=%s | "
+        "iocost p50=%s p99=%s\n",
+        bench::fmtTime(
+            agg.fetchTime[fleet::kCtlIoLatency].quantile(0.50))
+            .c_str(),
+        bench::fmtTime(
+            agg.fetchTime[fleet::kCtlIoLatency].quantile(0.99))
+            .c_str(),
+        bench::fmtTime(
+            agg.fetchTime[fleet::kCtlIoCost].quantile(0.50))
+            .c_str(),
+        bench::fmtTime(
+            agg.fetchTime[fleet::kCtlIoCost].quantile(0.99))
+            .c_str());
     return 0;
 }

@@ -887,10 +887,22 @@ main(int argc, char **argv)
                bench::fmt("%.1f", fleet_seq), "-", "-"});
     table.row({"fleet --jobs 4 (host-days/s)",
                bench::fmt("%.1f", fleet_j4), "-",
-               bench::fmt("%.2fx", fleet_j4 / fleet_seq)});
+               hw > 1 ? bench::fmt("%.2fx", fleet_j4 / fleet_seq)
+                      : std::string("n/a (1 hw thread)")});
     table.print();
     std::printf("hardware threads: %u (parallel speedup is bounded "
                 "by this)\n", hw);
+
+    // On a single-hardware-thread box a jobs4/seq ratio is just
+    // scheduling noise, not a speedup — emit null so downstream
+    // tooling cannot mistake it for a measurement.
+    char speedup_json[32];
+    if (hw > 1) {
+        std::snprintf(speedup_json, sizeof(speedup_json), "%.3f",
+                      fleet_j4 / fleet_seq);
+    } else {
+        std::snprintf(speedup_json, sizeof(speedup_json), "null");
+    }
 
     FILE *json = std::fopen("BENCH_kernel.json", "w");
     if (!json) {
@@ -927,7 +939,7 @@ main(int argc, char **argv)
         "  \"fleet\": {\n"
         "    \"hostdays_per_sec_seq\": %.2f,\n"
         "    \"hostdays_per_sec_jobs4\": %.2f,\n"
-        "    \"parallel_speedup\": %.3f,\n"
+        "    \"parallel_speedup\": %s,\n"
         "    \"hardware_threads\": %u\n"
         "  }\n"
         "}\n",
@@ -935,7 +947,7 @@ main(int argc, char **argv)
         ch.speedup, tel.current, tel.legacy, tel.speedup,
         bp.current, bp.legacy, bp.speedup, kPrePrBiosPerSec,
         bp.current / kPrePrBiosPerSec, cur_allocs, seed_allocs,
-        fleet_seq, fleet_j4, fleet_j4 / fleet_seq, hw);
+        fleet_seq, fleet_j4, speedup_json, hw);
     std::fclose(json);
     std::printf("wrote BENCH_kernel.json\n");
     return 0;

@@ -4,7 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <memory>
-#include <mutex>
+#include <stdexcept>
 #include <thread>
 
 #include "controllers/io_latency.hh"
@@ -116,7 +116,87 @@ struct CleanupAgent
     }
 };
 
+/**
+ * Main-workload shape for one host. Every kind runs a read job and
+ * a write job; the kind decides their arrival processes and depths.
+ * The `knobs` draws vary intensity per host-day; the Mixed branch
+ * must consume the stream exactly as the pre-sharding code did so
+ * legacy replays stay byte-identical.
+ */
+void
+shapeWorkloads(WorkloadKind kind, sim::Rng &knobs,
+               workload::FioConfig &reads,
+               workload::FioConfig &writes)
+{
+    reads.arrival = workload::Arrival::Saturating;
+    writes.arrival = workload::Arrival::Saturating;
+    writes.readFraction = 0.0;
+    switch (kind) {
+    case WorkloadKind::Mixed:
+        // Saturating random reads + a large-write stream that
+        // drains the device's burst buffer into its GC regime.
+        reads.iodepth = 32 + static_cast<unsigned>(knobs.below(64));
+        writes.blockSize = 1 << 20;
+        writes.iodepth = 2 + static_cast<unsigned>(knobs.below(8));
+        break;
+    case WorkloadKind::ReadHeavy:
+        // Deep random reads; only a trickle of medium writes.
+        reads.iodepth = 48 + static_cast<unsigned>(knobs.below(64));
+        writes.blockSize = 256 * 1024;
+        writes.iodepth = 1 + static_cast<unsigned>(knobs.below(2));
+        break;
+    case WorkloadKind::WriteHeavy:
+        // Deep large-write streams over shallow reads.
+        reads.iodepth = 4 + static_cast<unsigned>(knobs.below(8));
+        writes.blockSize = 1 << 20;
+        writes.iodepth = 8 + static_cast<unsigned>(knobs.below(16));
+        break;
+    case WorkloadKind::Bursty:
+        // Open-loop read bursts over a shallow write stream.
+        reads.arrival = workload::Arrival::Rate;
+        reads.ratePerSec =
+            2000.0 + static_cast<double>(knobs.below(6000));
+        writes.blockSize = 1 << 20;
+        writes.iodepth = 1 + static_cast<unsigned>(knobs.below(2));
+        break;
+    }
+}
+
 } // namespace
+
+FleetScenario
+scenarioFromConfig(const FleetConfig &cfg)
+{
+    FleetScenario sc;
+    sc.hosts = cfg.hosts;
+    sc.days = cfg.days;
+    sc.seed = cfg.seed;
+    sc.stages.clear();
+    sc.stages.push_back(MigrationStage{cfg.migrationStartDay,
+                                       cfg.migrationEndDay, 1.0});
+    sc.devices.clear();
+    sc.devices.push_back(
+        FleetScenario::DeviceShare{device::oldGenSsd(), 1.0});
+    sc.devices.push_back(
+        FleetScenario::DeviceShare{device::newGenSsd(), 1.0});
+    sc.workloads.clear();
+    sc.workloads.push_back(
+        FleetScenario::WorkloadShare{WorkloadKind::Mixed, 1.0});
+    sc.faults = cfg.faults;
+    sc.telemetry = cfg.telemetry;
+    sc.slice = cfg.slice;
+    sc.warmup = cfg.warmup;
+    sc.fetchBytes = cfg.fetchBytes;
+    sc.fetchDeadline = cfg.fetchDeadline;
+    sc.cleanupOps = cfg.cleanupOps;
+    sc.cleanupIoBytes = cfg.cleanupIoBytes;
+    sc.cleanupDeadline = cfg.cleanupDeadline;
+    // Byte-compat with the pre-scenario implementation: host%2
+    // device split and the historical polynomial slice seed.
+    sc.seedMode = FleetScenario::SeedMode::Legacy;
+    sc.deviceAssign = FleetScenario::DeviceAssign::LegacyParity;
+    return sc;
+}
 
 unsigned
 FleetSim::migrationDay(unsigned host, const FleetConfig &cfg)
@@ -129,22 +209,22 @@ FleetSim::migrationDay(unsigned host, const FleetConfig &cfg)
 }
 
 HostDayOutcome
-FleetSim::runHostDay(const std::string &controller, int host_kind,
-                     uint64_t seed, const FleetConfig &cfg)
+FleetSim::runHostDay(const FleetScenario &sc,
+                     const device::SsdSpec &spec,
+                     WorkloadKind kind,
+                     const std::string &controller, uint64_t seed)
 {
     sim::Simulator sim(seed);
-    const device::SsdSpec spec =
-        host_kind == 0 ? device::oldGenSsd() : device::newGenSsd();
 
     host::HostOptions opts;
     opts.controller = controller;
     // Device degradation, identical schedule on every host; the
     // slice seed decorrelates the per-request error draws.
-    opts.faults = cfg.faults;
+    opts.faults = sc.faults;
     opts.faultSeedMix = seed;
     // Slice-private ring: drained into the outcome after the run.
     stat::RingSink ring;
-    if (cfg.telemetry)
+    if (sc.telemetry)
         opts.telemetrySink = &ring;
     if (controller == "iocost") {
         const auto &prof =
@@ -174,40 +254,33 @@ FleetSim::runHostDay(const std::string &controller, int host_kind,
         iolat->setTarget(main_cg, 400 * sim::kUsec);
     }
 
-    // Main workload: a saturating mix — deep random reads plus a
-    // stream of large writes that drains the device's burst buffer
-    // into its GC regime. Intensity varies per host-day.
+    // Main workload: shape per WorkloadKind, intensity varied per
+    // host-day through the knobs stream.
     sim::Rng knobs(seed ^ 0x5bd1e995);
     workload::FioConfig reads;
-    reads.arrival = workload::Arrival::Saturating;
-    reads.iodepth = 32 + static_cast<unsigned>(knobs.below(64));
+    workload::FioConfig writes;
+    shapeWorkloads(kind, knobs, reads, writes);
     workload::FioWorkload read_job(sim, host.layer(), main_cg,
                                    reads);
-
-    workload::FioConfig writes;
-    writes.arrival = workload::Arrival::Saturating;
-    writes.readFraction = 0.0;
-    writes.blockSize = 1 << 20;
-    writes.iodepth = 2 + static_cast<unsigned>(knobs.below(8));
     workload::FioWorkload write_job(sim, host.layer(), main_cg,
                                     writes);
 
-    FetchAgent fetch(host.layer(), fetch_cg, cfg.fetchBytes,
+    FetchAgent fetch(host.layer(), fetch_cg, sc.fetchBytes,
                      seed ^ 0xabcdef12);
-    CleanupAgent cleanup(host.layer(), cleanup_cg, cfg.cleanupOps,
-                         cfg.cleanupIoBytes, seed ^ 0x9e3779b9);
+    CleanupAgent cleanup(host.layer(), cleanup_cg, sc.cleanupOps,
+                         sc.cleanupIoBytes, seed ^ 0x9e3779b9);
 
     read_job.start();
     write_job.start();
     // Agents start once the workload has pushed the device into its
     // sustained (buffer-drained) regime.
-    const sim::Time agent_start = cfg.warmup;
+    const sim::Time agent_start = sc.warmup;
     sim.after(agent_start, [&] {
         fetch.start();
         cleanup.step();
     });
 
-    sim.runUntil(agent_start + cfg.slice);
+    sim.runUntil(agent_start + sc.slice);
     read_job.stop();
     write_job.stop();
 
@@ -218,11 +291,160 @@ FleetSim::runHostDay(const std::string &controller, int host_kind,
     out.cleanupTime = cleanup.doneAt == sim::kTimeNever
                           ? sim::kTimeNever
                           : cleanup.doneAt - agent_start;
-    out.fetchFailed = out.fetchTime > cfg.fetchDeadline;
-    out.cleanupFailed = out.cleanupTime > cfg.cleanupDeadline;
-    if (cfg.telemetry)
+    out.fetchFailed = out.fetchTime > sc.fetchDeadline;
+    out.cleanupFailed = out.cleanupTime > sc.cleanupDeadline;
+    if (sc.telemetry)
         out.records = ring.drain();
     return out;
+}
+
+HostDayOutcome
+FleetSim::runHostDay(const std::string &controller, int host_kind,
+                     uint64_t seed, const FleetConfig &cfg)
+{
+    const device::SsdSpec spec =
+        host_kind == 0 ? device::oldGenSsd() : device::newGenSsd();
+    return runHostDay(scenarioFromConfig(cfg), spec,
+                      WorkloadKind::Mixed, controller, seed);
+}
+
+FleetAggregate
+FleetSim::runScenario(const FleetScenario &sc,
+                      const RunOptions &opts)
+{
+    return runScenario(sc, opts, nullptr);
+}
+
+FleetAggregate
+FleetSim::runScenario(const FleetScenario &sc,
+                      const RunOptions &opts,
+                      std::vector<HostDayOutcome> *outcomes_out)
+{
+    // Resolve the execution layout. None of it affects any
+    // aggregated byte — only scheduling granularity.
+    unsigned jobs = opts.jobs == 0
+                        ? std::max(
+                              1u,
+                              std::thread::hardware_concurrency())
+                        : opts.jobs;
+    unsigned shards = opts.shards != 0 ? opts.shards : sc.shards;
+    if (shards == 0)
+        shards = jobs * 8;
+    shards = std::max(1u, std::min(shards, std::max(1u, sc.hosts)));
+    jobs = std::min(jobs, shards);
+
+    // Warm the shared device-profile cache up front so workers do
+    // not all serialize on its mutex for the first iocost slice.
+    // Profiles are cached and deterministic, so this never changes
+    // results.
+    bool any_migration = false;
+    for (const MigrationStage &st : sc.stages)
+        any_migration = any_migration || st.startDay < sc.days;
+    if (any_migration) {
+        for (const FleetScenario::DeviceShare &d : sc.devices)
+            profile::DeviceProfiler::profileSsd(d.spec);
+    }
+
+    if (outcomes_out != nullptr) {
+        outcomes_out->clear();
+        outcomes_out->resize(static_cast<size_t>(sc.days) *
+                             sc.hosts);
+    }
+
+    // Per-shard arenas, constructed up front: the fold path inside
+    // the workers performs no heap allocation.
+    std::vector<ShardAccumulator> accs;
+    accs.reserve(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        accs.emplace_back(sc.days);
+
+    // Shard s owns the contiguous host range [lo(s), lo(s+1)).
+    auto shard_lo = [&](unsigned s) {
+        return static_cast<unsigned>(
+            static_cast<uint64_t>(s) * sc.hosts / shards);
+    };
+
+    auto run_shard = [&](unsigned s) {
+        ShardAccumulator &acc = accs[s];
+        const unsigned lo = shard_lo(s);
+        const unsigned hi = shard_lo(s + 1);
+        for (unsigned h = lo; h < hi; ++h) {
+            const unsigned mig = sc.migrationDay(h);
+            const device::SsdSpec &spec =
+                sc.devices[sc.deviceIndexFor(h) %
+                           sc.devices.size()]
+                    .spec;
+            const WorkloadKind kind = sc.workloadFor(h);
+            for (unsigned day = 0; day < sc.days; ++day) {
+                if (day == sc.throwAtDay && h == sc.throwAtHost) {
+                    throw std::runtime_error(
+                        "fleet: injected slice failure at day " +
+                        std::to_string(day) + " host " +
+                        std::to_string(h));
+                }
+                const bool on_iocost = day >= mig;
+                HostDayOutcome out = runHostDay(
+                    sc, spec, kind,
+                    on_iocost ? "iocost" : "iolatency",
+                    sc.hostDaySeed(day, h));
+                acc.fold(day, on_iocost, out);
+                if (outcomes_out != nullptr) {
+                    (*outcomes_out)[static_cast<size_t>(day) *
+                                        sc.hosts +
+                                    h] = std::move(out);
+                }
+            }
+        }
+        acc.finalizeSeries();
+    };
+
+    // Workers steal whole shards from a shared counter. Exception
+    // boundary: a throwing slice poisons only its shard — the
+    // shard's first exception is captured, the worker moves on, and
+    // remaining shards still drain. After a clean join the
+    // exception from the lowest-indexed failed shard is rethrown,
+    // which is deterministic regardless of worker scheduling.
+    std::vector<std::exception_ptr> errors(shards);
+    std::atomic<unsigned> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const unsigned s =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (s >= shards)
+                return;
+            try {
+                run_shard(s);
+            } catch (...) {
+                errors[s] = std::current_exception();
+            }
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs - 1);
+        for (unsigned t = 0; t + 1 < jobs; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &t : pool)
+            t.join();
+    }
+    for (unsigned s = 0; s < shards; ++s) {
+        if (errors[s])
+            std::rethrow_exception(errors[s]);
+    }
+
+    // Deterministic binary-tree merge by shard index. Every merged
+    // quantity is exact, so this yields bit-identical state no
+    // matter how the tree is shaped — the fixed shape just makes
+    // the reduction O(log shards) deep.
+    for (unsigned stride = 1; stride < shards; stride *= 2) {
+        for (unsigned i = 0; i + stride < shards; i += 2 * stride)
+            accs[i].mergeFrom(accs[i + stride]);
+    }
+    return accs[0].finish(sc.hosts, shards, jobs);
 }
 
 std::vector<FleetDayResult>
@@ -235,116 +457,10 @@ std::vector<FleetDayResult>
 FleetSim::run(const FleetConfig &cfg, unsigned jobs,
               std::vector<HostDayOutcome> *outcomes_out)
 {
-    const uint64_t total =
-        static_cast<uint64_t>(cfg.days) * cfg.hosts;
-    if (jobs == 0)
-        jobs = std::max(1u, std::thread::hardware_concurrency());
-    if (total > 0 && jobs > total)
-        jobs = static_cast<unsigned>(total);
-
-    // Phase 1: every host-day slice runs against its own private
-    // Simulator with a seed derived only from (cfg.seed, day, host),
-    // so slices are order- and thread-independent.
-    std::vector<HostDayOutcome> outcomes(total);
-    auto slice = [&](uint64_t idx) {
-        const unsigned day = static_cast<unsigned>(idx / cfg.hosts);
-        const unsigned h = static_cast<unsigned>(idx % cfg.hosts);
-        const bool on_iocost = day >= migrationDay(h, cfg);
-        const uint64_t seed =
-            cfg.seed * 1000003ull + day * 10007ull + h;
-        outcomes[idx] = runHostDay(
-            on_iocost ? "iocost" : "iolatency",
-            static_cast<int>(h % 2), seed, cfg);
-    };
-
-    if (jobs <= 1) {
-        for (uint64_t i = 0; i < total; ++i)
-            slice(i);
-    } else {
-        // Warm the shared device-profile cache up front so workers
-        // do not all serialize on its mutex for the first profile —
-        // but only for host kinds that actually reach IOCost (the
-        // IOLatency side never profiles).
-        bool kind_on_iocost[2] = {false, false};
-        for (unsigned h = 0; h < cfg.hosts; ++h) {
-            if (cfg.days > migrationDay(h, cfg))
-                kind_on_iocost[h % 2] = true;
-        }
-        if (kind_on_iocost[0])
-            profile::DeviceProfiler::profileSsd(device::oldGenSsd());
-        if (kind_on_iocost[1])
-            profile::DeviceProfiler::profileSsd(device::newGenSsd());
-
-        // Exception boundary: a throwing slice (bad per-host config,
-        // malformed fault spec) must not std::terminate the process
-        // from a worker thread. The first exception is captured,
-        // every worker winds down, and the caller sees the rethrow
-        // after a clean join — same observable behaviour as the
-        // sequential path.
-        std::atomic<uint64_t> next{0};
-        std::atomic<bool> failed{false};
-        std::mutex error_mutex;
-        std::exception_ptr first_error;
-        auto worker = [&] {
-            for (;;) {
-                if (failed.load(std::memory_order_relaxed))
-                    return;
-                const uint64_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= total)
-                    return;
-                try {
-                    slice(i);
-                } catch (...) {
-                    {
-                        const std::lock_guard<std::mutex> lock(
-                            error_mutex);
-                        if (!first_error) {
-                            first_error =
-                                std::current_exception();
-                        }
-                    }
-                    failed.store(true, std::memory_order_relaxed);
-                    return;
-                }
-            }
-        };
-        std::vector<std::thread> pool;
-        pool.reserve(jobs - 1);
-        for (unsigned t = 0; t + 1 < jobs; ++t)
-            pool.emplace_back(worker);
-        worker();
-        for (auto &t : pool)
-            t.join();
-        if (first_error)
-            std::rethrow_exception(first_error);
-    }
-
-    // Phase 2: reduce in (day, host) order. The reduction is the
-    // only place results meet, so the output is byte-identical to
-    // the sequential run regardless of jobs.
-    std::vector<FleetDayResult> out;
-    out.reserve(cfg.days);
-    for (unsigned day = 0; day < cfg.days; ++day) {
-        FleetDayResult r;
-        r.day = day;
-        unsigned migrated = 0;
-        for (unsigned h = 0; h < cfg.hosts; ++h) {
-            migrated += day >= migrationDay(h, cfg) ? 1 : 0;
-            const HostDayOutcome &o =
-                outcomes[static_cast<uint64_t>(day) * cfg.hosts + h];
-            ++r.fetchAttempts;
-            ++r.cleanupAttempts;
-            r.fetchFailures += o.fetchFailed ? 1 : 0;
-            r.cleanupFailures += o.cleanupFailed ? 1 : 0;
-        }
-        r.fractionOnIoCost =
-            static_cast<double>(migrated) / cfg.hosts;
-        out.push_back(r);
-    }
-    if (outcomes_out != nullptr)
-        *outcomes_out = std::move(outcomes);
-    return out;
+    RunOptions opts;
+    opts.jobs = jobs;
+    return runScenario(scenarioFromConfig(cfg), opts, outcomes_out)
+        .days;
 }
 
 } // namespace iocost::fleet

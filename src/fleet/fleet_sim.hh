@@ -1,7 +1,7 @@
 /**
  * @file
  * Fleet-scale Monte-Carlo for the migration studies (paper §4.8,
- * Figs. 18/19).
+ * Figs. 18/19) — sharded engine.
  *
  * The paper reports package-fetching and container-cleanup failure
  * rates across a region of hundreds of thousands of hosts over a
@@ -11,8 +11,17 @@
  * system-slice package fetcher race their (scaled-down) deadlines
  * while the main workload saturates the device; the host's
  * controller — IOLatency before its migration day, IOCost after —
- * decides whether the agents starve. Daily failure counts across
- * the simulated fleet reproduce the migration shape.
+ * decides whether the agents starve.
+ *
+ * Execution model: the fleet is partitioned into contiguous host
+ * shards. Workers pull whole shards from a shared queue (work
+ * stealing rebalances load automatically) and fold each finished
+ * host-day into the shard's private ShardAccumulator; shards merge
+ * in a deterministic tree order at the end. Because every per-host
+ * property derives purely from (scenario seed, host) and every
+ * folded quantity is exact integer arithmetic, the aggregate is
+ * byte-identical for ANY jobs/shards combination — and memory is
+ * O(shards), independent of fleet size.
  */
 
 #ifndef IOCOST_FLEET_FLEET_SIM_HH
@@ -22,12 +31,14 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet_aggregate.hh"
+#include "fleet/fleet_scenario.hh"
 #include "sim/time.hh"
-#include "stat/telemetry.hh"
 
 namespace iocost::fleet {
 
-/** Fleet/migration configuration. */
+/** Fleet/migration configuration (legacy fig18/19 form; new code
+ *  should prefer FleetScenario). */
 struct FleetConfig
 {
     /** Hosts in the simulated region. */
@@ -83,26 +94,28 @@ struct FleetConfig
     std::string faults;
 };
 
-/** One day's aggregate outcome. */
-struct FleetDayResult
-{
-    unsigned day = 0;
-    double fractionOnIoCost = 0.0;
-    unsigned fetchAttempts = 0;
-    unsigned fetchFailures = 0;
-    unsigned cleanupAttempts = 0;
-    unsigned cleanupFailures = 0;
-};
+/**
+ * Map a legacy FleetConfig onto the scenario form. The resulting
+ * scenario uses SeedMode::Legacy and DeviceAssign::LegacyParity, so
+ * runScenario() over it reproduces the historical fig18/19 runs
+ * byte-for-byte.
+ */
+FleetScenario scenarioFromConfig(const FleetConfig &cfg);
 
-/** Outcome of a single host-day slice. */
-struct HostDayOutcome
+/** Execution layout for runScenario(). */
+struct RunOptions
 {
-    bool fetchFailed = false;
-    bool cleanupFailed = false;
-    sim::Time fetchTime = 0;
-    sim::Time cleanupTime = 0;
-    /** Telemetry captured when FleetConfig::telemetry is set. */
-    std::vector<stat::Record> records;
+    /** Worker threads; 1 = sequential in the calling thread,
+     *  0 = one per hardware thread. */
+    unsigned jobs = 1;
+
+    /**
+     * Shard count override; 0 defers to the scenario's `shards` key
+     * and then to the auto policy (8 shards per worker, clamped to
+     * the host count). More shards = finer work-stealing granularity
+     * at O(days) memory each. Never affects any aggregated byte.
+     */
+    unsigned shards = 0;
 };
 
 /**
@@ -112,7 +125,7 @@ class FleetSim
 {
   public:
     /**
-     * Run one host-day slice.
+     * Run one host-day slice (legacy entry point).
      *
      * @param controller "iolatency" or "iocost".
      * @param host_kind 0 = old-gen SSD host, 1 = new-gen SSD host.
@@ -124,13 +137,49 @@ class FleetSim
                                      const FleetConfig &cfg);
 
     /**
-     * Run the full migration study.
+     * Run one host-day slice of a scenario host.
      *
-     * Host-day slices are fully independent (each owns a private
-     * Simulator whose seed derives from (cfg.seed, day, host)), so
-     * they are fanned out across @p jobs worker threads and reduced
-     * in (day, host) order. The result is byte-identical to the
-     * sequential run for any jobs value.
+     * @param spec Device the host runs on.
+     * @param kind Main-workload shape.
+     */
+    static HostDayOutcome runHostDay(const FleetScenario &sc,
+                                     const device::SsdSpec &spec,
+                                     WorkloadKind kind,
+                                     const std::string &controller,
+                                     uint64_t seed);
+
+    /**
+     * Run a full scenario through the sharded engine.
+     *
+     * Memory stays O(shards * days): per-host results are folded
+     * into per-shard accumulators as they finish and never
+     * retained. The returned aggregate is byte-identical for any
+     * jobs/shards combination.
+     *
+     * A slice that throws poisons only its shard: the first
+     * exception per shard is captured, remaining shards still
+     * drain, and after a clean join the exception from the
+     * lowest-indexed failed shard is rethrown (deterministic
+     * regardless of worker scheduling).
+     */
+    static FleetAggregate runScenario(const FleetScenario &sc,
+                                      const RunOptions &opts = {});
+
+    /**
+     * As runScenario(), additionally exposing every host-day
+     * outcome (indexed day * sc.hosts + host) so callers can
+     * serialize per-slice telemetry. This abandons constant memory
+     * — the grid is O(hosts * days) — and exists for the
+     * iocost_mon per-host replay path.
+     */
+    static FleetAggregate
+    runScenario(const FleetScenario &sc, const RunOptions &opts,
+                std::vector<HostDayOutcome> *outcomes_out);
+
+    /**
+     * Run the full migration study (legacy entry point; wraps
+     * runScenario over scenarioFromConfig). Byte-identical to the
+     * pre-sharding implementation for any jobs value.
      *
      * @param jobs Worker threads; 1 = sequential in the calling
      *             thread, 0 = one per hardware thread.

@@ -37,8 +37,9 @@ Histogram::stddev() const
     if (count_ == 0)
         return 0.0;
     const double m = mean();
-    const double var =
-        sumSquares_ / static_cast<double>(count_) - m * m;
+    const double var = static_cast<double>(sumSquares_) /
+                           static_cast<double>(count_) -
+                       m * m;
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -88,7 +89,7 @@ Histogram::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = 0;
     total_ = 0;
-    sumSquares_ = 0.0;
+    sumSquares_ = 0;
     min_ = 0;
     max_ = 0;
 }

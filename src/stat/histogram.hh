@@ -63,9 +63,9 @@ class Histogram
         }
         count_ += count;
         total_ += value * static_cast<int64_t>(count);
-        sumSquares_ += static_cast<double>(value) *
-                       static_cast<double>(value) *
-                       static_cast<double>(count);
+        sumSquares_ += static_cast<unsigned __int128>(value) *
+                       static_cast<unsigned __int128>(value) *
+                       count;
     }
 
     /** Number of recorded observations. */
@@ -113,7 +113,16 @@ class Histogram
     /** Summarize the current window as of @p now. */
     WindowSnapshot snapshot(sim::Time now) const;
 
-    /** Merge another histogram's observations into this one. */
+    /**
+     * Merge another histogram's observations into this one.
+     *
+     * All state — buckets, extrema, and the moments backing mean()
+     * and stddev() — is held in integers, so merging any partition
+     * of the same observations in any order yields bit-identical
+     * results. This is what lets the fleet engine fold per-host
+     * results into per-shard accumulators and still produce
+     * byte-identical aggregates at every shard count.
+     */
     void merge(const Histogram &other);
 
   private:
@@ -139,7 +148,13 @@ class Histogram
     std::vector<uint64_t> buckets_;
     uint64_t count_ = 0;
     int64_t total_ = 0;
-    double sumSquares_ = 0.0;
+    /**
+     * Sum of squared values in exact integer arithmetic. A double
+     * here would make stddev() depend on accumulation order and
+     * break bit-identical shard merges; 128 bits hold the square of
+     * any realistic latency (2^45 ns) times 2^38 observations.
+     */
+    unsigned __int128 sumSquares_ = 0;
     int64_t min_ = 0;
     int64_t max_ = 0;
     sim::Time windowStart_ = 0;

@@ -49,6 +49,49 @@ class TimeSeries
     bool empty() const { return points_.empty(); }
     size_t size() const { return points_.size(); }
 
+    /** Pre-size the point storage (steady-state no-alloc folding). */
+    void reserve(size_t n) { points_.reserve(n); }
+
+    /**
+     * Merge @p other into this series, summing values at equal
+     * timestamps and interleaving the rest in time order. Both
+     * series must be sorted by time with unique timestamps (the
+     * form every per-shard accumulator produces: one point per
+     * day/period).
+     *
+     * The merge is exact — and therefore independent of shard count
+     * and merge order — whenever the values are integer-valued
+     * (counts), which is what the fleet engine sums. @p scratch is
+     * caller-provided swap space so repeated merges reuse capacity
+     * instead of allocating.
+     */
+    void
+    mergeSum(const TimeSeries &other,
+             std::vector<SeriesPoint> &scratch)
+    {
+        if (other.points_.empty())
+            return;
+        scratch.clear();
+        size_t a = 0, b = 0;
+        while (a < points_.size() || b < other.points_.size()) {
+            if (b >= other.points_.size() ||
+                (a < points_.size() &&
+                 points_[a].when < other.points_[b].when)) {
+                scratch.push_back(points_[a++]);
+            } else if (a >= points_.size() ||
+                       other.points_[b].when < points_[a].when) {
+                scratch.push_back(other.points_[b++]);
+            } else {
+                scratch.push_back(SeriesPoint{
+                    points_[a].when,
+                    points_[a].value + other.points_[b].value});
+                ++a;
+                ++b;
+            }
+        }
+        points_.swap(scratch);
+    }
+
     /**
      * Start a new measurement window at @p now (the common window
      * convention, stat/window.hh). Recorded points are retained —

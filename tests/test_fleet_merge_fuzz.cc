@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Deterministic-merge fuzz: randomized partitions of the same
+ * observations across randomized shard counts and merge orders must
+ * reproduce the reference Histogram / TimeSeries bit-for-bit. This
+ * is the property the sharded fleet engine's byte-identical
+ * aggregates rest on, checked directly at the stat layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "stat/histogram.hh"
+#include "stat/time_series.hh"
+
+namespace {
+
+using iocost::stat::Histogram;
+using iocost::stat::SeriesPoint;
+using iocost::stat::TimeSeries;
+
+/** Compare every observable statistic bit-exactly (doubles with ==:
+ *  all of them derive from integer state, so equality is exact). */
+void
+expectHistogramsIdentical(const Histogram &a, const Histogram &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.total(), b.total());
+    EXPECT_EQ(a.minValue(), b.minValue());
+    EXPECT_EQ(a.maxValue(), b.maxValue());
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.stddev(), b.stddev());
+    for (double q :
+         {0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999, 1.0})
+        EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+}
+
+TEST(FleetMergeFuzz, HistogramPartitionAndOrderInvariant)
+{
+    std::mt19937_64 rng(0xF1EE7u);
+    for (unsigned trial = 0; trial < 40; ++trial) {
+        const unsigned values = 1 + rng() % 2000;
+        const unsigned shards = 1 + rng() % 17;
+
+        Histogram reference;
+        std::vector<Histogram> parts(shards, Histogram());
+        for (unsigned i = 0; i < values; ++i) {
+            // Magnitudes span sub-microsecond to ~18 minutes in ns,
+            // i.e. every octave the latency histograms see.
+            const auto v = static_cast<int64_t>(
+                rng() % (1ull << (1 + rng() % 40)));
+            reference.record(v);
+            parts[rng() % shards].record(v);
+        }
+
+        // Merge the shards in a random order into an empty
+        // accumulator (the engine's fold) ...
+        std::vector<unsigned> order(shards);
+        std::iota(order.begin(), order.end(), 0u);
+        std::shuffle(order.begin(), order.end(), rng);
+        Histogram folded;
+        for (unsigned s : order)
+            folded.merge(parts[s]);
+        expectHistogramsIdentical(folded, reference);
+
+        // ... and in deterministic binary-tree order (the engine's
+        // cross-shard reduction). Same bits either way.
+        std::vector<Histogram> tree = parts;
+        for (unsigned stride = 1; stride < shards; stride *= 2) {
+            for (unsigned s = 0; s + stride < shards;
+                 s += 2 * stride)
+                tree[s].merge(tree[s + stride]);
+        }
+        expectHistogramsIdentical(tree[0], reference);
+    }
+}
+
+TEST(FleetMergeFuzz, HistogramTwoPartitionsAgree)
+{
+    // Two *different* random partitions of the same multiset must
+    // land on identical merged state: partition independence, not
+    // just order independence.
+    std::mt19937_64 rng(0xBADC0FFEu);
+    for (unsigned trial = 0; trial < 20; ++trial) {
+        std::vector<int64_t> values(500 + rng() % 1500);
+        for (auto &v : values)
+            v = static_cast<int64_t>(rng() % (1ull << 38));
+
+        auto partitionMerge = [&](unsigned shards,
+                                  uint64_t salt) {
+            std::mt19937_64 part_rng(salt);
+            std::vector<Histogram> parts(shards, Histogram());
+            for (int64_t v : values)
+                parts[part_rng() % shards].record(v);
+            Histogram out;
+            for (const auto &p : parts)
+                out.merge(p);
+            return out;
+        };
+        expectHistogramsIdentical(partitionMerge(3, 11),
+                                  partitionMerge(13, 77));
+    }
+}
+
+TEST(FleetMergeFuzz, HistogramMixedSubBucketResolutionMoments)
+{
+    // Shards built at different resolutions cannot share buckets,
+    // but the integer moments still merge exactly.
+    Histogram coarse(3), fine(7), merged(3);
+    std::mt19937_64 rng(42);
+    int64_t total = 0;
+    for (unsigned i = 0; i < 300; ++i) {
+        const auto v =
+            static_cast<int64_t>(rng() % (1ull << 30));
+        (i % 2 ? coarse : fine).record(v);
+        total += v;
+    }
+    merged.merge(coarse);
+    merged.merge(fine);
+    EXPECT_EQ(merged.count(), 300u);
+    EXPECT_EQ(merged.total(), total);
+    EXPECT_EQ(merged.minValue(),
+              std::min(coarse.minValue(), fine.minValue()));
+    EXPECT_EQ(merged.maxValue(),
+              std::max(coarse.maxValue(), fine.maxValue()));
+}
+
+TEST(FleetMergeFuzz, TimeSeriesShardSumsAreExact)
+{
+    std::mt19937_64 rng(0x5E1E5u);
+    std::vector<SeriesPoint> scratch;
+    for (unsigned trial = 0; trial < 30; ++trial) {
+        const unsigned days = 1 + rng() % 64;
+        const unsigned shards = 1 + rng() % 17;
+
+        // Integer per-day counts, split randomly across shards that
+        // each emit one point per day (zeros included) — exactly
+        // the shape ShardAccumulator::finalizeSeries() produces.
+        std::vector<uint64_t> per_day(days);
+        std::vector<TimeSeries> parts(shards);
+        for (unsigned d = 0; d < days; ++d) {
+            std::vector<uint64_t> split(shards, 0);
+            per_day[d] = rng() % 5000;
+            for (uint64_t i = 0; i < per_day[d]; ++i)
+                ++split[rng() % shards];
+            for (unsigned s = 0; s < shards; ++s)
+                parts[s].record(d,
+                                static_cast<double>(split[s]));
+        }
+
+        std::vector<unsigned> order(shards);
+        std::iota(order.begin(), order.end(), 0u);
+        std::shuffle(order.begin(), order.end(), rng);
+        TimeSeries merged;
+        for (unsigned s : order)
+            merged.mergeSum(parts[s], scratch);
+
+        ASSERT_EQ(merged.size(), days);
+        for (unsigned d = 0; d < days; ++d) {
+            EXPECT_EQ(merged.points()[d].when, d);
+            EXPECT_EQ(merged.points()[d].value,
+                      static_cast<double>(per_day[d]));
+        }
+    }
+}
+
+TEST(FleetMergeFuzz, TimeSeriesInterleavesDisjointTimestamps)
+{
+    // Shards covering disjoint day ranges interleave in time order
+    // with values untouched (host-partitioned shards where only
+    // some shards saw a given event kind).
+    TimeSeries evens, odds;
+    for (unsigned d = 0; d < 10; d += 2)
+        evens.record(d, static_cast<double>(d * 100));
+    for (unsigned d = 1; d < 10; d += 2)
+        odds.record(d, static_cast<double>(d * 100));
+
+    std::vector<SeriesPoint> scratch;
+    TimeSeries merged;
+    merged.mergeSum(odds, scratch);
+    merged.mergeSum(evens, scratch);
+    ASSERT_EQ(merged.size(), 10u);
+    for (unsigned d = 0; d < 10; ++d) {
+        EXPECT_EQ(merged.points()[d].when, d);
+        EXPECT_EQ(merged.points()[d].value,
+                  static_cast<double>(d * 100));
+    }
+
+    // Merging an empty series is a no-op.
+    merged.mergeSum(TimeSeries(), scratch);
+    EXPECT_EQ(merged.size(), 10u);
+}
+
+} // namespace

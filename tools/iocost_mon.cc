@@ -23,14 +23,29 @@
  * Fleet mode replays the §4.8 migration studies with telemetry on,
  * writing one JSONL record per telemetry sample prefixed with the
  * (day, host) slice coordinates. Output is byte-identical for any
- * --jobs value (records are serialized in (day, host, time) order):
+ * --jobs/--shards value (records are serialized in (day, host,
+ * time) order):
  *   iocost_mon --fleet --scenario fig18|fig19
- *              [--hosts N] [--days N] [--jobs N] [--out FILE]
+ *              [--hosts N] [--days N] [--jobs N] [--shards N]
+ *              [--out FILE]
+ *
+ * A full FleetScenario spec (fleet/fleet_scenario.hh grammar,
+ * inline or @file) runs the sharded streaming engine instead and
+ * renders the constant-memory aggregate (per-host telemetry is not
+ * retained at that scale); --out then writes the aggregate JSON:
+ *   iocost_mon --fleet --scenario "hosts=10000 days=24 ..."
+ *   iocost_mon --fleet --scenario @scenario.txt --jobs 8
+ *
+ * Reader mode renders a previously written fleet file — either the
+ * streaming-aggregate JSON or the legacy per-host JSONL (sniffed
+ * automatically):
+ *   iocost_mon --fleet --in fleet.json|fleet.jsonl
  *
  * Examples:
  *   iocost_mon --device newgen --seconds 5 \
  *     --job web:weight=200:depth=32 --job batch:weight=100:depth=32
  *   iocost_mon --fleet --scenario fig18 --jobs 8 --out fig18.jsonl
+ *   iocost_mon --fleet --in fig18.jsonl
  */
 
 #include <algorithm>
@@ -340,16 +355,167 @@ runSingleHost(const std::string &device_name,
     return 0;
 }
 
+/** Render a streaming-aggregate view (from a run or a file). */
+void
+renderAggregate(const fleet::AggregateView &view)
+{
+    std::printf("fleet aggregate: hosts=%u days=%u host-days=%llu "
+                "(run with jobs=%u shards=%u)\n",
+                view.hosts, view.days,
+                static_cast<unsigned long long>(view.hostDays),
+                view.jobs, view.shards);
+    std::printf("%-10s %12s %9s %9s %9s %12s %9s %9s %9s\n",
+                "controller", "fetch-done", "p50ms", "p99ms",
+                "meanms", "clean-done", "p50ms", "p99ms",
+                "meanms");
+    const char *names[2] = {"iolatency", "iocost"};
+    for (unsigned c = 0; c < 2; ++c) {
+        const auto &s = view.ctl[c];
+        std::printf(
+            "%-10s %12llu %9.2f %9.2f %9.2f %12llu %9.2f %9.2f "
+            "%9.2f\n",
+            names[c],
+            static_cast<unsigned long long>(s.fetchCount),
+            s.fetchP50Ms, s.fetchP99Ms, s.fetchMeanMs,
+            static_cast<unsigned long long>(s.cleanupCount),
+            s.cleanupP50Ms, s.cleanupP99Ms, s.cleanupMeanMs);
+    }
+    std::printf("%5s %10s %10s %10s %10s\n", "day", "on-iocost",
+                "fetchfail", "cleanfail", "attempts");
+    for (const auto &d : view.perDay) {
+        std::printf("%5u %9.0f%% %10u %10u %10u\n", d.day,
+                    100.0 * d.fractionOnIoCost, d.fetchFailures,
+                    d.cleanupFailures, d.fetchAttempts);
+    }
+}
+
+/**
+ * --fleet --in FILE: render a previously written fleet file. The
+ * format is sniffed: streaming-aggregate JSON (the new engine
+ * output) or the legacy per-host JSONL replay stream.
+ */
+int
+runFleetIn(const std::string &in_path)
+{
+    FILE *f = std::fopen(in_path.c_str(), "r");
+    if (!f)
+        sim::fatal("cannot read " + in_path);
+    std::string text;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    if (const auto view = fleet::readAggregateJson(text)) {
+        renderAggregate(*view);
+        return 0;
+    }
+
+    // Legacy per-host JSONL: one record per telemetry sample,
+    // prefixed {"day":D,"host":H,...}. Summarize coverage per day.
+    std::map<unsigned, uint64_t> day_records;
+    std::map<unsigned, std::map<unsigned, bool>> day_hosts;
+    uint64_t total = 0, bad_lines = 0;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        unsigned day = 0, host = 0;
+        if (std::sscanf(line.c_str(), "{\"day\":%u,\"host\":%u,",
+                        &day, &host) == 2) {
+            ++day_records[day];
+            day_hosts[day][host] = true;
+            ++total;
+        } else {
+            ++bad_lines;
+        }
+    }
+    if (total == 0) {
+        sim::fatal(in_path +
+                   ": neither a fleet aggregate JSON nor per-host "
+                   "JSONL");
+    }
+    std::printf("fleet per-host replay (legacy JSONL): %llu "
+                "records, %zu days\n",
+                static_cast<unsigned long long>(total),
+                day_records.size());
+    if (bad_lines) {
+        std::printf("  (%llu unrecognized lines skipped)\n",
+                    static_cast<unsigned long long>(bad_lines));
+    }
+    std::printf("%5s %10s %10s\n", "day", "hosts", "records");
+    for (const auto &[day, count] : day_records) {
+        std::printf("%5u %10zu %10llu\n", day,
+                    day_hosts[day].size(),
+                    static_cast<unsigned long long>(count));
+    }
+    return 0;
+}
+
 int
 runFleet(const std::string &scenario, fleet::FleetConfig cfg,
-         unsigned jobs, const std::string &out_path)
+         unsigned jobs, unsigned shards,
+         const std::string &out_path)
 {
+    // A spec-form scenario (inline or @file) runs the streaming
+    // engine: constant memory, aggregate rendering.
+    if (!scenario.empty() && scenario != "fig18" &&
+        scenario != "fig19") {
+        std::string spec_text = scenario;
+        if (scenario[0] == '@') {
+            FILE *f = std::fopen(scenario.c_str() + 1, "r");
+            if (!f)
+                sim::fatal("cannot read scenario file " +
+                           scenario.substr(1));
+            spec_text.clear();
+            char buf[4096];
+            size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                spec_text.append(buf, n);
+            std::fclose(f);
+        } else if (scenario.find('=') == std::string::npos) {
+            sim::fatal("unknown --scenario (fig18|fig19, a "
+                       "FleetScenario spec, or @file): " +
+                       scenario);
+        }
+        fleet::FleetScenario sc;
+        try {
+            sc = fleet::FleetScenario::parse(spec_text);
+        } catch (const std::invalid_argument &err) {
+            sim::fatal(err.what());
+        }
+        if (!cfg.faults.empty())
+            sc.faults = cfg.faults;
+        fleet::RunOptions run_opts;
+        run_opts.jobs = jobs;
+        run_opts.shards = shards;
+        std::printf("fleet scenario: %s\n", sc.canonical().c_str());
+        const fleet::FleetAggregate agg =
+            fleet::FleetSim::runScenario(sc, run_opts);
+        const auto view = fleet::AggregateView::from(agg);
+        renderAggregate(view);
+        if (!out_path.empty()) {
+            FILE *out = std::fopen(out_path.c_str(), "w");
+            if (!out)
+                sim::fatal("cannot write " + out_path);
+            fleet::writeAggregateJson(view, out);
+            std::fclose(out);
+            std::printf("wrote aggregate to %s\n",
+                        out_path.c_str());
+        }
+        return 0;
+    }
+
     if (scenario == "fig18") {
         cfg.seed = 1818;
     } else if (scenario == "fig19") {
         cfg.seed = 1919;
-    } else if (!scenario.empty()) {
-        sim::fatal("unknown --scenario (fig18|fig19): " + scenario);
     }
     cfg.telemetry = true;
 
@@ -360,7 +526,12 @@ runFleet(const std::string &scenario, fleet::FleetConfig cfg,
                 static_cast<unsigned long long>(cfg.seed));
 
     std::vector<fleet::HostDayOutcome> outcomes;
-    const auto days = fleet::FleetSim::run(cfg, jobs, &outcomes);
+    fleet::RunOptions run_opts;
+    run_opts.jobs = jobs;
+    run_opts.shards = shards;
+    const fleet::FleetAggregate agg = fleet::FleetSim::runScenario(
+        fleet::scenarioFromConfig(cfg), run_opts, &outcomes);
+    const auto &days = agg.days;
 
     FILE *out = stdout;
     if (!out_path.empty()) {
@@ -428,6 +599,8 @@ main(int argc, char **argv)
     fleet_cfg.migrationStartDay = 2;
     fleet_cfg.migrationEndDay = 6;
     unsigned fleet_jobs = 1;
+    unsigned fleet_shards = 0;
+    std::string in_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -471,6 +644,11 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             fleet_jobs =
                 static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--shards") {
+            fleet_shards =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--in") {
+            in_path = next();
         } else if (arg == "--help" || arg == "-h") {
             std::printf("see the header of tools/iocost_mon.cc\n");
             return 0;
@@ -489,9 +667,15 @@ main(int argc, char **argv)
         }
     }
 
+    if (!in_path.empty()) {
+        if (!fleet_mode)
+            sim::fatal("--in is only meaningful with --fleet");
+        return runFleetIn(in_path);
+    }
     if (fleet_mode) {
         fleet_cfg.faults = faults_spec;
-        return runFleet(scenario, fleet_cfg, fleet_jobs, out_path);
+        return runFleet(scenario, fleet_cfg, fleet_jobs,
+                        fleet_shards, out_path);
     }
     return runSingleHost(device_name, controller, model_line,
                          qos_line, faults_spec, seconds, seed,

@@ -26,9 +26,16 @@
  *                         :pattern=rand|seq[:rate=R]] ...
  *
  * Fleet mode runs the §4.8 migration Monte-Carlo instead of a single
- * host, fanned out across worker threads (results are byte-identical
- * for any --jobs value):
+ * host, through the sharded streaming engine (results are
+ * byte-identical for any --jobs/--shards value):
  *   iocost_sim --fleet [--hosts N] [--days N] [--jobs N] [--seed N]
+ *              [--shards N]
+ *              [--scenario "<FleetScenario spec>"|@scenario.txt]
+ *                 full scenario grammar (device/workload mixes,
+ *                 staged migration) — see fleet/fleet_scenario.hh;
+ *                 overrides --hosts/--days/--seed
+ *              [--out agg.json]  write the streaming-aggregate JSON
+ *                 (readable by iocost_mon --fleet --in)
  *
  * Example:
  *   iocost_sim --device oldgen --controller iocost --seconds 10 \
@@ -174,6 +181,8 @@ main(int argc, char **argv)
     bool fleet_mode = false;
     fleet::FleetConfig fleet_cfg;
     unsigned fleet_jobs = 1;
+    unsigned fleet_shards = 0;
+    std::string scenario_arg, out_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -209,6 +218,13 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             fleet_jobs =
                 static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--shards") {
+            fleet_shards =
+                static_cast<unsigned>(std::stoul(next()));
+        } else if (arg == "--scenario") {
+            scenario_arg = next();
+        } else if (arg == "--out") {
+            out_path = next();
         } else if (arg == "--help" || arg == "-h") {
             std::printf("see the header of tools/iocost_sim.cc\n");
             return 0;
@@ -226,22 +242,68 @@ main(int argc, char **argv)
         }
     }
     if (fleet_mode) {
-        fleet_cfg.seed = seed;
-        fleet_cfg.faults = faults_spec;
-        std::printf("fleet: hosts=%u days=%u jobs=%u seed=%llu\n",
-                    fleet_cfg.hosts, fleet_cfg.days, fleet_jobs,
-                    static_cast<unsigned long long>(seed));
-        const auto days_out =
-            fleet::FleetSim::run(fleet_cfg, fleet_jobs);
+        fleet::FleetScenario sc;
+        if (!scenario_arg.empty()) {
+            std::string spec_text = scenario_arg;
+            if (scenario_arg[0] == '@') {
+                FILE *f = std::fopen(scenario_arg.c_str() + 1, "r");
+                if (!f) {
+                    sim::fatal("cannot read scenario file " +
+                               scenario_arg.substr(1));
+                }
+                spec_text.clear();
+                char buf[4096];
+                size_t n;
+                while ((n = std::fread(buf, 1, sizeof(buf), f)) >
+                       0) {
+                    spec_text.append(buf, n);
+                }
+                std::fclose(f);
+            }
+            try {
+                sc = fleet::FleetScenario::parse(spec_text);
+            } catch (const std::invalid_argument &err) {
+                sim::fatal(err.what());
+            }
+            if (!faults_spec.empty())
+                sc.faults = faults_spec;
+        } else {
+            fleet_cfg.seed = seed;
+            fleet_cfg.faults = faults_spec;
+            sc = fleet::scenarioFromConfig(fleet_cfg);
+        }
+        fleet::RunOptions run_opts;
+        run_opts.jobs = fleet_jobs;
+        run_opts.shards = fleet_shards;
+        std::printf("fleet: %s\n", sc.canonical().c_str());
+        const fleet::FleetAggregate agg =
+            fleet::FleetSim::runScenario(sc, run_opts);
+        std::printf("engine: jobs=%u shards=%u host-days=%llu\n",
+                    agg.jobs, agg.shards,
+                    static_cast<unsigned long long>(agg.hostDays));
         std::printf("%5s %10s %10s %10s\n", "day", "on-iocost",
                     "fetchfail", "cleanfail");
-        for (const auto &d : days_out) {
+        for (const auto &d : agg.days) {
             std::printf("%5u %9.0f%% %10u %10u\n", d.day,
                         100.0 * d.fractionOnIoCost,
                         d.fetchFailures, d.cleanupFailures);
         }
+        if (!out_path.empty()) {
+            FILE *out = std::fopen(out_path.c_str(), "w");
+            if (!out)
+                sim::fatal("cannot write " + out_path);
+            fleet::writeAggregateJson(
+                fleet::AggregateView::from(agg), out);
+            std::fclose(out);
+            std::printf("wrote aggregate to %s\n",
+                        out_path.c_str());
+        }
         return 0;
     }
+    if (!out_path.empty())
+        sim::fatal("--out is only meaningful with --fleet");
+    if (!scenario_arg.empty())
+        sim::fatal("--scenario is only meaningful with --fleet");
     if (jobs.empty()) {
         jobs.push_back(parseJob("web:weight=200:depth=32"));
         jobs.push_back(parseJob("batch:weight=100:depth=32"));
