@@ -20,6 +20,7 @@
 #include "device/device_profiles.hh"
 #include "device/ssd_model.hh"
 #include "host/host.hh"
+#include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "workload/fio_workload.hh"
 
@@ -36,7 +37,7 @@ struct Outcome
 };
 
 Outcome
-run(bool erratic)
+run(bool erratic, const std::string &faults)
 {
     sim::Simulator sim(2323);
     device::SsdSpec spec = device::newGenSsd();
@@ -55,6 +56,7 @@ run(bool erratic)
 
     host::HostOptions opts;
     opts.controller = "iocost";
+    opts.faults = faults;
     // Both devices run the *consistent* profile's model — the
     // operator cannot model the hiccups (that is the point).
     opts.controller.iocost.model = core::CostModel::fromConfig(
@@ -100,8 +102,10 @@ run(bool erratic)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
     bench::banner(
         "Ablation: device consistency (§5 lesson)",
         "Same-average-capability devices, one erratic (firmware "
@@ -109,11 +113,17 @@ main()
         "the erratic device's tails blow up\ndespite identical "
         "control — consistent devices are better for datacenters.");
 
+    // Warm the shared profiler cache before the paired pool.
+    (void)profile::DeviceProfiler::profileSsd(device::newGenSsd());
+    const auto outs = host::runPaired(
+        2, args.jobs,
+        [&](size_t c) { return run(c == 1, args.faults); });
+
     bench::Table table({"Device", "LS IOPS", "LS p50", "LS p99",
                         "Hiccups injected"});
-    for (bool erratic : {false, true}) {
-        const Outcome o = run(erratic);
-        table.row({erratic ? "erratic-ssd" : "consistent-ssd",
+    for (size_t c = 0; c < outs.size(); ++c) {
+        const Outcome &o = outs[c];
+        table.row({c == 1 ? "erratic-ssd" : "consistent-ssd",
                    bench::fmtCount(o.lsIops),
                    bench::fmtTime(o.lsP50),
                    bench::fmtTime(o.lsP99),

@@ -17,6 +17,7 @@
 #include "device/device_profiles.hh"
 #include "device/ssd_model.hh"
 #include "host/host.hh"
+#include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "workload/fio_workload.hh"
 
@@ -32,13 +33,14 @@ struct Outcome
 };
 
 Outcome
-run(bool donation, double light_rate)
+run(bool donation, double light_rate, const std::string &faults)
 {
     sim::Simulator sim(2020);
     const device::SsdSpec spec = device::newGenSsd();
 
     host::HostOptions opts;
     opts.controller = "iocost";
+    opts.faults = faults;
     const auto &prof = profile::DeviceProfiler::profileSsd(spec);
     opts.controller.iocost.model =
         core::CostModel::fromConfig(prof.model);
@@ -76,8 +78,10 @@ run(bool donation, double light_rate)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
     bench::banner(
         "Ablation: budget donation (§3.6)",
         "Busy cgroup + equal-weight light sibling at various light "
@@ -86,17 +90,36 @@ main()
         "hurting the light sibling's latency; without donation the "
         "busy cgroup is\npinned near 50%.");
 
+    struct Config
+    {
+        double rate;
+        bool donation;
+    };
+    std::vector<Config> configs;
+    for (double rate : {500.0, 2000.0, 8000.0}) {
+        for (bool donation : {true, false})
+            configs.push_back({rate, donation});
+    }
+
+    // Warm the shared profiler cache before the paired pool. Every
+    // config runs with the same seed (paired CRN), so the on/off
+    // deltas at each load level are seed-noise-free.
+    (void)profile::DeviceProfiler::profileSsd(device::newGenSsd());
+    const auto outs = host::runPaired(
+        configs.size(), args.jobs, [&](size_t c) {
+            return run(configs[c].donation, configs[c].rate,
+                       args.faults);
+        });
+
     bench::Table table({"Light load (IOPS)", "Donation",
                         "Busy IOPS", "Light IOPS", "Light p95"});
-    for (double rate : {500.0, 2000.0, 8000.0}) {
-        for (bool donation : {true, false}) {
-            const Outcome o = run(donation, rate);
-            table.row({bench::fmtCount(rate),
-                       donation ? "on" : "off",
-                       bench::fmtCount(o.busyIops),
-                       bench::fmtCount(o.lightIops),
-                       bench::fmtTime(o.lightP95)});
-        }
+    for (size_t c = 0; c < configs.size(); ++c) {
+        const Outcome &o = outs[c];
+        table.row({bench::fmtCount(configs[c].rate),
+                   configs[c].donation ? "on" : "off",
+                   bench::fmtCount(o.busyIops),
+                   bench::fmtCount(o.lightIops),
+                   bench::fmtTime(o.lightP95)});
     }
     table.print();
     return 0;

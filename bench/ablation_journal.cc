@@ -20,6 +20,7 @@
 #include "device/ssd_model.hh"
 #include "fs/journal.hh"
 #include "host/host.hh"
+#include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "sim/simulator.hh"
 #include "stat/histogram.hh"
@@ -38,13 +39,15 @@ struct Outcome
 };
 
 Outcome
-run(const std::string &controller, core::DebtMode mode)
+run(const std::string &controller, core::DebtMode mode,
+    const std::string &faults)
 {
     sim::Simulator sim(2424);
     const device::SsdSpec spec = device::oldGenSsd();
 
     host::HostOptions opts;
     opts.controller = controller;
+    opts.faults = faults;
     opts.controller.iocost.model = core::CostModel::fromConfig(
         profile::DeviceProfiler::profileSsd(spec).model);
     opts.controller.iocost.qos.vrateMin = 1.0;
@@ -99,8 +102,10 @@ run(const std::string &controller, core::DebtMode mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+
     bench::banner(
         "Ablation: journal commit priority inversion (§3.5)",
         "Innocent 4k fsyncs next to a budget-exhausted metadata "
@@ -121,11 +126,22 @@ main()
         {"none", "none", core::DebtMode::Production},
     };
 
+    // Warm the shared profiler cache, then run the four configs as
+    // paired CRN runs (same seed each) across --jobs workers.
+    (void)profile::DeviceProfiler::profileSsd(device::oldGenSsd());
+    const size_t n = sizeof(configs) / sizeof(configs[0]);
+    const auto outs = host::runPaired(
+        n, args.jobs, [&](size_t c) {
+            return run(configs[c].controller, configs[c].mode,
+                       args.faults);
+        });
+
     bench::Table table({"Configuration", "fsyncs issued",
                         "completed", "p50", "p99 (completed)"});
-    for (const Config &c : configs) {
-        const Outcome o = run(c.controller, c.mode);
-        table.row({c.label, bench::fmt("%.0f", (double)o.issued),
+    for (size_t c = 0; c < n; ++c) {
+        const Outcome &o = outs[c];
+        table.row({configs[c].label,
+                   bench::fmt("%.0f", (double)o.issued),
                    bench::fmt("%.0f", (double)o.completed),
                    bench::fmtTime(o.p50), bench::fmtTime(o.p99)});
     }

@@ -5,6 +5,9 @@
  * Runs the two-scenario vrate sweep on the old-gen SSD and prints
  * the raw sweep plus the derived [vrateMin, vrateMax] bounds — the
  * procedure that produces the fleet's per-device QoS parameters.
+ * The sweep points are paired CRN runs (QosTuner uses the same
+ * seeds at every vrate) and spread across --jobs workers; the
+ * output is byte-identical for any worker count.
  */
 
 #include "bench/common.hh"
@@ -12,9 +15,11 @@
 #include "profile/qos_tuner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace iocost;
+
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
 
     bench::banner(
         "Ablation: QoS tuning sweep (ResourceControlBench, §3.4)",
@@ -22,8 +27,9 @@ main()
         "with vrate).\nScenario 2: RCB + memory leak (p95 should "
         "stop improving below some vrate).");
 
-    const auto result =
-        profile::QosTuner::tune(device::oldGenSsd());
+    const auto result = profile::QosTuner::tune(
+        device::oldGenSsd(), {0.25, 0.5, 0.75, 1.0, 1.5, 2.0}, 6.0,
+        7, args.jobs);
 
     bench::Table table({"Pinned vrate", "Alone RPS (paging-bound)",
                         "Stacked p95 (vs leaker)"});

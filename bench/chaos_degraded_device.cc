@@ -149,8 +149,9 @@ check(bool ok, const char *what)
 int
 main(int argc, char **argv)
 {
-    const unsigned jobs = bench::jobsFromArgs(argc, argv);
-    (void)jobs;
+    // Uniform flag set; this chaos drill pins its own fault window
+    // (the pass/fail checks depend on it), so --faults is ignored.
+    (void)bench::parseArgs(argc, argv);
 
     bench::banner(
         "Chaos: degraded device vs IO control",

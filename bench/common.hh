@@ -8,6 +8,7 @@
 #ifndef IOCOST_BENCH_COMMON_HH
 #define IOCOST_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -18,43 +19,64 @@
 namespace iocost::bench {
 
 /**
- * Parse `--jobs N` for the fleet benches. Default 0 = one worker per
- * hardware thread (fleet results are byte-identical for any value).
- * The worker count goes to stderr so stdout stays diffable across
- * job counts.
+ * Uniform bench command line. Every bench parses the same flag set
+ * through parseArgs() and reads the fields it cares about:
+ *
+ *   --jobs N         worker threads (0 = one per hardware thread;
+ *                    results are byte-identical for any value)
+ *   --shards N       fleet shard count (0 = auto: 8 per worker,
+ *                    clamped to the host count)
+ *   --faults SPEC    device fault plan (FaultPlan::parse grammar;
+ *                    empty = healthy device)
+ *   --check-allocs   run the CI allocation gate instead of / in
+ *                    addition to the timed run
+ *   --max-hosts N    cap the largest scaling step (perf_fleet)
+ *
+ * Unknown flags are ignored so wrappers can pass extras through.
+ * Layout knobs (jobs/shards/faults) report to stderr so stdout
+ * stays diffable across layouts.
  */
-inline unsigned
-jobsFromArgs(int argc, char **argv)
+struct BenchArgs
 {
     unsigned jobs = 0;
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0)
-            jobs = static_cast<unsigned>(
-                std::strtoul(argv[i + 1], nullptr, 10));
-    }
-    std::fprintf(stderr, "jobs=%u%s\n", jobs,
-                 jobs == 0 ? " (auto)" : "");
-    return jobs;
-}
-
-/**
- * Parse `--shards N` for the fleet benches. Default 0 = auto (8 per
- * worker, clamped to the host count). Like --jobs, the shard count
- * only changes scheduling granularity — fleet aggregates are
- * byte-identical for any value — so it too reports to stderr.
- */
-inline unsigned
-shardsFromArgs(int argc, char **argv)
-{
     unsigned shards = 0;
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--shards") == 0)
-            shards = static_cast<unsigned>(
-                std::strtoul(argv[i + 1], nullptr, 10));
+    std::string faults;
+    bool checkAllocs = false;
+    uint64_t maxHosts = 0;
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *val = i + 1 < argc ? argv[i + 1] : "";
+        if (std::strcmp(arg, "--jobs") == 0) {
+            args.jobs = static_cast<unsigned>(
+                std::strtoul(val, nullptr, 10));
+            ++i;
+        } else if (std::strcmp(arg, "--shards") == 0) {
+            args.shards = static_cast<unsigned>(
+                std::strtoul(val, nullptr, 10));
+            ++i;
+        } else if (std::strcmp(arg, "--faults") == 0) {
+            args.faults = val;
+            ++i;
+        } else if (std::strcmp(arg, "--max-hosts") == 0) {
+            args.maxHosts = std::strtoull(val, nullptr, 10);
+            ++i;
+        } else if (std::strcmp(arg, "--check-allocs") == 0) {
+            args.checkAllocs = true;
+        }
     }
-    if (shards != 0)
-        std::fprintf(stderr, "shards=%u\n", shards);
-    return shards;
+    std::fprintf(stderr, "jobs=%u%s\n", args.jobs,
+                 args.jobs == 0 ? " (auto)" : "");
+    if (args.shards != 0)
+        std::fprintf(stderr, "shards=%u\n", args.shards);
+    if (!args.faults.empty())
+        std::fprintf(stderr, "faults=%s\n", args.faults.c_str());
+    return args;
 }
 
 /** Print a banner naming the reproduced figure/table. */

@@ -28,11 +28,15 @@ main(int argc, char **argv)
     cfg.seed = 1919;
     // Results are byte-identical for any --jobs/--shards value; the
     // default uses every hardware thread.
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
     fleet::RunOptions opts;
-    opts.jobs = bench::jobsFromArgs(argc, argv);
-    opts.shards = bench::shardsFromArgs(argc, argv);
-    const fleet::FleetAggregate agg = fleet::FleetSim::runScenario(
-        fleet::scenarioFromConfig(cfg), opts);
+    opts.jobs = args.jobs;
+    opts.shards = args.shards;
+    fleet::FleetScenario sc = fleet::scenarioFromConfig(cfg);
+    if (!args.faults.empty())
+        sc.faults = args.faults;
+    const fleet::FleetAggregate agg =
+        fleet::FleetSim::runScenario(sc, opts);
     const auto &days = agg.days;
 
     bench::Table table({"Day", "Fleet on IOCost", "Cleanups",

@@ -296,10 +296,9 @@ runCheckAllocs()
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--check-allocs") == 0)
-            return runCheckAllocs();
-    }
+    const bench::BenchArgs args = bench::parseArgs(argc, argv);
+    if (args.checkAllocs)
+        return runCheckAllocs();
 
     bench::banner(
         "Fleet engine scaling: streaming aggregation over shards",
@@ -307,15 +306,12 @@ main(int argc, char **argv)
         "parallel, and peak RSS\nper scale (constant-memory "
         "streaming: RSS must not scale with hosts).");
 
-    unsigned jobs = bench::jobsFromArgs(argc, argv);
+    unsigned jobs = args.jobs;
     if (jobs <= 1)
         jobs = 4;
-    const unsigned shards_flag = bench::shardsFromArgs(argc, argv);
-    uint64_t max_hosts = 100000;
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--max-hosts") == 0)
-            max_hosts = std::strtoull(argv[i + 1], nullptr, 10);
-    }
+    const unsigned shards_flag = args.shards;
+    const uint64_t max_hosts =
+        args.maxHosts != 0 ? args.maxHosts : 100000;
 
     const unsigned hw = std::max(
         1u, std::thread::hardware_concurrency());

@@ -28,6 +28,8 @@ class FaultInjector;
 
 namespace iocost::blk {
 
+class ServiceLog;
+
 /** Invoked by a device when a request finishes. Move-only, inline:
  *  installed once by the BlockLayer, invoked once per bio. */
 using DeviceEndFn =
@@ -88,11 +90,22 @@ class BlockDevice
         faults_ = faults;
     }
 
+    /**
+     * Install a service log (owned by the caller; see
+     * blk/service_log.hh). When set, the model records every
+     * accepted attempt's service duration and fault status so sweep
+     * lanes can replay the shared device/fault stream. Null (the
+     * default) costs one predictable branch on the submit path.
+     */
+    void setServiceLog(ServiceLog *log) { serviceLog_ = log; }
+
   protected:
     /** The telemetry handle, or nullptr when never attached. */
     stat::Telemetry *telemetry() const { return telemetry_; }
     /** The fault injector, or nullptr for a healthy device. */
     sim::FaultInjector *faults() const { return faults_; }
+    /** The service log, or nullptr outside sweep mode. */
+    ServiceLog *serviceLog() const { return serviceLog_; }
     /** Deliver a completion to the block layer. */
     void
     finish(BioPtr bio, sim::Time device_latency)
@@ -105,6 +118,7 @@ class BlockDevice
     DeviceEndFn complete_;
     stat::Telemetry *telemetry_ = nullptr;
     sim::FaultInjector *faults_ = nullptr;
+    ServiceLog *serviceLog_ = nullptr;
 };
 
 } // namespace iocost::blk

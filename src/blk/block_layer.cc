@@ -82,6 +82,10 @@ BlockLayer::dispatch(BioPtr bio)
     // scanned — the kernel's plug/merge window is equally shallow —
     // which keeps dispatch O(1) even when the backlog is deep.
     ++queueFullEvents_;
+    if (!mergeEnabled_) {
+        dispatchQueue_.push_back(std::move(bio));
+        return;
+    }
     const size_t scan_from =
         dispatchQueue_.size() > kMergeScanWindow
             ? dispatchQueue_.size() - kMergeScanWindow

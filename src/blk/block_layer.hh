@@ -128,6 +128,15 @@ class BlockLayer
     /** Parked bios scanned for a back-merge (plug-list window). */
     static constexpr size_t kMergeScanWindow = 64;
 
+    /**
+     * Enable/disable back-merging of parked bios. On by default.
+     * Sweep execution turns it off on every layer it builds: merging
+     * rewrites bio identity (the absorbed bio never reaches the
+     * device), which would break the id-keyed outcome replay that
+     * keeps the lanes on one device stream.
+     */
+    void setMergeEnabled(bool enabled) { mergeEnabled_ = enabled; }
+
     /** Bios absorbed into merged requests so far. */
     uint64_t mergedBios() const { return mergedBios_; }
 
@@ -232,6 +241,7 @@ class BlockLayer
     uint64_t queueFullEvents_ = 0;
     uint64_t mergedBios_ = 0;
     bool cpuEnabled_ = false;
+    bool mergeEnabled_ = true;
     sim::Time cpuBusyUntil_ = 0;
 };
 

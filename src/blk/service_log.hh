@@ -1,0 +1,208 @@
+/**
+ * @file
+ * ServiceLog — the shared device/fault event stream for multi-config
+ * (sweep) execution.
+ *
+ * In sweep mode one generator host drives the device model, and K
+ * shadow controller lanes replay its per-request outcomes. The log
+ * records, for every (bio id, attempt) the generator's device
+ * accepted, the device-side service duration (accept-to-completion,
+ * including channel waits, GC pacing, hiccups, and injected stalls)
+ * and the fault-draw status. Replay devices in the lanes look
+ * outcomes up by (id, attempt), so all K configs observe identical
+ * device randomness while their queueing/throttling timing stays
+ * their own (common random numbers, paper-comparison semantics).
+ *
+ * Storage is O(total bios): one flat slot per id for the first
+ * attempt (the overwhelmingly common case) plus a sparse side table
+ * for retried attempts. `reserve()` pre-sizes the flat lane so the
+ * steady-state append path does not touch the allocator.
+ */
+
+#ifndef IOCOST_BLK_SERVICE_LOG_HH
+#define IOCOST_BLK_SERVICE_LOG_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "blk/bio.hh"
+#include "sim/inline_function.hh"
+#include "sim/time.hh"
+
+namespace iocost::blk {
+
+/**
+ * Append-only log of device-side outcomes, written by the generator's
+ * device model and read by per-lane replay devices.
+ */
+class ServiceLog
+{
+  public:
+    /** One recorded device outcome. */
+    struct Entry
+    {
+        /** Accept-to-completion time the device delivered. */
+        sim::Time duration = 0;
+        /** Generator time the outcome was drawn (fault-window
+         *  membership is judged against this instant). */
+        sim::Time drawTime = 0;
+        /** Status drawn from the shared fault stream. */
+        BioStatus status = BioStatus::Ok;
+        bool valid = false;
+    };
+
+    /** Notified with the bio id on every append and close, so replay
+     *  devices can resolve requests parked on a missing entry. */
+    using Listener = sim::InlineFunction<void(uint64_t), 16>;
+
+    /** Pre-size the flat per-id lane (ids are 1-based, dense). */
+    void
+    reserve(size_t bios)
+    {
+        slots_.reserve(bios);
+    }
+
+    /** Record the outcome of one device-accepted attempt. */
+    void
+    append(uint64_t id, uint8_t attempt, sim::Time draw_time,
+           sim::Time duration, BioStatus status)
+    {
+        Slot &s = slot(id);
+        if (attempt == 0) {
+            s.first = Entry{duration, draw_time, status, true};
+        } else {
+            auto &v = retries_[id];
+            if (v.size() < attempt)
+                v.resize(attempt);
+            v[attempt - 1] = Entry{duration, draw_time, status, true};
+        }
+        if (attempt > s.lastAttempt)
+            s.lastAttempt = attempt;
+        ++entries_;
+        notify(id);
+    }
+
+    /**
+     * Mark an id terminal: the generator delivered its final
+     * completion, no further attempts will be recorded. Lanes whose
+     * retry schedule diverged past the generator's clamp to the last
+     * recorded attempt (see findClamped).
+     */
+    void
+    close(uint64_t id)
+    {
+        slot(id).closed = true;
+        notify(id);
+    }
+
+    /** Exact lookup, or nullptr when not (yet) recorded. */
+    const Entry *
+    find(uint64_t id, uint8_t attempt) const
+    {
+        const Slot *s = slotIfPresent(id);
+        if (s == nullptr)
+            return nullptr;
+        if (attempt == 0)
+            return s->first.valid ? &s->first : nullptr;
+        const auto it = retries_.find(id);
+        if (it == retries_.end() || it->second.size() < attempt)
+            return nullptr;
+        const Entry &e = it->second[attempt - 1];
+        return e.valid ? &e : nullptr;
+    }
+
+    /**
+     * Lookup with the retry clamp: the entry for the highest
+     * recorded attempt <= @p attempt. Used once an id is closed, so
+     * a lane that (through divergent queue timing) wants more
+     * attempts than the generator made still completes with the
+     * shared stream's final outcome. nullptr when the id carries no
+     * entries at all (the generator expired it before the device).
+     */
+    const Entry *
+    findClamped(uint64_t id, uint8_t attempt) const
+    {
+        const Slot *s = slotIfPresent(id);
+        if (s == nullptr)
+            return nullptr;
+        for (uint8_t a = std::min(attempt, s->lastAttempt);; --a) {
+            if (const Entry *e = find(id, a))
+                return e;
+            if (a == 0)
+                break;
+        }
+        return nullptr;
+    }
+
+    /** True once close(id) ran. */
+    bool
+    closed(uint64_t id) const
+    {
+        const Slot *s = slotIfPresent(id);
+        return s != nullptr && s->closed;
+    }
+
+    /** Highest attempt recorded for @p id. */
+    uint8_t
+    lastAttempt(uint64_t id) const
+    {
+        const Slot *s = slotIfPresent(id);
+        return s ? s->lastAttempt : 0;
+    }
+
+    /** Register a listener; all listeners fire on append and close. */
+    void
+    addListener(Listener fn)
+    {
+        listeners_.push_back(std::move(fn));
+    }
+
+    /** Attempts recorded so far. */
+    uint64_t entries() const { return entries_; }
+
+    /** Ids touched so far (== highest id seen). */
+    uint64_t ids() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        Entry first;
+        uint8_t lastAttempt = 0;
+        bool closed = false;
+    };
+
+    Slot &
+    slot(uint64_t id)
+    {
+        if (id > slots_.size())
+            slots_.resize(id);
+        return slots_[id - 1];
+    }
+
+    const Slot *
+    slotIfPresent(uint64_t id) const
+    {
+        if (id == 0 || id > slots_.size())
+            return nullptr;
+        return &slots_[id - 1];
+    }
+
+    void
+    notify(uint64_t id)
+    {
+        for (Listener &l : listeners_)
+            l(id);
+    }
+
+    /** Flat first-attempt lane, indexed by id - 1. */
+    std::vector<Slot> slots_;
+    /** Sparse retry attempts (attempt a >= 1 at index a - 1). */
+    std::unordered_map<uint64_t, std::vector<Entry>> retries_;
+    std::vector<Listener> listeners_;
+    uint64_t entries_ = 0;
+};
+
+} // namespace iocost::blk
+
+#endif // IOCOST_BLK_SERVICE_LOG_HH

@@ -126,16 +126,24 @@ parseControllerSpec(const std::string &line)
 
     if (spec.name == "iocost") {
         // The remainder is an io.cost.model + io.cost.qos payload
-        // plus donation=/debt= extensions: strip the extensions,
-        // delegate the rest to the kernel-format parsers (which
-        // each ignore the other's keys).
+        // plus donation=/debt=/period= extensions: strip the
+        // extensions, delegate the rest to the kernel-format parsers
+        // (which each ignore the other's keys).
         std::string rest;
+        std::optional<double> period;
         for (size_t i = 1; i < toks.size(); ++i) {
             std::string key, value;
             if (!core::configKeyValue(toks[i], key, value))
                 return std::nullopt;
             if (key == "donation") {
                 spec.iocost.donationEnabled = value != "0";
+                continue;
+            }
+            if (key == "period") {
+                double v = 0;
+                if (!core::configPositiveNumber(value, v))
+                    return std::nullopt;
+                period = v;
                 continue;
             }
             if (key == "debt") {
@@ -162,6 +170,11 @@ parseControllerSpec(const std::string &line)
             if (auto qos = core::parseQosLine(rest))
                 spec.iocost.qos = *qos;
         }
+        // period= is applied after the qos payload: an explicit qos
+        // block replaces the whole QoS struct (kernel semantics), and
+        // the extension then overrides just the planning period.
+        if (period)
+            spec.iocost.qos.period = micros(*period);
         return spec;
     }
 
@@ -175,6 +188,57 @@ parseControllerSpec(const std::string &line)
         }
     }
     return spec;
+}
+
+std::vector<std::string>
+splitSpecList(const std::string &line)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= line.size()) {
+        const size_t semi = line.find(';', pos);
+        std::string entry = line.substr(
+            pos, semi == std::string::npos ? std::string::npos
+                                           : semi - pos);
+        // Commas double as token separators so a whole entry can
+        // live in one whitespace-free word (scenario files, shell
+        // one-liners): "iocost,rlat=2000,min=50" == "iocost
+        // rlat=2000 min=50".
+        for (char &c : entry) {
+            if (c == ',')
+                c = ' ';
+        }
+        // Trim outer whitespace; skip empty entries (trailing ';').
+        const size_t b = entry.find_first_not_of(" \t");
+        if (b != std::string::npos) {
+            const size_t e = entry.find_last_not_of(" \t");
+            out.push_back(entry.substr(b, e - b + 1));
+        }
+        if (semi == std::string::npos)
+            break;
+        pos = semi + 1;
+    }
+    return out;
+}
+
+std::string
+iocostPayload(const std::string &line)
+{
+    const std::vector<std::string> toks = core::configTokens(line);
+    if (toks.empty() || toks[0] != "iocost")
+        return "";
+    std::string rest;
+    for (size_t i = 1; i < toks.size(); ++i) {
+        if (toks[i].rfind("donation=", 0) == 0 ||
+            toks[i].rfind("debt=", 0) == 0 ||
+            toks[i].rfind("period=", 0) == 0) {
+            continue;
+        }
+        if (!rest.empty())
+            rest += ' ';
+        rest += toks[i];
+    }
+    return rest;
 }
 
 std::vector<std::string>

@@ -99,19 +99,40 @@ makeController(const ControllerSpec &spec);
  *   "blk-throttle rbps=100e6 wbps=50e6 riops=1000 wiops=500"
  *   "iolatency window=100000 mindepth=1 maxdepth=65536"
  *   "iocost rbps=... rseqiops=... rpct=95 rlat=5000 min=50 max=150
- *           donation=1 debt=production"
+ *           donation=1 debt=production period=10000"
  *
  * Times are microseconds (matching io.cost.qos rlat/wlat). For
  * "iocost" the remaining tokens are handed to parseModelLine() and
  * parseQosLine(), so any valid io.cost.model / io.cost.qos payload
- * is accepted verbatim after the mechanism name; donation=0|1 and
- * debt=production|root|inversion extend those.
+ * is accepted verbatim after the mechanism name; donation=0|1,
+ * debt=production|root|inversion and period=<usec> extend those
+ * (period overrides just the planning period and is applied after
+ * any qos payload, which replaces the whole QoS block).
  *
  * @return The parsed spec, or std::nullopt on an unknown mechanism
  *         or malformed key=value syntax.
  */
 std::optional<ControllerSpec>
 parseControllerSpec(const std::string &line);
+
+/**
+ * Split a sweep spec list into individual spec lines: entries are
+ * ';'-separated, and commas within an entry are token separators
+ * (equivalent to spaces), so "iocost,min=25;iocost,min=50" carries a
+ * two-config sweep through contexts that cannot hold whitespace
+ * (scenario key=value files). Empty entries are dropped.
+ */
+std::vector<std::string> splitSpecList(const std::string &line);
+
+/**
+ * The io.cost.model / io.cost.qos payload of an "iocost ..." spec
+ * line: the tokens after the mechanism name minus the donation=,
+ * debt= and period= extensions. Callers feed the result to parseModelLine() /
+ * parseQosLine() to decide whether the spec supplied its own model
+ * or qos keys (e.g. before injecting device-profile defaults).
+ * Returns "" for a bare "iocost" or a non-iocost line.
+ */
+std::string iocostPayload(const std::string &line);
 
 /** All mechanism names in Table 1 order. */
 std::vector<std::string> allMechanisms();

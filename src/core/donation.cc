@@ -13,7 +13,8 @@ constexpr double kEps = 1e-12;
 
 size_t
 applyDonation(cgroup::CgroupTree &tree,
-              const std::vector<DonorTarget> &donors)
+              const std::vector<DonorTarget> &donors,
+              DonationScratch &scratch)
 {
     using cgroup::CgroupId;
     using cgroup::kRoot;
@@ -26,7 +27,12 @@ applyDonation(cgroup::CgroupTree &tree,
         tree.setInuse(id, tree.weight(id));
 
     // Accumulate d (donated hweight before) and d' (after) bottom-up.
-    std::vector<double> d(n, 0.0), dp(n, 0.0);
+    // assign() re-fills without shrinking capacity, so a stable tree
+    // size means no allocation after the first pass.
+    std::vector<double> &d = scratch.d;
+    std::vector<double> &dp = scratch.dp;
+    d.assign(n, 0.0);
+    dp.assign(n, 0.0);
     size_t applied = 0;
     for (const DonorTarget &don : donors) {
         const CgroupId leaf = don.leaf;
@@ -51,11 +57,13 @@ applyDonation(cgroup::CgroupTree &tree,
     // Walk donor paths top-down computing h' and the lowered w'.
     // hprime[] is only meaningful for nodes on donor paths plus the
     // root.
-    std::vector<double> hprime(n, 0.0);
+    std::vector<double> &hprime = scratch.hprime;
+    hprime.assign(n, 0.0);
     hprime[kRoot] = 1.0;
 
     // Iterative preorder over donor-path nodes.
-    std::vector<CgroupId> stack;
+    std::vector<CgroupId> &stack = scratch.stack;
+    stack.clear();
     stack.push_back(kRoot);
     while (!stack.empty()) {
         const CgroupId node = stack.back();
@@ -106,6 +114,14 @@ applyDonation(cgroup::CgroupTree &tree,
         }
     }
     return applied;
+}
+
+size_t
+applyDonation(cgroup::CgroupTree &tree,
+              const std::vector<DonorTarget> &donors)
+{
+    DonationScratch scratch;
+    return applyDonation(tree, donors, scratch);
 }
 
 } // namespace iocost::core

@@ -47,6 +47,19 @@ struct DonorTarget
 };
 
 /**
+ * Reusable working memory for applyDonation. The planning pass runs
+ * every period on every controller instance, so its scratch must be
+ * owned by the caller and warm after the first pass — four vectors
+ * sized by the tree, re-filled but never reallocated while the tree
+ * size is stable.
+ */
+struct DonationScratch
+{
+    std::vector<double> d, dp, hprime;
+    std::vector<cgroup::CgroupId> stack;
+};
+
+/**
  * Apply the donation weight-tree update.
  *
  * Resets every node's inuse to its configured weight, then lowers
@@ -56,8 +69,14 @@ struct DonorTarget
  *
  * @param tree The hierarchy to update.
  * @param donors Donor leaves with their target hweights.
+ * @param scratch Caller-owned working memory (see DonationScratch).
  * @return Number of donors actually applied.
  */
+size_t applyDonation(cgroup::CgroupTree &tree,
+                     const std::vector<DonorTarget> &donors,
+                     DonationScratch &scratch);
+
+/** Convenience overload with throwaway scratch (tests, one-shots). */
 size_t applyDonation(cgroup::CgroupTree &tree,
                      const std::vector<DonorTarget> &donors);
 

@@ -44,8 +44,11 @@ IoCost::attach(blk::BlockLayer &layer)
     lastGvtimeUpdate_ = sim_->now();
     lastPlanning_ = sim_->now();
     gvtimeAtPlanning_ = gvtime_;
-    planningTimer_.emplace(*sim_, period(), [this] { runPlanning(); });
-    planningTimer_->start();
+    if (!config_.externalPlanning) {
+        planningTimer_.emplace(*sim_, period(),
+                               [this] { runPlanning(); });
+        planningTimer_->start();
+    }
 }
 
 IoCost::Iocg &
@@ -436,7 +439,8 @@ IoCost::planDonation(double avg_vrate, sim::Time elapsed)
     const double granted =
         std::max(1.0, static_cast<double>(elapsed) * avg_vrate);
 
-    std::vector<DonorTarget> donors;
+    std::vector<DonorTarget> &donors = donorScratch_;
+    donors.clear();
     for (cgroup::CgroupId cg = 0; cg < iocgs_.size(); ++cg) {
         Iocg &st = iocgs_[cg];
         if (!st.active || !tree_->children(cg).empty())
@@ -466,7 +470,7 @@ IoCost::planDonation(double avg_vrate, sim::Time elapsed)
     }
     // applyDonation resets all inuse weights first, so an empty donor
     // set also serves as the periodic "rescind everything" pass.
-    applyDonation(*tree_, donors);
+    applyDonation(*tree_, donors, donationScratch_);
 }
 
 void

@@ -36,7 +36,9 @@
 #include "blk/block_layer.hh"
 #include "blk/io_controller.hh"
 #include "core/cost_model.hh"
+#include "core/donation.hh"
 #include "core/qos.hh"
+#include "sim/fifo_ring.hh"
 #include "sim/simulator.hh"
 #include "stat/histogram.hh"
 #include "stat/time_series.hh"
@@ -75,6 +77,13 @@ struct IoCostConfig
     DebtMode debtMode = DebtMode::Production;
     /** Optional programmable cost model overriding `model`. */
     CostProgram costProgram;
+    /**
+     * When set, attach() arms no planning timer: an external driver
+     * (the sweep runner's per-period planning group) calls
+     * runPlanning() itself, batching the planner math of many
+     * instances back to back over contiguous state.
+     */
+    bool externalPlanning = false;
 };
 
 /**
@@ -190,8 +199,10 @@ class IoCost : public blk::IoController
         sim::Time busyAccum = 0;
         /** Waitq time accumulated during the current period. */
         sim::Time periodWait = 0;
-        /** Throttled bios in submission order. */
-        std::deque<blk::BioPtr> waiting;
+        /** Throttled bios in submission order. A FifoRing, not a
+         *  deque: under sustained throttling the queue cycles
+         *  bios continuously and must not churn the allocator. */
+        sim::FifoRing<blk::BioPtr> waiting;
         /** Pending wakeup for the waiting queue. */
         sim::EventHandle kick;
 
@@ -285,6 +296,14 @@ class IoCost : public blk::IoController
     bool latWriteReady_ = false;
 
     stat::TimeSeries vrateSeries_;
+
+    /**
+     * Donor list reused across planning passes (capacity sticks), so
+     * the per-period planner math stays allocation-free in steady
+     * state — the sweep bench gates this under --check-allocs.
+     */
+    std::vector<DonorTarget> donorScratch_;
+    DonationScratch donationScratch_;
 
     std::optional<sim::PeriodicTimer> planningTimer_;
 };

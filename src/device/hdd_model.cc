@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "blk/service_log.hh"
 #include "sim/fault.hh"
 #include "stat/telemetry.hh"
 
@@ -134,6 +135,15 @@ HddModel::maybeStartService()
                           "service_us", sim::toMicros(svc));
         telemetry()->emit(now, "hdd", stat::kNoCgroup, "ncq_depth",
                           static_cast<double>(queue_.size()));
+    }
+
+    // The logged duration spans accept-to-completion, so the replay
+    // includes the NCQ elevator wait — the C-LOOK schedule is part
+    // of the seek-bound device's behavior, not of any controller's.
+    if (serviceLog() != nullptr) {
+        serviceLog()->append(chosen.bio->id, chosen.bio->retries,
+                             now, now - chosen.accepted + svc,
+                             chosen.bio->status);
     }
 
     // Ownership moves into the completion event's inline storage —

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "blk/service_log.hh"
 #include "sim/fault.hh"
 #include "stat/telemetry.hh"
 
@@ -65,6 +66,12 @@ RemoteModel::submit(blk::BioPtr &bio)
     }
     const sim::Time done =
         admitted + static_cast<sim::Time>(rtt + backend);
+
+    if (serviceLog() != nullptr) {
+        serviceLog()->append(bio->id, bio->retries, now,
+                             std::max(done, now + 1) - now,
+                             bio->status);
+    }
 
     ++inFlight_;
     // Ownership moves into the completion event's inline storage —

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ReplayDevice — the per-lane device stand-in for sweep execution.
+ *
+ * A sweep lane must observe the generator's device behavior — the
+ * same service durations and the same fault outcomes for the same
+ * (bio id, attempt) — while its own controller decides *when* each
+ * bio reaches the device. The ReplayDevice provides exactly that: it
+ * accepts bios up to the generator device's queue depth and
+ * completes each one `duration` after the lane dispatched it, where
+ * duration and status come from the shared ServiceLog. It draws no
+ * randomness of its own, so every lane sees one device/fault stream.
+ *
+ * Lookups routinely miss: a lane whose controller releases a bio
+ * with little delay dispatches it *before* the generator's device
+ * accepts the original and records the outcome — nearly every bio
+ * parks here for a moment. Parked bios are resolved by the
+ * ServiceLog's append/close notifications, keyed by id: the pending
+ * table is an open-addressed id → bio map so each notification
+ * costs O(1) per lane, not a scan of the queue depth. In that
+ * lockstep case every lane's bio completes at the *same* instant
+ * (notification time + duration), so the SweepRunner batches all K
+ * completions into one simulator event via resolveDetached() /
+ * finishReplayed() instead of paying K event round trips per bio.
+ * Once an id is closed, a lane that wants an attempt the generator
+ * never made (divergent retry/timeout schedules) is clamped to the
+ * last recorded attempt; a closed id with no entries at all (the
+ * generator expired the bio before its device ever took it)
+ * completes with an error after one tick.
+ */
+
+#ifndef IOCOST_DEVICE_REPLAY_DEVICE_HH
+#define IOCOST_DEVICE_REPLAY_DEVICE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "blk/block_device.hh"
+#include "blk/service_log.hh"
+#include "sim/simulator.hh"
+
+namespace iocost::device {
+
+/**
+ * Device that replays outcomes recorded in a ServiceLog.
+ */
+class ReplayDevice : public blk::BlockDevice
+{
+  public:
+    /**
+     * @param sim Simulation context (shared with the generator).
+     * @param log The shared outcome log. The owner must register
+     *        this device via log-listener wiring (the SweepRunner
+     *        installs one listener that calls onLogEvent on every
+     *        lane) — the device cannot do it itself because the log
+     *        outlives no lane in particular.
+     * @param queue_depth Queue depth to mirror (the generator
+     *        device's, so depletion signals stay comparable).
+     * @param model_name Name reported by modelName().
+     */
+    ReplayDevice(sim::Simulator &sim, const blk::ServiceLog &log,
+                 uint32_t queue_depth, std::string model_name);
+
+    bool submit(blk::BioPtr &bio) override;
+    uint32_t queueDepth() const override { return depth_; }
+    uint32_t inFlight() const override { return inFlight_; }
+    std::string modelName() const override { return name_; }
+
+    /**
+     * The ServiceLog recorded or closed @p id: try to resolve the
+     * pending bio with that id, if this lane parked one.
+     */
+    void onLogEvent(uint64_t id);
+
+    /**
+     * A resolved parked bio awaiting its batched completion. The
+     * bio's status is already set; it completes `duration` after
+     * the resolving log notification.
+     */
+    struct Resolved
+    {
+        ReplayDevice *dev;
+        blk::BioPtr bio;
+        sim::Time duration;
+    };
+
+    /**
+     * Batched variant of onLogEvent: resolve this lane's parked bio
+     * with @p id, if any, and push the outcome onto @p out instead
+     * of scheduling a completion event. The caller (SweepRunner)
+     * groups equal-duration outcomes from all lanes into a single
+     * simulator event and delivers each via finishReplayed().
+     */
+    void resolveDetached(uint64_t id, std::vector<Resolved> &out);
+
+    /** Deliver a resolveDetached() outcome (batch event body). */
+    void finishReplayed(blk::BioPtr bio, sim::Time duration);
+
+    /** Bios parked on a not-yet-recorded outcome. */
+    size_t pendingCount() const { return pendingCount_; }
+
+  private:
+    /**
+     * One parked bio, keyed by id. id == 0 marks an empty cell (bio
+     * ids are 1-based). Linear probing with backward-shift erase;
+     * capacity is pre-sized to twice the queue depth (the table can
+     * never hold more than `depth_` bios), so the park/resolve cycle
+     * never touches the allocator.
+     */
+    struct Cell
+    {
+        uint64_t id = 0;
+        blk::BioPtr bio;
+    };
+
+    size_t cellIndex(uint64_t id) const;
+    void park(blk::BioPtr bio);
+    blk::BioPtr takePending(uint64_t id);
+
+    /** Schedule the completion of an accepted bio. */
+    void completeIn(blk::BioPtr bio, sim::Time duration,
+                    blk::BioStatus status);
+    /** Resolve one bio against the log; false = keep pending. */
+    bool tryResolve(blk::BioPtr &bio);
+
+    sim::Simulator &sim_;
+    const blk::ServiceLog &log_;
+    uint32_t depth_;
+    std::string name_;
+    uint32_t inFlight_ = 0;
+    std::vector<Cell> pending_;
+    size_t pendingCount_ = 0;
+};
+
+} // namespace iocost::device
+
+#endif // IOCOST_DEVICE_REPLAY_DEVICE_HH

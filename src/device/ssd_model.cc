@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "blk/service_log.hh"
 #include "sim/fault.hh"
 #include "stat/telemetry.hh"
 
@@ -172,6 +173,11 @@ SsdModel::submit(blk::BioPtr &bio)
     channelHeap_.back() = done;
     std::push_heap(channelHeap_.begin(), channelHeap_.end(),
                    std::greater<>{});
+
+    if (serviceLog() != nullptr) {
+        serviceLog()->append(bio->id, bio->retries, now, done - now,
+                             bio->status);
+    }
 
     ++inFlight_;
     // Ownership moves into the completion event's inline storage

@@ -284,4 +284,69 @@ readAggregateJson(const std::string &text)
     return v;
 }
 
+void
+writeSweepJson(const SweepView &view, FILE *out)
+{
+    fprintf(out, "{\n\"fleet_sweep\": 1,\n\"configs\": %zu,\n"
+                 "\"entries\": [\n",
+            view.entries.size());
+    for (size_t i = 0; i < view.entries.size(); ++i) {
+        std::string label =
+            i < view.labels.size() ? view.labels[i] : "";
+        std::string esc;
+        esc.reserve(label.size());
+        for (char c : label) {
+            if (c == '"' || c == '\\')
+                esc.push_back('\\');
+            esc.push_back(c);
+        }
+        fprintf(out, "{\"label\": \"%s\",\n\"aggregate\":\n",
+                esc.c_str());
+        writeAggregateJson(view.entries[i], out);
+        fprintf(out, "}%s\n",
+                i + 1 < view.entries.size() ? "," : "");
+    }
+    fprintf(out, "]\n}\n");
+}
+
+std::optional<SweepView>
+readSweepJson(const std::string &text)
+{
+    if (text.find("\"fleet_sweep\"") == std::string::npos)
+        return std::nullopt;
+    SweepView v;
+    size_t pos = 0;
+    while (true) {
+        const size_t lab = valueOf(text, "label", pos);
+        if (lab == std::string::npos || text[lab] != '"')
+            break;
+        std::string label;
+        size_t p = lab + 1;
+        while (p < text.size() && text[p] != '"') {
+            if (text[p] == '\\' && p + 1 < text.size())
+                ++p;
+            label.push_back(text[p]);
+            ++p;
+        }
+        // The entry's aggregate spans up to the next label (or the
+        // end of the buffer) — hand that slice to the aggregate
+        // reader, which sniffs its own marker.
+        const size_t next = text.find("\"label\"", p);
+        const std::string slice = text.substr(
+            p, next == std::string::npos ? std::string::npos
+                                         : next - p);
+        std::optional<AggregateView> agg = readAggregateJson(slice);
+        if (!agg)
+            break;
+        v.labels.push_back(std::move(label));
+        v.entries.push_back(std::move(*agg));
+        if (next == std::string::npos)
+            break;
+        pos = next;
+    }
+    if (v.entries.empty())
+        return std::nullopt;
+    return v;
+}
+
 } // namespace iocost::fleet

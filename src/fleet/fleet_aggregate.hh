@@ -176,6 +176,27 @@ void writeAggregateJson(const AggregateView &view, FILE *out);
 std::optional<AggregateView>
 readAggregateJson(const std::string &text);
 
+/**
+ * A sweep document: one labeled aggregate per config, in sweep
+ * order. Labels are the controller spec lines the configs ran.
+ */
+struct SweepView
+{
+    std::vector<std::string> labels;
+    std::vector<AggregateView> entries;
+};
+
+/** Write the multi-config sweep JSON document (a "fleet_sweep"
+ *  wrapper embedding one aggregate document per config). */
+void writeSweepJson(const SweepView &view, FILE *out);
+
+/**
+ * Read a sweep JSON document produced by writeSweepJson.
+ * @return nullopt when the buffer is not a sweep document (callers
+ *         sniff this before trying readAggregateJson).
+ */
+std::optional<SweepView> readSweepJson(const std::string &text);
+
 } // namespace iocost::fleet
 
 #endif // IOCOST_FLEET_FLEET_AGGREGATE_HH

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "controllers/factory.hh"
 #include "device/device_profiles.hh"
 #include "sim/fault.hh"
 
@@ -366,6 +367,17 @@ FleetScenario::parse(const std::string &spec)
             // not from inside the first worker thread.
             (void)sim::FaultPlan::parse(value);
             sc.faults = value;
+        } else if (key == "sweep") {
+            // Same eager-validation discipline: every entry must be
+            // a parseable controller spec before any worker runs.
+            sc.sweep = controllers::splitSpecList(value);
+            if (sc.sweep.empty())
+                bad(token, "empty sweep list");
+            for (const std::string &entry : sc.sweep) {
+                if (!controllers::parseControllerSpec(entry))
+                    bad(token, "bad controller spec \"" + entry +
+                                   "\"");
+            }
         } else if (key == "slice") {
             sc.slice = parseTimeValue(token, value);
         } else if (key == "warmup") {
@@ -475,6 +487,22 @@ FleetScenario::canonical() const
 
     if (!faults.empty())
         out += " faults=" + faults;
+
+    if (!sweep.empty()) {
+        // Spaces inside an entry become commas so the whole sweep
+        // stays one key=value token; splitSpecList undoes this.
+        out += " sweep=";
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            std::string entry = sweep[i];
+            for (char &c : entry) {
+                if (c == ' ')
+                    c = ',';
+            }
+            if (i)
+                out += ';';
+            out += entry;
+        }
+    }
 
     out += " slice=" + fmtTime(slice);
     out += " warmup=" + fmtTime(warmup);

@@ -106,6 +106,19 @@ struct FleetScenario
      *  (sim::FaultPlan::parse grammar; empty = healthy fleet). */
     std::string faults;
 
+    /**
+     * Multi-config sweep: full controller spec lines (one per
+     * config, parseControllerSpec grammar). When non-empty the
+     * scenario is run through FleetSim::runScenarioSweep(): every
+     * host-day is evaluated once per config with the SAME host-day
+     * seed (common random numbers), and one aggregate is produced
+     * per config. Migration stages are ignored under a sweep — each
+     * config applies fleet-wide for all days. Spec-file key:
+     * `sweep=iocost,min=25;iocost,min=50` (';' separates configs,
+     * ',' separates tokens within one).
+     */
+    std::vector<std::string> sweep;
+
     /** Capture per-slice telemetry into HostDayOutcome::records
      *  (forces per-host retention — incompatible with constant-
      *  memory streaming; used by the iocost_mon replay). */

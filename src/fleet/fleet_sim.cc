@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "controllers/factory.hh"
 #include "controllers/io_latency.hh"
+#include "core/config_parse.hh"
 #include "core/iocost.hh"
 #include "device/device_profiles.hh"
 #include "device/ssd_model.hh"
@@ -216,8 +218,19 @@ FleetSim::runHostDay(const FleetScenario &sc,
 {
     sim::Simulator sim(seed);
 
+    // Accept a full spec line, not just a mechanism name, so sweep
+    // configs can carry settings ("iocost min=25 max=100"). A bare
+    // "iocost"/"iolatency" parses to the same config the historical
+    // string path produced, preserving byte-compatibility.
+    std::optional<controllers::ControllerSpec> parsed =
+        controllers::parseControllerSpec(controller);
+    if (!parsed) {
+        throw std::invalid_argument(
+            "fleet: bad controller spec: " + controller);
+    }
+
     host::HostOptions opts;
-    opts.controller = controller;
+    opts.controller = *parsed;
     // Device degradation, identical schedule on every host; the
     // slice seed decorrelates the per-request error draws.
     opts.faults = sc.faults;
@@ -226,16 +239,29 @@ FleetSim::runHostDay(const FleetScenario &sc,
     stat::RingSink ring;
     if (sc.telemetry)
         opts.telemetrySink = &ring;
-    if (controller == "iocost") {
-        const auto &prof =
-            profile::DeviceProfiler::profileSsd(spec);
-        opts.controller.iocost.model =
-            core::CostModel::fromConfig(prof.model);
-        opts.controller.iocost.qos.readLatTarget = 2 * sim::kMsec;
-        opts.controller.iocost.qos.writeLatTarget = 4 * sim::kMsec;
-        opts.controller.iocost.qos.period = 10 * sim::kMsec;
-        opts.controller.iocost.qos.vrateMin = 0.5;
-        opts.controller.iocost.qos.vrateMax = 2.0;
+    if (parsed->name == "iocost") {
+        // Fleet defaults fill in whatever the spec line left out:
+        // the device-profile cost model unless the line carried
+        // model keys, the migration-study qos unless it carried qos
+        // keys (kernel io.cost.qos semantics — an explicit qos
+        // replaces the whole block, it is not merged key-by-key).
+        const std::string payload =
+            controllers::iocostPayload(controller);
+        if (!core::parseModelLine(payload)) {
+            const auto &prof =
+                profile::DeviceProfiler::profileSsd(spec);
+            opts.controller.iocost.model =
+                core::CostModel::fromConfig(prof.model);
+        }
+        if (!core::parseQosLine(payload)) {
+            opts.controller.iocost.qos.readLatTarget =
+                2 * sim::kMsec;
+            opts.controller.iocost.qos.writeLatTarget =
+                4 * sim::kMsec;
+            opts.controller.iocost.qos.period = 10 * sim::kMsec;
+            opts.controller.iocost.qos.vrateMin = 0.5;
+            opts.controller.iocost.qos.vrateMax = 2.0;
+        }
     }
     host::Host host(sim,
                     std::make_unique<device::SsdModel>(sim, spec),
@@ -246,7 +272,7 @@ FleetSim::runHostDay(const FleetScenario &sc,
     const auto cleanup_cg = host.tree().create(
         host.hostCritical(), "container-agent", 100);
 
-    if (controller == "iolatency") {
+    if (parsed->name == "iolatency") {
         // Production IOLatency setups protect the workload with a
         // tight latency target; system services run unprotected.
         auto *iolat = dynamic_cast<controllers::IoLatency *>(
@@ -445,6 +471,146 @@ FleetSim::runScenario(const FleetScenario &sc,
             accs[i].mergeFrom(accs[i + stride]);
     }
     return accs[0].finish(sc.hosts, shards, jobs);
+}
+
+std::vector<FleetAggregate>
+FleetSim::runScenarioSweep(const FleetScenario &sc,
+                           const RunOptions &opts)
+{
+    const size_t K = sc.sweep.size();
+    if (K == 0) {
+        throw std::invalid_argument(
+            "fleet sweep: scenario has no sweep entries");
+    }
+    if (sc.telemetry) {
+        throw std::invalid_argument(
+            "fleet sweep: telemetry capture not supported");
+    }
+    // Validate every entry before any worker runs, and cache which
+    // mechanism each one is (decides the summary slot below).
+    std::vector<bool> is_iocost(K);
+    bool any_iocost = false;
+    for (size_t c = 0; c < K; ++c) {
+        std::optional<controllers::ControllerSpec> parsed =
+            controllers::parseControllerSpec(sc.sweep[c]);
+        if (!parsed) {
+            throw std::invalid_argument(
+                "fleet sweep: bad controller spec: " + sc.sweep[c]);
+        }
+        is_iocost[c] = parsed->name == "iocost";
+        any_iocost = any_iocost || is_iocost[c];
+    }
+
+    // Same layout resolution as runScenario; a host-day here is K
+    // slices, but shard granularity stays per-host.
+    unsigned jobs = opts.jobs == 0
+                        ? std::max(
+                              1u,
+                              std::thread::hardware_concurrency())
+                        : opts.jobs;
+    unsigned shards = opts.shards != 0 ? opts.shards : sc.shards;
+    if (shards == 0)
+        shards = jobs * 8;
+    shards = std::max(1u, std::min(shards, std::max(1u, sc.hosts)));
+    jobs = std::min(jobs, shards);
+
+    if (any_iocost) {
+        for (const FleetScenario::DeviceShare &d : sc.devices)
+            profile::DeviceProfiler::profileSsd(d.spec);
+    }
+
+    // Per-config accumulators fold side by side: shard s, config c
+    // lives at accs[s*K + c]. The arena block per shard is
+    // contiguous, so a worker's K folds for one host-day touch
+    // adjacent accumulators.
+    std::vector<ShardAccumulator> accs;
+    accs.reserve(static_cast<size_t>(shards) * K);
+    for (size_t i = 0; i < static_cast<size_t>(shards) * K; ++i)
+        accs.emplace_back(sc.days);
+
+    auto shard_lo = [&](unsigned s) {
+        return static_cast<unsigned>(
+            static_cast<uint64_t>(s) * sc.hosts / shards);
+    };
+
+    auto run_shard = [&](unsigned s) {
+        const unsigned lo = shard_lo(s);
+        const unsigned hi = shard_lo(s + 1);
+        for (unsigned h = lo; h < hi; ++h) {
+            const device::SsdSpec &spec =
+                sc.devices[sc.deviceIndexFor(h) %
+                           sc.devices.size()]
+                    .spec;
+            const WorkloadKind kind = sc.workloadFor(h);
+            for (unsigned day = 0; day < sc.days; ++day) {
+                if (day == sc.throwAtDay && h == sc.throwAtHost) {
+                    throw std::runtime_error(
+                        "fleet: injected slice failure at day " +
+                        std::to_string(day) + " host " +
+                        std::to_string(h));
+                }
+                // One seed for all K configs: the paired-run CRN.
+                const uint64_t seed = sc.hostDaySeed(day, h);
+                for (size_t c = 0; c < K; ++c) {
+                    const HostDayOutcome out = runHostDay(
+                        sc, spec, kind, sc.sweep[c], seed);
+                    accs[static_cast<size_t>(s) * K + c].fold(
+                        day, is_iocost[c], out);
+                }
+            }
+        }
+        for (size_t c = 0; c < K; ++c)
+            accs[static_cast<size_t>(s) * K + c].finalizeSeries();
+    };
+
+    // Same worker pool and exception discipline as runScenario.
+    std::vector<std::exception_ptr> errors(shards);
+    std::atomic<unsigned> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const unsigned s =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (s >= shards)
+                return;
+            try {
+                run_shard(s);
+            } catch (...) {
+                errors[s] = std::current_exception();
+            }
+        }
+    };
+
+    if (jobs <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs - 1);
+        for (unsigned t = 0; t + 1 < jobs; ++t)
+            pool.emplace_back(worker);
+        worker();
+        for (auto &t : pool)
+            t.join();
+    }
+    for (unsigned s = 0; s < shards; ++s) {
+        if (errors[s])
+            std::rethrow_exception(errors[s]);
+    }
+
+    // Per-config deterministic binary-tree merge over shards.
+    for (unsigned stride = 1; stride < shards; stride *= 2) {
+        for (unsigned i = 0; i + stride < shards; i += 2 * stride) {
+            for (size_t c = 0; c < K; ++c) {
+                accs[static_cast<size_t>(i) * K + c].mergeFrom(
+                    accs[(static_cast<size_t>(i) + stride) * K +
+                         c]);
+            }
+        }
+    }
+    std::vector<FleetAggregate> out;
+    out.reserve(K);
+    for (size_t c = 0; c < K; ++c)
+        out.push_back(accs[c].finish(sc.hosts, shards, jobs));
+    return out;
 }
 
 std::vector<FleetDayResult>

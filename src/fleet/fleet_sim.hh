@@ -177,6 +177,34 @@ class FleetSim
                 std::vector<HostDayOutcome> *outcomes_out);
 
     /**
+     * Run a multi-config sweep through the sharded engine: every
+     * host-day slice is evaluated once per entry of sc.sweep with
+     * the SAME hostDaySeed, so cross-config deltas are paired on
+     * common random numbers (the workload intensity knobs, agent
+     * offsets, and device fault draws are identical across configs;
+     * only the controller differs). One aggregate is returned per
+     * config, in sweep order; each is byte-identical for any
+     * jobs/shards combination, and identical to a K = 1 sweep of
+     * that config alone.
+     *
+     * Fleet host-days are closed feedback loops (the agents' issue
+     * times depend on their completions), so unlike the single-host
+     * sweep the configs cannot share one device stream — pairing by
+     * seed is the CRN mechanism here.
+     *
+     * Migration stages are ignored: each config applies fleet-wide
+     * for all days. A config's samples land under its mechanism's
+     * summary slot ("iocost" for iocost entries, "iolatency" for
+     * everything else). Telemetry capture is not supported.
+     *
+     * @throws std::invalid_argument on an empty sweep list, a
+     *         malformed entry, or sc.telemetry set.
+     */
+    static std::vector<FleetAggregate>
+    runScenarioSweep(const FleetScenario &sc,
+                     const RunOptions &opts = {});
+
+    /**
      * Run the full migration study (legacy entry point; wraps
      * runScenario over scenarioFromConfig). Byte-identical to the
      * pre-sharding implementation for any jobs value.

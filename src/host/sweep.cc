@@ -1,0 +1,316 @@
+#include "host/sweep.hh"
+
+#include <stdexcept>
+
+namespace iocost::host {
+
+namespace {
+
+controllers::ControllerSpec
+parseSpecOrThrow(const SweepOptions &opts, const std::string &line)
+{
+    std::optional<controllers::ControllerSpec> spec =
+        controllers::parseControllerSpec(line);
+    if (!spec) {
+        throw std::invalid_argument("sweep: bad controller spec: " +
+                                    line);
+    }
+    if (opts.tweakSpec)
+        opts.tweakSpec(line, *spec);
+    return *std::move(spec);
+}
+
+} // namespace
+
+/**
+ * Pass-through controller installed on the generator's layer. It
+ * clones every submission into the lanes (before dispatching the
+ * original, so lane bio ids stay in submission-order lockstep with
+ * the generator's even when a dispatch runs completions inline that
+ * re-enter submit()) and closes each id in the shared log when the
+ * generator delivers the final completion.
+ */
+class TapController final : public blk::IoController
+{
+  public:
+    explicit TapController(SweepRunner &runner) : runner_(runner) {}
+
+    blk::ControllerCaps
+    caps() const override
+    {
+        return {
+            .name = "sweep-tap",
+            .lowOverhead = true,
+            .workConserving = true,
+            .memoryManagementAware = false,
+            .proportionalFairness = false,
+            .cgroupControl = false,
+        };
+    }
+
+    void
+    onSubmit(blk::BioPtr bio) override
+    {
+        runner_.cloneToLanes(*bio);
+        layer().dispatch(std::move(bio));
+    }
+
+    void
+    onComplete(const blk::Bio &bio,
+               const blk::CompletionInfo &info) override
+    {
+        (void)info;
+        runner_.onGeneratorFinal(bio);
+    }
+
+    /** Same as the uncontrolled path: the tap models no policy. */
+    sim::Time
+    issueCpuCost() const override
+    {
+        return blk::BlockLayer::kNoControllerCpuCost;
+    }
+
+  private:
+    SweepRunner &runner_;
+};
+
+SweepRunner::SweepRunner(sim::Simulator &sim, SweepOptions opts)
+    : sim_(sim), opts_(std::move(opts))
+{
+    if (opts_.specs.empty())
+        throw std::invalid_argument("sweep: empty config list");
+    if (!opts_.makeDevice)
+        throw std::invalid_argument("sweep: no device factory");
+    if (!opts_.laneSinks.empty() &&
+        opts_.laneSinks.size() != opts_.specs.size()) {
+        throw std::invalid_argument(
+            "sweep: laneSinks must be empty or one per spec");
+    }
+
+    plain_ = opts_.specs.size() == 1 && !opts_.forceShadow;
+
+    HostOptions ho;
+    ho.telemetryDetail = opts_.telemetryDetail;
+    ho.submissionCpu = opts_.submissionCpu;
+    ho.workloadWeight = opts_.workloadWeight;
+    ho.hostCriticalWeight = opts_.hostCriticalWeight;
+    ho.systemWeight = opts_.systemWeight;
+    ho.faults = opts_.faults;
+    ho.faultSeedMix = opts_.faultSeedMix;
+
+    if (plain_) {
+        // Degenerate K = 1 sweep: exactly the plain single-config
+        // stack — same controller, merging on, no log, no tap — so
+        // its output is byte-identical to a hand-built Host.
+        ho.controller = parseSpecOrThrow(opts_, opts_.specs[0]);
+        ho.telemetrySink = !opts_.laneSinks.empty()
+                               ? opts_.laneSinks[0]
+                               : opts_.generatorSink;
+        generator_ = std::make_unique<Host>(
+            sim_, opts_.makeDevice(sim_), std::move(ho));
+        return;
+    }
+
+    // Parse every spec before building anything: a malformed config
+    // fails the whole sweep loudly, not after K - 1 lanes exist.
+    std::vector<controllers::ControllerSpec> specs;
+    specs.reserve(opts_.specs.size());
+    for (const std::string &line : opts_.specs)
+        specs.push_back(parseSpecOrThrow(opts_, line));
+
+    ho.controller = "none";
+    ho.telemetrySink = opts_.generatorSink;
+    generator_ = std::make_unique<Host>(sim_, opts_.makeDevice(sim_),
+                                        std::move(ho));
+    if (opts_.reserveBios > 0)
+        log_.reserve(opts_.reserveBios);
+    generator_->device().setServiceLog(&log_);
+    generator_->layer().setMergeEnabled(false);
+    generator_->layer().setController(
+        std::make_unique<TapController>(*this));
+
+    for (size_t k = 0; k < specs.size(); ++k) {
+        controllers::ControllerSpec &spec = specs[k];
+        lanes_.emplace_back(
+            sim_, log_, generator_->device().queueDepth(),
+            generator_->device().modelName() + "+lane" +
+                std::to_string(k),
+            opts_);
+        Lane &lane = lanes_.back();
+        lane.specLine = opts_.specs[k];
+        if (spec.name == "iocost") {
+            // Lanes never arm their own planning timer; planning is
+            // batched per period group below.
+            spec.iocost.externalPlanning = true;
+        }
+        lane.layer.setMergeEnabled(false);
+        // The lanes share the stream's error-handling policy (it is
+        // part of the fault spec, not of any controller config).
+        lane.layer.setRetryPolicy(generator_->layer().retryPolicy());
+        if (!opts_.laneSinks.empty() &&
+            opts_.laneSinks[k] != nullptr)
+            lane.layer.setTelemetrySink(opts_.laneSinks[k]);
+        lane.layer.telemetry().setDetail(opts_.telemetryDetail);
+        lane.layer.setController(controllers::makeController(spec));
+        lane.iocost =
+            dynamic_cast<core::IoCost *>(lane.layer.controller());
+    }
+
+    // Group the iocost lanes by planning period: one timer per
+    // distinct period runs the member passes back to back. Each
+    // instance's planning is independent (it reads only its own lane
+    // state), so batch order cannot change results.
+    for (Lane &lane : lanes_) {
+        if (lane.iocost == nullptr)
+            continue;
+        const sim::Time period = lane.iocost->period();
+        PlanGroup *group = nullptr;
+        for (PlanGroup &pg : planGroups_) {
+            if (pg.period == period) {
+                group = &pg;
+                break;
+            }
+        }
+        if (group == nullptr) {
+            planGroups_.emplace_back();
+            group = &planGroups_.back();
+            group->period = period;
+        }
+        group->members.push_back(lane.iocost);
+    }
+    for (PlanGroup &pg : planGroups_) {
+        pg.timer.emplace(sim_, pg.period,
+                         [members = &pg.members] {
+                             for (core::IoCost *c : *members)
+                                 c->runPlanning();
+                         });
+        pg.timer->start();
+    }
+
+    resolveScratch_.reserve(lanes_.size());
+    log_.addListener([this](uint64_t id) { onLogEvent(id); });
+}
+
+void
+SweepRunner::onLogEvent(uint64_t id)
+{
+    resolveScratch_.clear();
+    for (Lane &lane : lanes_)
+        lane.device.resolveDetached(id, resolveScratch_);
+
+    // Group the resolutions by service duration — in lockstep every
+    // lane resolves to the same log entry, so the usual outcome is
+    // one batch completing all K lane bios with a single event.
+    // (Durations can differ when divergent retry schedules clamp to
+    // different attempts; each distinct value gets its own batch.)
+    while (!resolveScratch_.empty()) {
+        const sim::Time d = resolveScratch_.front().duration;
+        const uint32_t slot = allocBatch();
+        ReplayBatch &batch = batchPool_[slot];
+        batch.duration = d;
+        for (size_t i = 0; i < resolveScratch_.size();) {
+            if (resolveScratch_[i].duration == d) {
+                batch.items.push_back(
+                    std::move(resolveScratch_[i]));
+                resolveScratch_[i] = std::move(
+                    resolveScratch_.back());
+                resolveScratch_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        sim_.at(sim_.now() + d,
+                [this, slot] { fireBatch(slot); });
+    }
+}
+
+uint32_t
+SweepRunner::allocBatch()
+{
+    if (freeBatch_ != kNoBatch) {
+        const uint32_t slot = freeBatch_;
+        freeBatch_ = batchPool_[slot].nextFree;
+        return slot;
+    }
+    batchPool_.emplace_back();
+    batchPool_.back().items.reserve(lanes_.size());
+    return static_cast<uint32_t>(batchPool_.size() - 1);
+}
+
+void
+SweepRunner::fireBatch(uint32_t slot)
+{
+    // Take the items by move: delivering a completion can re-enter
+    // batch allocation (a lane controller dispatches queued bios),
+    // which may reallocate batchPool_ under us — so hold no
+    // references across the loop, and keep the slot off the
+    // freelist until delivery is done.
+    std::vector<device::ReplayDevice::Resolved> items =
+        std::move(batchPool_[slot].items);
+    const sim::Time d = batchPool_[slot].duration;
+    for (device::ReplayDevice::Resolved &r : items)
+        r.dev->finishReplayed(std::move(r.bio), d);
+    // Hand the buffer back (capacity retained) and free the slot so
+    // its next use stays allocation-free.
+    items.clear();
+    batchPool_[slot].items = std::move(items);
+    batchPool_[slot].nextFree = freeBatch_;
+    freeBatch_ = slot;
+}
+
+cgroup::CgroupId
+SweepRunner::addWorkload(const std::string &name, uint32_t weight)
+{
+    const cgroup::CgroupId id = generator_->addWorkload(name, weight);
+    for (Lane &lane : lanes_) {
+        const cgroup::CgroupId lid =
+            lane.tree.create(lane.workload, name, weight);
+        if (lid != id)
+            throw std::logic_error("sweep: lane cgroup id drift");
+    }
+    workloadCgroups_.emplace_back(name, id);
+    return id;
+}
+
+cgroup::CgroupId
+SweepRunner::addSystemService(const std::string &name,
+                              uint32_t weight)
+{
+    const cgroup::CgroupId id =
+        generator_->addSystemService(name, weight);
+    for (Lane &lane : lanes_) {
+        const cgroup::CgroupId lid =
+            lane.tree.create(lane.system, name, weight);
+        if (lid != id)
+            throw std::logic_error("sweep: lane cgroup id drift");
+    }
+    return id;
+}
+
+void
+SweepRunner::cloneToLanes(const blk::Bio &bio)
+{
+    for (Lane &lane : lanes_) {
+        blk::BioPtr clone =
+            blk::Bio::make(bio.op, bio.offset, bio.size, bio.cgroup);
+        clone->swap = bio.swap;
+        clone->meta = bio.meta;
+        lane.layer.submit(std::move(clone));
+    }
+}
+
+void
+SweepRunner::onGeneratorFinal(const blk::Bio &bio)
+{
+    log_.close(bio.id);
+}
+
+void
+SweepRunner::resetStats()
+{
+    generator_->layer().resetStats();
+    for (Lane &lane : lanes_)
+        lane.layer.resetStats();
+}
+
+} // namespace iocost::host

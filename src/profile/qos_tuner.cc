@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "host/host.hh"
+#include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "workload/latency_server.hh"
 #include "workload/memory_hog.hh"
@@ -115,17 +116,27 @@ runStacked(const device::SsdSpec &spec, double vrate,
 QosTuneResult
 QosTuner::tune(const device::SsdSpec &spec,
                const std::vector<double> &vrates,
-               double run_seconds, uint64_t seed)
+               double run_seconds, uint64_t seed, unsigned jobs)
 {
+    // Warm the profiler cache before the paired pool: hostOptions()
+    // reads it from every worker, and first-use population is not
+    // concurrency-safe.
+    (void)DeviceProfiler::profileSsd(spec);
+
     QosTuneResult out;
-    for (double v : vrates) {
-        QosSweepPoint p;
-        p.vrate = v;
-        p.aloneRps = runAlone(spec, v, run_seconds, seed + 11);
-        p.stackedP95 =
-            runStacked(spec, v, run_seconds, seed + 23);
-        out.sweep.push_back(p);
-    }
+    // Paired CRN across vrates: every point uses seed+11 / seed+23,
+    // so the across-vrate deltas compared below are seed-noise-free
+    // and independent of the worker layout.
+    out.sweep = host::runPaired(
+        vrates.size(), jobs, [&](size_t c) {
+            QosSweepPoint p;
+            p.vrate = vrates[c];
+            p.aloneRps =
+                runAlone(spec, vrates[c], run_seconds, seed + 11);
+            p.stackedP95 = runStacked(spec, vrates[c], run_seconds,
+                                      seed + 23);
+            return p;
+        });
 
     // vrateMax: smallest vrate delivering >= 92% of the best
     // paging-bound throughput (more budget buys nothing beyond it).

@@ -58,16 +58,26 @@ class QosTuner
     /**
      * Tune QoS parameters for @p spec.
      *
+     * Every sweep point runs both scenarios with the *same* seeds
+     * (common random numbers), so the across-vrate deltas the
+     * derivation thresholds compare are free of seed noise. The
+     * scenarios are closed-loop (the memory manager and the server's
+     * feedback react to IO control), so points run as full paired
+     * runs — host::runPaired — not shadow lanes; the result is
+     * identical for any @p jobs value.
+     *
      * @param spec Device model to tune for.
      * @param vrates Pinned vrate sweep points (sorted ascending).
      * @param run_seconds Simulated seconds per scenario run.
      * @param seed Determinism seed.
+     * @param jobs Worker threads across sweep points (0 = serial).
      */
     static QosTuneResult
     tune(const device::SsdSpec &spec,
          const std::vector<double> &vrates = {0.25, 0.5, 0.75, 1.0,
                                               1.5, 2.0},
-         double run_seconds = 6.0, uint64_t seed = 7);
+         double run_seconds = 6.0, uint64_t seed = 7,
+         unsigned jobs = 1);
 };
 
 } // namespace iocost::profile

@@ -36,10 +36,15 @@
  *   iocost_mon --fleet --scenario "hosts=10000 days=24 ..."
  *   iocost_mon --fleet --scenario @scenario.txt --jobs 8
  *
- * Reader mode renders a previously written fleet file — either the
- * streaming-aggregate JSON or the legacy per-host JSONL (sniffed
- * automatically):
+ * Reader mode renders a previously written fleet file — the
+ * streaming-aggregate JSON, a multi-config sweep document
+ * (iocost_sim --fleet --sweep --out), or the legacy per-host JSONL
+ * (sniffed automatically):
  *   iocost_mon --fleet --in fleet.json|fleet.jsonl
+ *
+ * A scenario with a `sweep=` key (or equivalently iocost_sim's
+ * --sweep flag) runs every controller config against paired
+ * host-day seeds and renders one aggregate per config.
  *
  * Examples:
  *   iocost_mon --device newgen --seconds 5 \
@@ -407,6 +412,20 @@ runFleetIn(const std::string &in_path)
         text.append(buf, n);
     std::fclose(f);
 
+    // Sweep documents embed per-config aggregates (each with its
+    // own marker), so sniff the sweep wrapper first.
+    if (const auto sweep = fleet::readSweepJson(text)) {
+        std::printf("fleet sweep: %zu configs\n",
+                    sweep->entries.size());
+        for (size_t c = 0; c < sweep->entries.size(); ++c) {
+            std::printf("\nconfig[%zu]: %s\n", c,
+                        c < sweep->labels.size()
+                            ? sweep->labels[c].c_str()
+                            : "?");
+            renderAggregate(sweep->entries[c]);
+        }
+        return 0;
+    }
     if (const auto view = fleet::readAggregateJson(text)) {
         renderAggregate(*view);
         return 0;
@@ -496,6 +515,34 @@ runFleet(const std::string &scenario, fleet::FleetConfig cfg,
         run_opts.jobs = jobs;
         run_opts.shards = shards;
         std::printf("fleet scenario: %s\n", sc.canonical().c_str());
+        if (!sc.sweep.empty()) {
+            std::vector<fleet::FleetAggregate> aggs;
+            try {
+                aggs = fleet::FleetSim::runScenarioSweep(sc,
+                                                         run_opts);
+            } catch (const std::exception &err) {
+                sim::fatal(err.what());
+            }
+            fleet::SweepView view;
+            view.labels = sc.sweep;
+            for (size_t c = 0; c < aggs.size(); ++c) {
+                view.entries.push_back(
+                    fleet::AggregateView::from(aggs[c]));
+                std::printf("\nconfig[%zu]: %s\n", c,
+                            sc.sweep[c].c_str());
+                renderAggregate(view.entries.back());
+            }
+            if (!out_path.empty()) {
+                FILE *out = std::fopen(out_path.c_str(), "w");
+                if (!out)
+                    sim::fatal("cannot write " + out_path);
+                fleet::writeSweepJson(view, out);
+                std::fclose(out);
+                std::printf("wrote sweep to %s\n",
+                            out_path.c_str());
+            }
+            return 0;
+        }
         const fleet::FleetAggregate agg =
             fleet::FleetSim::runScenario(sc, run_opts);
         const auto view = fleet::AggregateView::from(agg);

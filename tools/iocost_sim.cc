@@ -24,6 +24,17 @@
  *              [--seconds N] [--seed N]
  *              [--job name:weight=W:depth=D:bs=B:rw=read|write|mixed
  *                         :pattern=rand|seq[:rate=R]] ...
+ *              [--sweep "spec1;spec2;..."]  multi-config sweep:
+ *               run every controller spec against the SAME workload
+ *               and device-model event stream (common random
+ *               numbers — one generator, K shadow controller
+ *               lanes). ';' separates configs; ',' within a config
+ *               doubles as a token separator, so
+ *               "iocost,min=25;iocost,min=50" is a two-config
+ *               sweep. Mutually exclusive with --controller;
+ *               --model/--qos apply to every config. --jobs
+ *               partitions the configs across worker threads
+ *               (per-config output is byte-identical for any value).
  *
  * Fleet mode runs the §4.8 migration Monte-Carlo instead of a single
  * host, through the sharded streaming engine (results are
@@ -34,8 +45,13 @@
  *                 full scenario grammar (device/workload mixes,
  *                 staged migration) — see fleet/fleet_scenario.hh;
  *                 overrides --hosts/--days/--seed
+ *              [--sweep "spec1;spec2;..."]  paired-CRN sweep: every
+ *                 host-day is run once per config with the same
+ *                 host-day seed; one aggregate per config
+ *                 (equivalent to the scenario `sweep=` key)
  *              [--out agg.json]  write the streaming-aggregate JSON
- *                 (readable by iocost_mon --fleet --in)
+ *                 (readable by iocost_mon --fleet --in); under
+ *                 --sweep, the multi-config sweep document
  *
  * Example:
  *   iocost_sim --device oldgen --controller iocost --seconds 10 \
@@ -57,6 +73,7 @@
 #include "device/ssd_model.hh"
 #include "fleet/fleet_sim.hh"
 #include "host/host.hh"
+#include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "sim/logging.hh"
 #include "workload/fio_workload.hh"
@@ -174,6 +191,8 @@ main(int argc, char **argv)
 {
     std::string device_name = "newgen";
     std::string controller = "iocost";
+    bool controller_set = false;
+    std::string sweep_arg;
     std::string model_line, qos_line, faults_spec;
     double seconds = 10.0;
     uint64_t seed = 42;
@@ -195,6 +214,9 @@ main(int argc, char **argv)
             device_name = next();
         } else if (arg == "--controller") {
             controller = next();
+            controller_set = true;
+        } else if (arg == "--sweep") {
+            sweep_arg = next();
         } else if (arg == "--model") {
             model_line = next();
         } else if (arg == "--qos") {
@@ -275,6 +297,59 @@ main(int argc, char **argv)
         fleet::RunOptions run_opts;
         run_opts.jobs = fleet_jobs;
         run_opts.shards = fleet_shards;
+        if (!sweep_arg.empty())
+            sc.sweep = controllers::splitSpecList(sweep_arg);
+        if (!sc.sweep.empty()) {
+            std::printf("fleet: %s\n", sc.canonical().c_str());
+            std::vector<fleet::FleetAggregate> aggs;
+            try {
+                aggs = fleet::FleetSim::runScenarioSweep(sc,
+                                                         run_opts);
+            } catch (const std::exception &err) {
+                sim::fatal(err.what());
+            }
+            std::printf(
+                "engine: jobs=%u shards=%u host-days=%llu "
+                "x %zu configs\n",
+                aggs[0].jobs, aggs[0].shards,
+                static_cast<unsigned long long>(aggs[0].hostDays),
+                aggs.size());
+            std::printf("%-44s %10s %10s %10s %10s\n", "config",
+                        "fetchfail", "cleanfail", "fetch-p99",
+                        "clean-p99");
+            fleet::SweepView view;
+            view.labels = sc.sweep;
+            for (size_t c = 0; c < aggs.size(); ++c) {
+                const auto spec = controllers::parseControllerSpec(
+                    sc.sweep[c]);
+                const unsigned ctl =
+                    spec && spec->name == "iocost"
+                        ? fleet::kCtlIoCost
+                        : fleet::kCtlIoLatency;
+                unsigned ff = 0, cf = 0;
+                for (const auto &d : aggs[c].days) {
+                    ff += d.fetchFailures;
+                    cf += d.cleanupFailures;
+                }
+                view.entries.push_back(
+                    fleet::AggregateView::from(aggs[c]));
+                const auto &s = view.entries.back().ctl[ctl];
+                std::printf(
+                    "%-44s %10u %10u %8.1fms %8.1fms\n",
+                    sc.sweep[c].c_str(), ff, cf, s.fetchP99Ms,
+                    s.cleanupP99Ms);
+            }
+            if (!out_path.empty()) {
+                FILE *out = std::fopen(out_path.c_str(), "w");
+                if (!out)
+                    sim::fatal("cannot write " + out_path);
+                fleet::writeSweepJson(view, out);
+                std::fclose(out);
+                std::printf("wrote sweep to %s\n",
+                            out_path.c_str());
+            }
+            return 0;
+        }
         std::printf("fleet: %s\n", sc.canonical().c_str());
         const fleet::FleetAggregate agg =
             fleet::FleetSim::runScenario(sc, run_opts);
@@ -308,6 +383,176 @@ main(int argc, char **argv)
         jobs.push_back(parseJob("web:weight=200:depth=32"));
         jobs.push_back(parseJob("batch:weight=100:depth=32"));
     }
+    // Keep jobs in disjoint regions (separate files).
+    for (size_t j = 0; j < jobs.size(); ++j)
+        jobs[j].fio.offsetBase = j << 40;
+
+    if (!sweep_arg.empty()) {
+        if (controller_set) {
+            sim::fatal(
+                "--sweep and --controller are mutually exclusive");
+        }
+        const std::vector<std::string> sweep_specs =
+            controllers::splitSpecList(sweep_arg);
+        if (sweep_specs.empty())
+            sim::fatal("--sweep: empty config list");
+        if (sweep_specs.size() == 1) {
+            // Degenerate sweep: the plain single-host path below is
+            // byte-identical (and has zero observation overhead).
+            controller = sweep_specs[0];
+        } else {
+            // Device cost model for iocost configs that carry no
+            // model keys, computed once from a throwaway probe (the
+            // profile cache also ends up warm for every worker).
+            core::LinearModelConfig model;
+            {
+                sim::Simulator probe(seed);
+                (void)makeDevice(device_name, probe, model);
+            }
+            if (!model_line.empty()) {
+                const auto parsed = core::parseModelLine(model_line);
+                if (!parsed)
+                    sim::fatal("bad --model line");
+                model = *parsed;
+            }
+            std::optional<core::QosParams> qos_override;
+            if (!qos_line.empty()) {
+                qos_override = core::parseQosLine(qos_line);
+                if (!qos_override)
+                    sim::fatal("bad --qos line");
+            }
+
+            host::SweepOptions sopts;
+            sopts.specs = sweep_specs;
+            sopts.faults = faults_spec;
+            sopts.makeDevice = [&](sim::Simulator &s) {
+                core::LinearModelConfig scratch;
+                return makeDevice(device_name, s, scratch);
+            };
+            // Same defaulting as the plain path: the device profile
+            // and CLI --qos fill whatever each spec line leaves out.
+            // Keyed on the spec line only, so results cannot depend
+            // on how configs are partitioned across workers.
+            sopts.tweakSpec =
+                [&](const std::string &line,
+                    controllers::ControllerSpec &spec) {
+                    if (spec.name != "iocost")
+                        return;
+                    const std::string rest =
+                        controllers::iocostPayload(line);
+                    if (!core::parseModelLine(rest)) {
+                        spec.iocost.model =
+                            core::CostModel::fromConfig(model);
+                    }
+                    if (!core::parseQosLine(rest)) {
+                        spec.iocost.qos.vrateMin = 0.5;
+                        spec.iocost.qos.vrateMax = 1.0;
+                    }
+                    if (qos_override)
+                        spec.iocost.qos = *qos_override;
+                };
+
+            struct JobOut
+            {
+                double iops = 0, mbps = 0, p50us = 0, p99us = 0;
+            };
+            struct ConfigOut
+            {
+                bool isIocost = false;
+                double vrate = 0, periodMs = 0;
+                std::vector<JobOut> jobs;
+            };
+
+            const auto warmup =
+                static_cast<sim::Time>(0.1 * seconds * sim::kSec);
+            const auto measure =
+                static_cast<sim::Time>(seconds * sim::kSec);
+
+            auto body = [&](sim::Simulator &s,
+                            host::SweepRunner &runner) {
+                std::vector<std::unique_ptr<workload::FioWorkload>>
+                    running;
+                for (const JobSpec &job : jobs) {
+                    const auto cg =
+                        runner.addWorkload(job.name, job.weight);
+                    running.push_back(
+                        std::make_unique<workload::FioWorkload>(
+                            s, runner.layer(), cg, job.fio));
+                    running.back()->start();
+                }
+                s.runUntil(warmup);
+                runner.resetStats();
+                s.runUntil(warmup + measure);
+                for (auto &job : running)
+                    job->stop();
+            };
+            auto collect = [&](host::SweepRunner &runner,
+                               size_t lane, size_t) {
+                ConfigOut out;
+                blk::BlockLayer &layer = runner.laneLayer(lane);
+                for (const auto &wc : runner.workloadCgroups()) {
+                    const blk::CgroupIoStats &st =
+                        layer.stats(wc.second);
+                    JobOut jo;
+                    jo.iops = static_cast<double>(st.reads +
+                                                  st.writes) /
+                              seconds;
+                    jo.mbps = static_cast<double>(st.readBytes +
+                                                  st.writeBytes) /
+                              1e6 / seconds;
+                    jo.p50us = sim::toMicros(
+                        st.totalLatency.quantile(0.5));
+                    jo.p99us = sim::toMicros(
+                        st.totalLatency.quantile(0.99));
+                    out.jobs.push_back(jo);
+                }
+                if (core::IoCost *ioc = runner.laneIocost(lane)) {
+                    out.isIocost = true;
+                    out.vrate = ioc->vrate();
+                    out.periodMs = sim::toMillis(ioc->period());
+                }
+                return out;
+            };
+
+            std::vector<ConfigOut> results;
+            try {
+                results = host::runSweep(sopts, seed, fleet_jobs,
+                                         body, collect);
+            } catch (const std::exception &err) {
+                sim::fatal(err.what());
+            }
+
+            std::printf(
+                "device=%s sweep=%zu configs seconds=%.1f "
+                "seed=%llu (common random numbers)\n",
+                device_name.c_str(), results.size(), seconds,
+                static_cast<unsigned long long>(seed));
+            std::printf("io.cost.model: %s\n",
+                        core::formatModelLine(model).c_str());
+            for (size_t c = 0; c < results.size(); ++c) {
+                const ConfigOut &cfg = results[c];
+                std::printf("\nconfig[%zu]: %s\n", c,
+                            sweep_specs[c].c_str());
+                std::printf("%-12s %8s %10s %10s %10s %10s\n",
+                            "job", "weight", "IOPS", "MB/s", "p50",
+                            "p99");
+                for (size_t j = 0; j < cfg.jobs.size(); ++j) {
+                    std::printf("%-12s %8u %10.0f %10.1f %8.0fus "
+                                "%8.0fus\n",
+                                jobs[j].name.c_str(),
+                                jobs[j].weight, cfg.jobs[j].iops,
+                                cfg.jobs[j].mbps, cfg.jobs[j].p50us,
+                                cfg.jobs[j].p99us);
+                }
+                if (cfg.isIocost) {
+                    std::printf("vrate: %.0f%%  (planning period "
+                                "%.0fms)\n",
+                                100.0 * cfg.vrate, cfg.periodMs);
+                }
+            }
+            return 0;
+        }
+    }
 
     sim::Simulator sim(seed);
     core::LinearModelConfig model;
@@ -332,9 +577,7 @@ main(int argc, char **argv)
     // --model/--qos kernel-format lines instead; a spec line that
     // carries its own model/qos keys wins over the profile.
     const std::string spec_rest =
-        controller.find(' ') == std::string::npos
-            ? std::string()
-            : controller.substr(controller.find(' ') + 1);
+        controllers::iocostPayload(controller);
     if (!core::parseModelLine(spec_rest)) {
         opts.controller.iocost.model =
             core::CostModel::fromConfig(model);
@@ -367,8 +610,6 @@ main(int argc, char **argv)
     for (size_t j = 0; j < jobs.size(); ++j) {
         JobSpec &spec = jobs[j];
         const auto cg = host.addWorkload(spec.name, spec.weight);
-        // Keep jobs in disjoint regions (separate files).
-        spec.fio.offsetBase = j << 40;
         running.push_back(std::make_unique<workload::FioWorkload>(
             sim, host.layer(), cg, spec.fio));
         running.back()->start();
