@@ -39,6 +39,8 @@
 #include "device/device_profiles.hh"
 #include "device/ssd_model.hh"
 #include "fleet/fleet_sim.hh"
+#include "host/device_factory.hh"
+#include "host/host.hh"
 #include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "sim/event_queue.hh"
@@ -997,6 +999,106 @@ sweepAllocsPerBio()
     return out;
 }
 
+struct SnapshotResult
+{
+    double bytesPerHost;
+    double boxesPerHost;
+    double snapshotUs;
+    double restoreUs;
+    double branchesPerSec;
+    double replayAllocsPerBio;
+};
+
+/**
+ * Branchable-state cost: build the what-if service's host shape
+ * (newgen SSD, iocost, two closed-loop jobs, fault injector
+ * installed), run to a checkpoint, then measure snapshot size,
+ * snapshot/restore latency, and the branch-replay loop the query
+ * service lives on (restore to the checkpoint, replay 100 ms).
+ * The replay window's heap allocations per completed bio are the
+ * gated quantity: a branch must re-run on the same zero-alloc fast
+ * path as the original timeline.
+ */
+SnapshotResult
+snapshotRun()
+{
+    constexpr int kReps = 50;
+    constexpr sim::Time kCheckpoint = 200 * sim::kMsec;
+    constexpr sim::Time kReplay = 100 * sim::kMsec;
+
+    SnapshotResult out{};
+    sim::Simulator sim(4242);
+    core::LinearModelConfig model;
+    auto dev = host::makeNamedDevice("newgen", sim, &model);
+    host::HostOptions opts;
+    opts.controller = "iocost";
+    opts.controller.iocost.model = core::CostModel::fromConfig(model);
+    opts.installFaultInjector = true;
+    host::Host host(sim, std::move(dev), opts);
+
+    std::vector<std::unique_ptr<workload::FioWorkload>> jobs;
+    for (int j = 0; j < 2; ++j) {
+        workload::FioConfig cfg;
+        cfg.iodepth = 32;
+        cfg.offsetBase = static_cast<uint64_t>(j) << 40;
+        const auto cg = host.addWorkload(j ? "batch" : "web",
+                                         j ? 100u : 200u);
+        jobs.push_back(std::make_unique<workload::FioWorkload>(
+            sim, host.layer(), cg, cfg));
+        host.track(*jobs.back());
+        jobs.back()->start();
+    }
+    sim.runUntil(kCheckpoint);
+
+    const host::HostSnapshot snap = host.snapshot();
+    out.bytesPerHost = static_cast<double>(snap.byteSize());
+    out.boxesPerHost = static_cast<double>(snap.boxCount());
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i)
+        host.snapshot();
+    auto t1 = std::chrono::steady_clock::now();
+    out.snapshotUs = 1e6 * seconds(t0, t1) / kReps;
+
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i)
+        host.restore(snap);
+    t1 = std::chrono::steady_clock::now();
+    out.restoreUs = 1e6 * seconds(t0, t1) / kReps;
+
+    auto completions = [&] {
+        uint64_t n = 0;
+        for (const auto &j : jobs)
+            n += j->completed();
+        return n;
+    };
+
+    // One unmeasured round brings every restored vector back to
+    // capacity, so the measured replays see the steady state.
+    host.restore(snap);
+    sim.runUntil(kCheckpoint + kReplay);
+
+    uint64_t replay_allocs = 0;
+    uint64_t replay_bios = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+        host.restore(snap);
+        const uint64_t c0 = completions();
+        const uint64_t a0 =
+            g_heapAllocs.load(std::memory_order_relaxed);
+        sim.runUntil(kCheckpoint + kReplay);
+        replay_allocs += g_heapAllocs.load(
+                             std::memory_order_relaxed) -
+                         a0;
+        replay_bios += completions() - c0;
+    }
+    t1 = std::chrono::steady_clock::now();
+    out.branchesPerSec = kReps / seconds(t0, t1);
+    out.replayAllocsPerBio = static_cast<double>(replay_allocs) /
+                             static_cast<double>(replay_bios);
+    return out;
+}
+
 /**
  * `--check-allocs`: CI gate. Asserts the pooled bio path performs
  * (approximately) zero steady-state heap allocations per bio and
@@ -1087,6 +1189,25 @@ checkAllocs()
                      "across the K=4 sweep loop (limit %.2f) — the "
                      "multi-lane hot path is allocating\n",
                      sweep_allocs, kMaxSweepAllocsPerBio);
+        ok = false;
+    }
+
+    // Branch-replay lane: after a snapshot restore, the replayed
+    // timeline must run on the same zero-alloc fast path as the
+    // original (restores themselves allocate — heap bio clones,
+    // restored vectors — and are excluded from the window).
+    const SnapshotResult sr = snapshotRun();
+    std::printf("branch replay: %.4f allocs/bio over %d replays "
+                "(%.0f KiB, %.0f boxes per snapshot)\n",
+                sr.replayAllocsPerBio, 50,
+                sr.bytesPerHost / 1024.0, sr.boxesPerHost);
+    if (sr.replayAllocsPerBio > kMaxAllocsPerBio) {
+        std::fprintf(stderr,
+                     "FAIL: %.4f heap allocations per bio while "
+                     "replaying a restored branch (limit %.2f) — "
+                     "restore is knocking the fast path off its "
+                     "steady state\n",
+                     sr.replayAllocsPerBio, kMaxAllocsPerBio);
         ok = false;
     }
 
@@ -1195,6 +1316,9 @@ main(int argc, char **argv)
     const SweepVariance sv = sweepVariance(8, 2 * sim::kSec);
     const double sweep_allocs = sweepAllocsPerBio();
 
+    // Branchable-state costs (what-if service economics).
+    const SnapshotResult snap = snapshotRun();
+
     bench::Table table({"Path", "Current", "Seed replica",
                         "Speedup"});
     table.row({"schedule+fire (events/s)",
@@ -1239,6 +1363,17 @@ main(int argc, char **argv)
                bench::fmt("%.1fx", sv.reduction)});
     table.row({"sweep K=4 (allocs/generator bio)",
                bench::fmt("%.4f", sweep_allocs), "-", "-"});
+    table.row({"host snapshot (KiB / boxes)",
+               bench::fmt("%.0f", snap.bytesPerHost / 1024.0),
+               bench::fmt("%.0f", snap.boxesPerHost), "-"});
+    table.row({"snapshot / restore (us)",
+               bench::fmt("%.0f", snap.snapshotUs),
+               bench::fmt("%.0f", snap.restoreUs), "-"});
+    table.row({"branch replay 100ms (branches/s)",
+               bench::fmt("%.1f", snap.branchesPerSec), "-", "-"});
+    table.row({"branch replay (allocs/bio)",
+               bench::fmt("%.4f", snap.replayAllocsPerBio), "-",
+               "-"});
     table.print();
     std::printf("hardware threads: %u (parallel speedup is bounded "
                 "by this)\n", hw);
@@ -1305,6 +1440,14 @@ main(int argc, char **argv)
         "    \"independent_delta_stddev_us\": %.2f,\n"
         "    \"variance_reduction\": %.2f,\n"
         "    \"allocs_per_generator_bio\": %.4f\n"
+        "  },\n"
+        "  \"snapshot\": {\n"
+        "    \"bytes_per_host\": %.0f,\n"
+        "    \"boxes_per_host\": %.0f,\n"
+        "    \"snapshot_us\": %.1f,\n"
+        "    \"restore_us\": %.1f,\n"
+        "    \"branch_replays_100ms_per_sec\": %.2f,\n"
+        "    \"replay_allocs_per_bio\": %.4f\n"
         "  }\n"
         "}\n",
         sf.current, sf.legacy, sf.speedup, ch.current, ch.legacy,
@@ -1315,7 +1458,9 @@ main(int argc, char **argv)
         st.singleWall, st.sequentialWall, st.speedup, grid.size(),
         sg.singleWall, sg.sequentialWall, sg.speedup,
         sv.crnStddevUs, sv.indepStddevUs, sv.reduction,
-        sweep_allocs);
+        sweep_allocs, snap.bytesPerHost, snap.boxesPerHost,
+        snap.snapshotUs, snap.restoreUs, snap.branchesPerSec,
+        snap.replayAllocsPerBio);
     std::fclose(json);
     std::printf("wrote BENCH_kernel.json\n");
     return 0;

@@ -206,6 +206,64 @@ struct Bio
                        BioEndFn on_complete = {});
 };
 
+/**
+ * Deep-copy a bio for the snapshot path: all scalar fields plus
+ * cloned completion callbacks (which must have copyable captures —
+ * see InlineFunction::clone()).
+ *
+ * The clone is always heap-allocated, never pool-backed: a snapshot
+ * image may outlive the taking thread's arena or be destroyed from
+ * another thread, and BioPool is thread-local by design. Pool
+ * identity never enters simulation logic, so a restored in-flight
+ * bio completing as a heap bio is byte-identical to the original
+ * completing as a pool bio; the handful of heap clones a restore
+ * brings back (bounded by device queue depth) free themselves as
+ * they complete. Defined in bio_pool.hh.
+ */
+BioPtr cloneBio(const Bio &src);
+
+/**
+ * Copyable BioPtr holder for event captures.
+ *
+ * Event lambdas that own an in-flight bio (device completions, the
+ * block layer's retry backoff and submission-CPU hops) capture one
+ * of these instead of a raw BioPtr: moves behave exactly like
+ * BioPtr (same size, noexcept), and the copy constructor — reached
+ * only when the event arena is cloned into a snapshot — deep-clones
+ * the bio via cloneBio(). That one substitution is what makes every
+ * pending event in the simulator snapshot-copyable.
+ */
+class BioCapture
+{
+  public:
+    explicit BioCapture(BioPtr bio) : bio_(std::move(bio)) {}
+
+    BioCapture(BioCapture &&) noexcept = default;
+    BioCapture &operator=(BioCapture &&) noexcept = default;
+
+    BioCapture(const BioCapture &other)
+        : bio_(other.bio_ ? cloneBio(*other.bio_) : BioPtr())
+    {}
+
+    BioCapture &
+    operator=(const BioCapture &other)
+    {
+        if (this != &other)
+            bio_ = other.bio_ ? cloneBio(*other.bio_) : BioPtr();
+        return *this;
+    }
+
+    /** Move the bio out (the firing path). */
+    BioPtr take() { return std::move(bio_); }
+
+    Bio &operator*() { return *bio_; }
+    Bio *operator->() { return bio_.get(); }
+    explicit operator bool() const { return bio_ != nullptr; }
+
+  private:
+    BioPtr bio_;
+};
+
 } // namespace iocost::blk
 
 // The pool header completes BioDeleter and Bio::make; including it

@@ -256,6 +256,31 @@ Bio::make(Op op, uint64_t offset, uint32_t size,
                                  std::move(on_complete));
 }
 
+inline BioPtr
+cloneBio(const Bio &src)
+{
+    // Heap, not pool: see the declaration in bio.hh. The snapshot
+    // path is deliberately outside the zero-alloc budget.
+    Bio *out = new Bio;
+    out->id = src.id;
+    out->op = src.op;
+    out->offset = src.offset;
+    out->size = src.size;
+    out->cgroup = src.cgroup;
+    out->swap = src.swap;
+    out->meta = src.meta;
+    out->submitTime = src.submitTime;
+    out->dispatchTime = src.dispatchTime;
+    out->status = src.status;
+    out->retries = src.retries;
+    out->onComplete = src.onComplete.clone();
+    out->moreCompletions.reserve(src.moreCompletions.size());
+    for (const BioEndFn &fn : src.moreCompletions)
+        out->moreCompletions.push_back(fn.clone());
+    out->controllerScratch = src.controllerScratch;
+    return BioPtr(out);
+}
+
 } // namespace iocost::blk
 
 #endif // IOCOST_BLK_BIO_POOL_HH

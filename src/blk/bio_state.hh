@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Snapshot helpers for in-flight bios.
+ *
+ * Queued and in-flight bios are the one kind of simulator state
+ * that cannot be flattened onto the snapshot byte tape: they carry
+ * type-erased completion callbacks. Each bio is deep-cloned once
+ * into the image's box tape (immutable, shared across restores) and
+ * cloned back out on every restore, so a snapshot can seed any
+ * number of branches without aliasing.
+ */
+
+#ifndef IOCOST_BLK_BIO_STATE_HH
+#define IOCOST_BLK_BIO_STATE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "blk/bio.hh"
+#include "sim/state.hh"
+
+namespace iocost::blk {
+
+/** Box one bio into the snapshot image. */
+inline void
+saveBio(sim::StateWriter &w, const Bio &bio)
+{
+    // cloneBio() heap-allocates (pool == nullptr), so the default
+    // shared_ptr deleter is the right one and the image can be
+    // destroyed from any thread.
+    w.putBox(std::shared_ptr<const Bio>(cloneBio(bio).release()));
+}
+
+/** Clone the next boxed bio back out of the image. */
+inline BioPtr
+loadBio(sim::StateReader &r)
+{
+    return cloneBio(*r.getBoxAs<Bio>());
+}
+
+/** Save an ordered container of BioPtrs (deque/vector). */
+template <typename Container>
+inline void
+saveBioSeq(sim::StateWriter &w, const Container &bios)
+{
+    w.put(static_cast<uint64_t>(bios.size()));
+    for (const BioPtr &bio : bios)
+        saveBio(w, *bio);
+}
+
+/** Restore an ordered container of BioPtrs (deque/vector). */
+template <typename Container>
+inline void
+loadBioSeq(sim::StateReader &r, Container &bios)
+{
+    bios.clear();
+    const auto n = r.get<uint64_t>();
+    for (uint64_t i = 0; i < n; ++i)
+        bios.push_back(loadBio(r));
+}
+
+} // namespace iocost::blk
+
+#endif // IOCOST_BLK_BIO_STATE_HH

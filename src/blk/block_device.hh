@@ -16,6 +16,8 @@
 
 #include "blk/bio.hh"
 #include "sim/inline_function.hh"
+#include "sim/logging.hh"
+#include "sim/state.hh"
 #include "sim/time.hh"
 
 namespace iocost::stat {
@@ -98,6 +100,31 @@ class BlockDevice
      * default) costs one predictable branch on the submit path.
      */
     void setServiceLog(ServiceLog *log) { serviceLog_ = log; }
+
+    /**
+     * @name Snapshot support (sim::Snapshottable shape).
+     *
+     * A snapshottable device serializes its mutable spec, its jitter
+     * Rng, and every in-flight request (completion events themselves
+     * live in the event-queue arena and are cloned there). The
+     * defaults panic so an unported model fails loudly at snapshot
+     * time instead of silently diverging after restore.
+     * @{
+     */
+    virtual void
+    saveState(sim::StateWriter &) const
+    {
+        sim::panic("device model '" + modelName() +
+                   "' is not snapshottable");
+    }
+
+    virtual void
+    loadState(sim::StateReader &)
+    {
+        sim::panic("device model '" + modelName() +
+                   "' is not snapshottable");
+    }
+    /** @} */
 
   protected:
     /** The telemetry handle, or nullptr when never attached. */

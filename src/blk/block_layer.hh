@@ -141,7 +141,7 @@ class BlockLayer
     uint64_t mergedBios() const { return mergedBios_; }
 
     /** Simulation context. */
-    sim::Simulator &sim() { return sim_; }
+    sim::Simulator &sim() const { return sim_; }
 
     /** The cgroup hierarchy. */
     cgroup::CgroupTree &cgroups() { return tree_; }
@@ -202,6 +202,20 @@ class BlockLayer
         queueFullEvents_ = 0;
         return n;
     }
+
+    /**
+     * @name Snapshot support (sim::Snapshottable shape).
+     *
+     * Serializes the retry policy (what-if fault queries rewrite
+     * it), the parked dispatch FIFO, the per-cgroup accounting
+     * table, all counters, and the installed controller's state.
+     * The device is NOT covered here — the Host snapshots it
+     * separately, matching the ownership split.
+     * @{
+     */
+    void saveState(sim::StateWriter &w) const;
+    void loadState(sim::StateReader &r);
+    /** @} */
 
   private:
     void onDeviceComplete(BioPtr bio, sim::Time device_latency);

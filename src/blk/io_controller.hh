@@ -17,6 +17,7 @@
 
 #include "blk/bio.hh"
 #include "cgroup/cgroup_tree.hh"
+#include "sim/state.hh"
 #include "sim/time.hh"
 
 namespace iocost::blk {
@@ -145,9 +146,24 @@ class IoController
         layer_ = &layer;
     }
 
+    /**
+     * @name Snapshot support (sim::Snapshottable shape).
+     *
+     * Controllers serialize everything that evolves while bios flow:
+     * per-cgroup accounting, held bios, timer handles, latency
+     * windows. The defaults are no-ops — correct exactly for a
+     * controller with no mutable state (noop); every stateful
+     * controller overrides both.
+     * @{
+     */
+    virtual void saveState(sim::StateWriter &w) const { (void)w; }
+    virtual void loadState(sim::StateReader &r) { (void)r; }
+    /** @} */
+
   protected:
     /** The owning block layer (valid after attach()). */
     BlockLayer &layer() { return *layer_; }
+    const BlockLayer &layer() const { return *layer_; }
 
   private:
     BlockLayer *layer_ = nullptr;

@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/state.hh"
+
 namespace iocost::cgroup {
 
 /** Index of a cgroup within its tree. */
@@ -157,6 +159,24 @@ class CgroupTree
     /** @return true if @p ancestor is on the path from @p id to root
      *  (a group is its own ancestor). */
     bool isAncestor(CgroupId ancestor, CgroupId id) const;
+
+    /**
+     * @name Snapshot support.
+     *
+     * Structure (parent links, names) is identity and must match at
+     * load time — snapshots roll state back, they never create or
+     * destroy cgroups. The per-node *mutable hweight caches* are
+     * serialized too, deliberately: refreshCache() tests
+     * `cacheGen == generation_` for equality, so a branch that
+     * bumped the generation and stamped fresh caches could collide
+     * with a replayed timeline reaching the same generation number
+     * — restoring the caches verbatim closes that hole and costs a
+     * few doubles per node.
+     * @{
+     */
+    void saveState(sim::StateWriter &w) const;
+    void loadState(sim::StateReader &r);
+    /** @} */
 
   private:
     struct Node

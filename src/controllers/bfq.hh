@@ -79,6 +79,9 @@ class Bfq : public blk::IoController
     /** Currently in-service cgroup, or kNone. */
     cgroup::CgroupId inService() const { return inService_; }
 
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+
   private:
     struct Queue
     {

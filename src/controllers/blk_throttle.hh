@@ -73,6 +73,9 @@ class BlkThrottle : public blk::IoController
 
     void onSubmit(blk::BioPtr bio) override;
 
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+
   private:
     struct State
     {

@@ -85,6 +85,9 @@ class IoLatency : public blk::IoController
     /** Current depth limit of @p cg (for tests). */
     unsigned depthLimit(cgroup::CgroupId cg);
 
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+
   private:
     struct State
     {

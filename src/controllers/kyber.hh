@@ -69,6 +69,9 @@ class Kyber : public blk::IoController
     /** Current adaptive write depth (for tests). */
     unsigned writeDepth() const { return writeDepth_; }
 
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+
   private:
     void pump();
     void adjust();

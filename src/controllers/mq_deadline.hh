@@ -60,6 +60,9 @@ class MqDeadline : public blk::IoController
     void onComplete(const blk::Bio &bio,
                     const blk::CompletionInfo &info) override;
 
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+
   private:
     bool deviceHasRoom() const;
     void pump();

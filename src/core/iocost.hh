@@ -173,6 +173,22 @@ class IoCost : public blk::IoController
     /** Run one planning pass now (tests drive this directly). */
     void runPlanning();
 
+    /**
+     * @name Snapshot support.
+     *
+     * Everything the issue and planning paths evolve is serialized:
+     * the per-iocg table (including throttled bios and kick timers),
+     * the global vtime/vrate couple, the QoS latency windows, and
+     * the planning timer. The model and QoS parameters ride along
+     * too — what-if queries mutate them (setModel), so a restore
+     * must roll them back. donorScratch_/donationScratch_ are
+     * scratch capacity, not state.
+     * @{
+     */
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+    /** @} */
+
   private:
     /** Per-cgroup controller state ("iocg"). */
     struct Iocg

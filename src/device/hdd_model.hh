@@ -73,6 +73,13 @@ class HddModel : public blk::BlockDevice
 
     const HddSpec &spec() const { return spec_; }
 
+    /** Replace the spec (what-if device-profile queries); the spec
+     *  is serialized state, so restore rolls a swap back. */
+    void setSpec(HddSpec spec) { spec_ = std::move(spec); }
+
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+
   private:
     struct Pending
     {

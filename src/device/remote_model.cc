@@ -77,9 +77,10 @@ RemoteModel::submit(blk::BioPtr &bio)
     // Ownership moves into the completion event's inline storage —
     // no trampoline, no allocation.
     sim_.at(std::max(done, now + 1),
-            [this, owned = std::move(bio), now]() mutable {
+            [this, owned = blk::BioCapture(std::move(bio)),
+             now]() mutable {
                 --inFlight_;
-                finish(std::move(owned), sim_.now() - now);
+                finish(owned.take(), sim_.now() - now);
             });
     return true;
 }

@@ -62,6 +62,46 @@ class RemoteModel : public blk::BlockDevice
 
     const RemoteSpec &spec() const { return spec_; }
 
+    /** Replace the spec (what-if device-profile queries); the spec
+     *  is serialized state, so restore rolls a swap back. */
+    void setSpec(RemoteSpec spec) { spec_ = std::move(spec); }
+
+    void
+    saveState(sim::StateWriter &w) const override
+    {
+        w.putString(spec_.name);
+        w.put(spec_.queueDepth);
+        w.put(spec_.iopsCap);
+        w.put(spec_.bpsCap);
+        w.put(spec_.baseRtt);
+        w.put(spec_.rttSigma);
+        w.put(spec_.nsPerByte);
+        uint64_t s[4];
+        rng_.getState(s);
+        for (uint64_t word : s)
+            w.put(word);
+        w.put(limiterNext_);
+        w.put(inFlight_);
+    }
+
+    void
+    loadState(sim::StateReader &r) override
+    {
+        spec_.name = r.getString();
+        r.get(spec_.queueDepth);
+        r.get(spec_.iopsCap);
+        r.get(spec_.bpsCap);
+        r.get(spec_.baseRtt);
+        r.get(spec_.rttSigma);
+        r.get(spec_.nsPerByte);
+        uint64_t s[4];
+        for (uint64_t &word : s)
+            r.get(word);
+        rng_.setState(s);
+        r.get(limiterNext_);
+        r.get(inFlight_);
+    }
+
   private:
     sim::Simulator &sim_;
     RemoteSpec spec_;

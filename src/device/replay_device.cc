@@ -132,9 +132,10 @@ ReplayDevice::completeIn(blk::BioPtr bio, sim::Time duration,
     // completion event's inline storage, no allocation.
     const sim::Time now = sim_.now();
     sim_.at(now + duration,
-            [this, owned = std::move(bio), now]() mutable {
+            [this, owned = blk::BioCapture(std::move(bio)),
+             now]() mutable {
                 --inFlight_;
-                finish(std::move(owned), sim_.now() - now);
+                finish(owned.take(), sim_.now() - now);
             });
 }
 

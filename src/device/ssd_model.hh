@@ -124,6 +124,19 @@ class SsdModel : public blk::BlockDevice
     /** Injected firmware hiccups so far. */
     uint64_t hiccups() const { return hiccups_; }
 
+    /**
+     * Replace the spec (what-if device-profile queries). The spec is
+     * mutable state — it is serialized by saveState so a restore
+     * rolls a profile change back. Queue depth must not shrink below
+     * the in-flight count; callers swap profiles at a checkpoint,
+     * where the block layer has quiesced nothing — so the new depth
+     * simply takes effect for future admissions.
+     */
+    void setSpec(SsdSpec spec) { spec_ = std::move(spec); }
+
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+
   private:
     sim::Time serviceTime(const blk::Bio &bio);
     void refillWriteCredit();

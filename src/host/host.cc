@@ -1,5 +1,7 @@
 #include "host/host.hh"
 
+#include "sim/logging.hh"
+
 namespace iocost::host {
 
 Host::Host(sim::Simulator &sim,
@@ -19,9 +21,11 @@ Host::Host(sim::Simulator &sim,
         layer_->setTelemetrySink(opts.telemetrySink);
     layer_->telemetry().setDetail(opts.telemetryDetail);
 
-    if (!opts.faults.empty()) {
+    if (!opts.faults.empty() || opts.installFaultInjector) {
         // Throws std::invalid_argument on a malformed spec — before
-        // any IO runs, so a bad --faults string fails loudly.
+        // any IO runs, so a bad --faults string fails loudly. An
+        // empty spec (installFaultInjector) parses to the empty
+        // plan: zero windows, default retry policy.
         sim::FaultPlan plan = sim::FaultPlan::parse(opts.faults);
         blk::BlockLayer::RetryPolicy retry;
         retry.maxRetries = plan.maxRetries;
@@ -40,6 +44,80 @@ Host::Host(sim::Simulator &sim,
         mm_ = std::make_unique<mm::MemoryManager>(sim_, *layer_,
                                                   opts.memoryConfig);
     }
+}
+
+HostSnapshot
+Host::snapshot() const
+{
+    sim::panicIf(mm_ != nullptr,
+                 "Host::snapshot: the memory manager is not "
+                 "snapshottable (async-loop closures alias "
+                 "shared_ptr state); build what-if scenarios "
+                 "without enableMemory");
+
+    // Tape order is the restore order; every layer appears exactly
+    // once. The simulator (event arena + clock + root RNG) goes
+    // first so a restore rebuilds the arena before any component
+    // rebinds its EventHandles against it.
+    sim::StateWriter w;
+    sim_.saveState(w);
+    tree_.saveState(w);
+    device_->saveState(w);
+    layer_->saveState(w);
+    w.put(faults_ != nullptr);
+    if (faults_)
+        faults_->saveState(w);
+    w.put(static_cast<uint32_t>(tracked_.size()));
+    for (const sim::Snapshottable *obj : tracked_)
+        obj->saveState(w);
+
+    HostSnapshot snap;
+    snap.image_ = std::move(w).finish();
+    return snap;
+}
+
+void
+Host::restore(const HostSnapshot &snap)
+{
+    sim::StateReader r(snap.image_);
+    sim_.loadState(r);
+    tree_.loadState(r);
+    device_->loadState(r);
+    layer_->loadState(r);
+    const bool had_faults = r.get<bool>();
+    sim::panicIf(had_faults != (faults_ != nullptr),
+                 "Host::restore: fault injector presence mismatch — "
+                 "snapshots restore state, not structure");
+    if (faults_)
+        faults_->loadState(r);
+    const auto tracked = r.get<uint32_t>();
+    sim::panicIf(tracked != tracked_.size(),
+                 "Host::restore: tracked-object count mismatch — "
+                 "register the same workloads in the same order");
+    for (sim::Snapshottable *obj : tracked_)
+        obj->loadState(r);
+    sim::panicIf(!r.atEnd(),
+                 "Host::restore: trailing bytes in snapshot image");
+}
+
+BranchScope::BranchScope(Host &host)
+    : host_(host), snap_(host.snapshot())
+{
+    // Branch telemetry must not interleave into the baseline's
+    // stream: fork the sink (fresh ring, fresh null) or run the
+    // branch disconnected when the sink is not duplicable (a JSONL
+    // file — two writers would corrupt it).
+    baselineSink_ = host_.layer().telemetry().sink();
+    if (baselineSink_ != nullptr) {
+        branchSink_ = baselineSink_->fork();
+        host_.layer().setTelemetrySink(branchSink_.get());
+    }
+}
+
+BranchScope::~BranchScope()
+{
+    host_.restore(snap_);
+    host_.layer().setTelemetrySink(baselineSink_);
 }
 
 } // namespace iocost::host

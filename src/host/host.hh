@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "blk/block_device.hh"
 #include "blk/block_layer.hh"
@@ -23,6 +24,7 @@
 #include "mm/memory_manager.hh"
 #include "sim/fault.hh"
 #include "sim/simulator.hh"
+#include "sim/state.hh"
 
 namespace iocost::host {
 
@@ -73,6 +75,79 @@ struct HostOptions
      * seed so hosts decorrelate deterministically).
      */
     uint64_t faultSeedMix = 0;
+
+    /**
+     * Install a FaultInjector even when `faults` is empty (an empty
+     * plan: zero windows, default retry policy — behaviorally
+     * identical to no injector). The what-if service sets this so
+     * inject-fault queries can add windows to an otherwise healthy
+     * scenario; the injector must exist *before* the baseline runs
+     * or its presence would not survive snapshot/restore.
+     */
+    bool installFaultInjector = false;
+};
+
+class Host;
+
+/**
+ * An immutable image of one Host's complete mutable state: event
+ * arena, clocks, RNGs, cgroup weights, in-flight and queued bios,
+ * controller accounting, device internals, workload cursors.
+ *
+ * Snapshots are value objects: copyable, thread-safe to destroy
+ * anywhere (all boxed bios are heap-backed), and restorable any
+ * number of times — each restore clones queued bios afresh, so two
+ * branches seeded from one snapshot never alias.
+ */
+class HostSnapshot
+{
+  public:
+    HostSnapshot() = default;
+
+    /** Image size in bytes (perf_kernel tracks this). */
+    size_t byteSize() const { return image_.byteSize(); }
+
+    /** Deep-cloned objects (bios, event callbacks) in the image. */
+    size_t boxCount() const { return image_.boxCount(); }
+
+    /**
+     * The raw image. The byte tape is a deterministic function of
+     * host state, so tests compare two hosts for state equality by
+     * comparing `image().bytes` (boxed bios live behind pointers
+     * and are excluded from the byte comparison).
+     */
+    const sim::StateImage &image() const { return image_; }
+
+  private:
+    friend class Host;
+    sim::StateImage image_;
+};
+
+/**
+ * RAII what-if branch: construction snapshots the host and swaps
+ * its telemetry to a forked (or disconnected) sink; destruction
+ * restores the snapshot and reinstalls the baseline sink. Run any
+ * hypothetical inside the scope — weight changes, fault windows,
+ * model swaps, more simulated time — and the host rolls back to the
+ * branch point, byte-identical, when the scope ends.
+ */
+class BranchScope
+{
+  public:
+    explicit BranchScope(Host &host);
+    ~BranchScope();
+
+    BranchScope(const BranchScope &) = delete;
+    BranchScope &operator=(const BranchScope &) = delete;
+
+    /** The branch-point image (restorable again later). */
+    const HostSnapshot &snapshot() const { return snap_; }
+
+  private:
+    Host &host_;
+    HostSnapshot snap_;
+    stat::TelemetrySink *baselineSink_ = nullptr;
+    std::unique_ptr<stat::TelemetrySink> branchSink_;
 };
 
 /**
@@ -137,6 +212,46 @@ class Host
     /** The fault injector, or nullptr for a healthy device. */
     sim::FaultInjector *faults() { return faults_.get(); }
 
+    /**
+     * Register an external mutable-state object (a workload) with
+     * the snapshot machinery. Registration order defines the tape
+     * layout, so callers must track the same objects in the same
+     * order on every host built from one scenario — the natural
+     * consequence of deterministic construction. The object must
+     * outlive the host's last snapshot()/restore() call.
+     */
+    void track(sim::Snapshottable &obj) { tracked_.push_back(&obj); }
+
+    /**
+     * Capture the host's complete mutable state. Panics when the
+     * memory manager is enabled (its async-loop closures alias
+     * shared_ptr state the tape cannot clone) — what-if scenarios
+     * model IO control, not reclaim.
+     */
+    HostSnapshot snapshot() const;
+
+    /**
+     * Roll every layer back to @p snap, in place: captured `this`
+     * pointers in restored event callbacks stay valid because the
+     * object graph never moves. The same snapshot may be restored
+     * any number of times. This is also the ONE way to reset a host
+     * for re-runs — snapshot the pristine (or post-warmup) state
+     * once and restore instead of rebuilding or hand-resetting.
+     */
+    void restore(const HostSnapshot &snap);
+
+    /** Open a what-if branch at the current instant (see
+     *  BranchScope). */
+    BranchScope branch() { return BranchScope(*this); }
+
+    /**
+     * The one documented stats-boundary reset (warmup ends here):
+     * clears the block layer's per-cgroup accounting. Workload
+     * counters reset through their own resetStats() — or, better,
+     * snapshot() at the boundary and restore() to re-run.
+     */
+    void resetStats() { layer_->resetStats(); }
+
   private:
     sim::Simulator &sim_;
     std::unique_ptr<blk::BlockDevice> device_;
@@ -148,6 +263,8 @@ class Host
     cgroup::CgroupId system_ = cgroup::kNone;
     cgroup::CgroupId hostCritical_ = cgroup::kNone;
     cgroup::CgroupId workload_ = cgroup::kNone;
+    /** Externally owned snapshot participants, in track() order. */
+    std::vector<sim::Snapshottable *> tracked_;
 };
 
 } // namespace iocost::host

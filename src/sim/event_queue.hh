@@ -31,9 +31,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/inline_function.hh"
+#include "sim/state.hh"
 #include "sim/time.hh"
 
 namespace iocost::sim {
@@ -200,6 +202,88 @@ class EventQueue
             ++executed;
         return executed;
     }
+
+    /**
+     * @name Snapshot support
+     *
+     * The whole slot arena is cloned wholesale: every live
+     * callback's capture is copied into the image (so the snapshot
+     * owns independent state) while the heap keys, slot indices and
+     * generation counters are preserved *exactly*. Preserving
+     * (when, seq) keys — rather than re-registering events — is
+     * what keeps tie-break order, and therefore the simulation,
+     * byte-identical after a restore. Saved EventHandles are
+     * revalidated for free: a handle is (slot, generation), and
+     * both roll back with the arena.
+     *
+     * Requires every pending callback to be cloneable (copyable
+     * capture); clone() aborts otherwise.
+     * @{
+     */
+
+    void
+    saveState(StateWriter &w) const
+    {
+        w.put(now_);
+        w.put(nextSeq_);
+        w.put(freeHead_);
+        w.putPods(heap_);
+        w.put(static_cast<uint32_t>(slots_.size()));
+        for (const Slot &s : slots_) {
+            w.put(s.gen);
+            w.put(s.nextFree);
+            const bool armed = static_cast<bool>(s.cb);
+            w.put(armed);
+            if (armed) {
+                w.putBox(std::make_shared<const EventCallback>(
+                    s.cb.clone()));
+            }
+        }
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        r.get(now_);
+        r.get(nextSeq_);
+        r.get(freeHead_);
+        r.getPods(heap_);
+        const auto n = r.get<uint32_t>();
+        // Destroy current callbacks first: post-snapshot events may
+        // hold resources (pooled bios) that must return to their
+        // owners before the restored callbacks re-clone theirs.
+        slots_.clear();
+        slots_.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+            Slot &s = slots_[i];
+            r.get(s.gen);
+            r.get(s.nextFree);
+            if (r.get<bool>())
+                s.cb = r.getBoxAs<EventCallback>()->clone();
+        }
+    }
+
+    /** Persist a component's EventHandle as its (slot, generation)
+     *  coordinates; valid again after the arena is restored. */
+    void
+    saveHandle(StateWriter &w, const EventHandle &h) const
+    {
+        w.put(h.queue_ != nullptr);
+        w.put(h.slot_);
+        w.put(h.gen_);
+    }
+
+    /** Rebind a handle saved by saveHandle() to this queue. */
+    EventHandle
+    loadHandle(StateReader &r)
+    {
+        const bool bound = r.get<bool>();
+        const auto slot = r.get<uint32_t>();
+        const auto gen = r.get<uint32_t>();
+        return bound ? EventHandle(this, slot, gen) : EventHandle();
+    }
+
+    /** @} */
 
   private:
     friend class EventHandle;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "sim/rng.hh"
+#include "sim/state.hh"
 #include "sim/time.hh"
 
 namespace iocost::sim {
@@ -223,6 +224,65 @@ class FaultInjector
 
     /** Requests failed by error windows so far. */
     uint64_t errorsInjected() const { return errorsInjected_; }
+
+    /**
+     * Append a window to the installed plan. What-if queries use
+     * this to stack a hypothetical fault onto an existing schedule;
+     * determinism is unaffected because the error-draw Rng is part
+     * of snapshot state and windows are evaluated by wall time.
+     */
+    void addWindow(const FaultWindow &w) { plan_.windows.push_back(w); }
+
+    /** @name Snapshot support (the whole plan is state: what-if
+     *  queries mutate it, so restore must roll it back too).
+     *  @{ */
+    void
+    saveState(StateWriter &w) const
+    {
+        // Field-by-field, not putPods: FaultWindow carries padding
+        // after its uint8 kind, and raw padding bytes would make
+        // the tape differ between byte-identical states.
+        w.put(static_cast<uint64_t>(plan_.windows.size()));
+        for (const FaultWindow &win : plan_.windows) {
+            w.put(static_cast<uint8_t>(win.kind));
+            w.put(win.start);
+            w.put(win.duration);
+            w.put(win.param);
+        }
+        w.put(plan_.seed);
+        w.put(plan_.maxRetries);
+        w.put(plan_.retryBackoffBase);
+        w.put(plan_.bioTimeout);
+        uint64_t s[4];
+        rng_.getState(s);
+        for (uint64_t word : s)
+            w.put(word);
+        w.put(lastStallReported_);
+        w.put(errorsInjected_);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        plan_.windows.resize(r.get<uint64_t>());
+        for (FaultWindow &win : plan_.windows) {
+            win.kind = static_cast<FaultKind>(r.get<uint8_t>());
+            r.get(win.start);
+            r.get(win.duration);
+            r.get(win.param);
+        }
+        r.get(plan_.seed);
+        r.get(plan_.maxRetries);
+        r.get(plan_.retryBackoffBase);
+        r.get(plan_.bioTimeout);
+        uint64_t s[4];
+        for (uint64_t &word : s)
+            r.get(word);
+        rng_.setState(s);
+        r.get(lastStallReported_);
+        r.get(errorsInjected_);
+    }
+    /** @} */
 
   private:
     FaultPlan plan_;

@@ -41,6 +41,15 @@ class FifoRing
     T &front() { return buf_[head_]; }
     const T &front() const { return buf_[head_]; }
 
+    /** Element @p i positions behind the head (0 = front). Exists so
+     *  snapshot code can walk a queue without draining it. */
+    T &at(size_t i) { return buf_[(head_ + i) & (buf_.size() - 1)]; }
+    const T &
+    at(size_t i) const
+    {
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
     /** Removes and default-resets the head slot, so owning element
      *  types (BioPtr) release their resource immediately. */
     void

@@ -17,12 +17,19 @@
  * Move-only by design: events fire exactly once and a bio completes
  * exactly once, so copying a callback is always a bug (it was also
  * the seed kernel's main per-event cost, see EventQueue::step()).
+ * The one deliberate exception is clone(), the snapshot path: a
+ * held callable whose capture is copy-constructible can be
+ * duplicated into a snapshot image, and restoring clones it back.
+ * Callables with move-only captures report cloneable() == false and
+ * make the enclosing component non-snapshottable.
  */
 
 #ifndef IOCOST_SIM_INLINE_FUNCTION_HH
 #define IOCOST_SIM_INLINE_FUNCTION_HH
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -152,6 +159,40 @@ class InlineFunction<R(Args...), N>
     explicit operator bool() const { return vtable_ != nullptr; }
 
     /**
+     * @return true if empty or the held callable's capture is
+     * copy-constructible (i.e. clone() would succeed).
+     */
+    bool
+    cloneable() const
+    {
+        return vtable_ == nullptr || vtable_->clone != nullptr;
+    }
+
+    /**
+     * Duplicate the held callable (the snapshot path; never hot).
+     * Aborts on a move-only capture: snapshotting a component whose
+     * pending callbacks cannot be copied is a contract violation the
+     * caller must rule out up front, not a recoverable condition.
+     */
+    InlineFunction
+    clone() const
+    {
+        InlineFunction out;
+        if (vtable_ != nullptr) {
+            if (vtable_->clone == nullptr) {
+                std::fprintf(stderr,
+                             "panic: InlineFunction::clone() on a "
+                             "move-only capture — this callback "
+                             "cannot be snapshotted\n");
+                std::abort();
+            }
+            vtable_->clone(out.storage_, storage_);
+            out.vtable_ = vtable_;
+        }
+        return out;
+    }
+
+    /**
      * @return true if the held callable (if any) lives in the inline
      * buffer. Exposed so tests can pin the capture-size budget of
      * hot-path call sites.
@@ -189,8 +230,44 @@ class InlineFunction<R(Args...), N>
         void (*destroy)(void *);
         /** Vacate src, then run the callable (see consumeInvoke). */
         R (*consume)(void *src, Args &&...);
+        /** Copy-construct into dst from src (the snapshot path);
+         *  nullptr for move-only captures. */
+        void (*clone)(void *dst, const void *src);
         bool inlineStored;
     };
+
+    using CloneFn = void (*)(void *, const void *);
+
+    /** clone entry for the inline table: copy in place, or nullptr
+     *  when the capture is move-only. */
+    template <typename Fn>
+    static constexpr CloneFn
+    inlineCloneFor()
+    {
+        if constexpr (std::is_copy_constructible_v<Fn>) {
+            return [](void *dst, const void *src) {
+                ::new (dst) Fn(*std::launder(
+                    reinterpret_cast<const Fn *>(src)));
+            };
+        } else {
+            return nullptr;
+        }
+    }
+
+    /** clone entry for the heap table: copy to a fresh heap cell. */
+    template <typename Fn>
+    static constexpr CloneFn
+    heapCloneFor()
+    {
+        if constexpr (std::is_copy_constructible_v<Fn>) {
+            return [](void *dst, const void *src) {
+                *reinterpret_cast<Fn **>(dst) = new Fn(
+                    **reinterpret_cast<Fn *const *>(src));
+            };
+        } else {
+            return nullptr;
+        }
+    }
 
     template <typename Fn>
     static constexpr VTable kInlineVtable = {
@@ -212,6 +289,7 @@ class InlineFunction<R(Args...), N>
             s->~Fn();
             return local(std::forward<Args>(args)...);
         },
+        inlineCloneFor<Fn>(),
         true,
     };
 
@@ -237,6 +315,7 @@ class InlineFunction<R(Args...), N>
             } del{p};
             return (*p)(std::forward<Args>(args)...);
         },
+        heapCloneFor<Fn>(),
         false,
     };
 
@@ -246,6 +325,30 @@ class InlineFunction<R(Args...), N>
 
 /** The event queue's callback type (the historical name). */
 using InlineCallback = InlineFunction<void(), 48>;
+
+/**
+ * Capture wrapper that makes a lambda *detectably* non-copyable.
+ *
+ * std::vector<move-only T> still advertises a copy constructor
+ * (std::is_copy_constructible_v is true; instantiating the copy is
+ * ill-formed), so a lambda capturing such a container by value sends
+ * inlineCloneFor down the copy branch and the build fails inside
+ * vector's copy. Capturing `MoveOnly(std::move(v))` instead turns
+ * the trait honest: the clone slot becomes nullptr and the callback
+ * is simply not snapshottable — clone() aborts loudly if a snapshot
+ * ever reaches it.
+ */
+template <typename T>
+struct MoveOnly
+{
+    T value;
+
+    explicit MoveOnly(T v) : value(std::move(v)) {}
+    MoveOnly(MoveOnly &&) = default;
+    MoveOnly &operator=(MoveOnly &&) = default;
+    MoveOnly(const MoveOnly &) = delete;
+    MoveOnly &operator=(const MoveOnly &) = delete;
+};
 
 } // namespace iocost::sim
 

@@ -137,6 +137,25 @@ class Rng
         return Rng((*this)());
     }
 
+    /** @name Snapshot support: the four state words, verbatim.
+     *  (Plain accessors, not StateWriter hooks, so this header
+     *  stays dependency-free.)
+     *  @{ */
+    void
+    getState(uint64_t out[4]) const
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = state_[i];
+    }
+
+    void
+    setState(const uint64_t in[4])
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = in[i];
+    }
+    /** @} */
+
   private:
     static constexpr uint64_t
     rotl(uint64_t x, int k)

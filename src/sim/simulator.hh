@@ -67,6 +67,31 @@ class Simulator
     /** Fork an independent deterministic RNG stream. */
     Rng forkRng() { return rootRng_.fork(); }
 
+    /** @name Snapshot support: clock, event arena, root RNG.
+     *  @{ */
+    void
+    saveState(StateWriter &w) const
+    {
+        events_.saveState(w);
+        uint64_t s[4];
+        rootRng_.getState(s);
+        w.put(s[0]);
+        w.put(s[1]);
+        w.put(s[2]);
+        w.put(s[3]);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        events_.loadState(r);
+        uint64_t s[4];
+        for (auto &word : s)
+            r.get(word);
+        rootRng_.setState(s);
+    }
+    /** @} */
+
   private:
     EventQueue events_;
     Rng rootRng_;
@@ -121,6 +146,32 @@ class PeriodicTimer
 
     /** @return true if the timer is armed. */
     bool running() const { return running_; }
+
+    /**
+     * @name Snapshot support.
+     *
+     * The pending tick lives in the event arena (captured as
+     * Tick{this}, which stays valid across an in-place restore), so
+     * only the handle coordinates and the armed flag are state
+     * here; cb_ is wiring, not state.
+     * @{
+     */
+    void
+    saveState(StateWriter &w) const
+    {
+        w.put(running_);
+        w.put(period_);
+        sim_.events().saveHandle(w, pending_);
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        r.get(running_);
+        r.get(period_);
+        pending_ = sim_.events().loadHandle(r);
+    }
+    /** @} */
 
   private:
     /**

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Snapshot substrate: the Snapshottable contract plus the state
+ * tapes it serializes through.
+ *
+ * A snapshot is two tapes:
+ *
+ *  - a **byte tape** of trivially-copyable values (counters, clocks,
+ *    heap keys, histogram buckets). Every value carries a one-byte
+ *    type tag so a reader that drifts out of phase with its writer
+ *    panics at the first misaligned field instead of silently
+ *    reinterpreting garbage;
+ *  - a **box tape** of shared_ptr-held live objects for state that
+ *    cannot be flattened to bytes — cloned event callbacks and
+ *    deep-cloned in-flight bios. Boxes are immutable once written:
+ *    every restore *clones out of* the box again, so one snapshot
+ *    can be restored any number of times (that is what makes
+ *    Host::branch() cheap — branches share the snapshot, never
+ *    mutate it).
+ *
+ * Writers and readers must put/get in exactly the same order; the
+ * contract is positional, like the kernel's own suspend images.
+ * saveState() must be const — taking a snapshot never perturbs the
+ * simulation (determinism depends on it).
+ */
+
+#ifndef IOCOST_SIM_STATE_HH
+#define IOCOST_SIM_STATE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace iocost::sim {
+
+/** One serialized snapshot: byte tape plus box tape. */
+struct StateImage
+{
+    std::vector<unsigned char> bytes;
+    std::vector<std::shared_ptr<const void>> boxes;
+
+    /** Flat size of the byte tape (the tracked bytes-per-host
+     *  metric; boxed objects are counted separately). */
+    size_t byteSize() const { return bytes.size(); }
+    size_t boxCount() const { return boxes.size(); }
+};
+
+/** Sequential writer building a StateImage. */
+class StateWriter
+{
+  public:
+    /** Append one trivially-copyable value. */
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "put() is for trivially-copyable values");
+        tag(podTag<T>());
+        raw(&v, sizeof(T));
+    }
+
+    /** Append a length-prefixed string. */
+    void
+    putString(std::string_view s)
+    {
+        tag(kTagString);
+        const uint64_t n = s.size();
+        raw(&n, sizeof(n));
+        raw(s.data(), s.size());
+    }
+
+    /** Append a length-prefixed array of trivially-copyable
+     *  elements (vector<T>, deque-backed copies, raw spans). */
+    template <typename T>
+    void
+    putPods(const T *data, size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "putPods() is for trivially-copyable element "
+                      "types");
+        tag(kTagArray);
+        tag(podTag<T>());
+        const uint64_t n = count;
+        raw(&n, sizeof(n));
+        raw(data, count * sizeof(T));
+    }
+
+    template <typename T>
+    void
+    putPods(const std::vector<T> &v)
+    {
+        putPods(v.data(), v.size());
+    }
+
+    /** Append a boxed live object (cloned callback, cloned bio). */
+    void
+    putBox(std::shared_ptr<const void> box)
+    {
+        tag(kTagBox);
+        img_.boxes.push_back(std::move(box));
+    }
+
+    size_t byteSize() const { return img_.bytes.size(); }
+
+    /** Hand over the finished image. */
+    StateImage finish() && { return std::move(img_); }
+
+  private:
+    friend class StateReader;
+
+    /** Type tags: pods encode their size so a misaligned reader
+     *  trips immediately; containers get distinct markers. */
+    static constexpr unsigned char kTagString = 0x01;
+    static constexpr unsigned char kTagArray = 0x02;
+    static constexpr unsigned char kTagBox = 0x03;
+
+    template <typename T>
+    static constexpr unsigned char
+    podTag()
+    {
+        return static_cast<unsigned char>(0x40 +
+                                          (sizeof(T) & 0x3F));
+    }
+
+    void tag(unsigned char t) { img_.bytes.push_back(t); }
+
+    void
+    raw(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        img_.bytes.insert(img_.bytes.end(), b, b + n);
+    }
+
+    StateImage img_;
+};
+
+/**
+ * Sequential reader over a StateImage. Reads must mirror the writes
+ * exactly; any divergence panics (a snapshot format bug, never a
+ * user error).
+ */
+class StateReader
+{
+  public:
+    explicit StateReader(const StateImage &img) : img_(&img) {}
+
+    template <typename T>
+    void
+    get(T &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "get() is for trivially-copyable values");
+        expect(StateWriter::podTag<T>(), "pod");
+        copyOut(&out, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    get()
+    {
+        T out{};
+        get(out);
+        return out;
+    }
+
+    std::string
+    getString()
+    {
+        expect(StateWriter::kTagString, "string");
+        uint64_t n = 0;
+        copyOut(&n, sizeof(n));
+        checkAvail(n);
+        std::string s(reinterpret_cast<const char *>(
+                          img_->bytes.data() + pos_),
+                      n);
+        pos_ += n;
+        return s;
+    }
+
+    template <typename T>
+    void
+    getPods(std::vector<T> &out)
+    {
+        expect(StateWriter::kTagArray, "array");
+        expect(StateWriter::podTag<T>(), "array element");
+        uint64_t n = 0;
+        copyOut(&n, sizeof(n));
+        checkAvail(n * sizeof(T));
+        out.resize(n);
+        if (n > 0) {
+            std::memcpy(out.data(), img_->bytes.data() + pos_,
+                        n * sizeof(T));
+        }
+        pos_ += n * sizeof(T);
+    }
+
+    /** Next box, untyped. */
+    std::shared_ptr<const void>
+    getBox()
+    {
+        expect(StateWriter::kTagBox, "box");
+        panicIf(boxPos_ >= img_->boxes.size(),
+                "snapshot box tape exhausted");
+        return img_->boxes[boxPos_++];
+    }
+
+    /** Next box, cast to the type the writer stored. */
+    template <typename T>
+    std::shared_ptr<const T>
+    getBoxAs()
+    {
+        return std::static_pointer_cast<const T>(getBox());
+    }
+
+    /** True when both tapes are fully consumed. */
+    bool
+    atEnd() const
+    {
+        return pos_ == img_->bytes.size() &&
+               boxPos_ == img_->boxes.size();
+    }
+
+  private:
+    void
+    expect(unsigned char t, const char *what)
+    {
+        checkAvail(1);
+        const unsigned char got = img_->bytes[pos_++];
+        if (got != t) {
+            panic(std::string("snapshot tape mismatch reading ") +
+                  what + ": writer and reader are out of phase");
+        }
+    }
+
+    void
+    checkAvail(uint64_t n)
+    {
+        panicIf(pos_ + n > img_->bytes.size(),
+                "snapshot byte tape exhausted");
+    }
+
+    void
+    copyOut(void *out, size_t n)
+    {
+        checkAvail(n);
+        std::memcpy(out, img_->bytes.data() + pos_, n);
+        pos_ += n;
+    }
+
+    const StateImage *img_;
+    size_t pos_ = 0;
+    size_t boxPos_ = 0;
+};
+
+/**
+ * The snapshot contract every mutable-state layer implements.
+ *
+ * loadState() restores *in place*: the object keeps its identity
+ * (address, wiring to neighbors) and only its mutable state rolls
+ * back. That is what lets event callbacks capture raw `this`
+ * pointers and survive a restore — the pointers stay valid because
+ * the objects never move.
+ */
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+
+    /** Serialize all mutable state. Must not perturb the object. */
+    virtual void saveState(StateWriter &w) const = 0;
+
+    /** Restore state previously written by saveState(). */
+    virtual void loadState(StateReader &r) = 0;
+};
+
+} // namespace iocost::sim
+
+#endif // IOCOST_SIM_STATE_HH

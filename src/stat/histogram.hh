@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/state.hh"
 #include "sim/time.hh"
 #include "stat/window.hh"
 
@@ -124,6 +125,39 @@ class Histogram
      * byte-identical aggregates at every shard count.
      */
     void merge(const Histogram &other);
+
+    /**
+     * @name Snapshot support (the unified window-API companion to
+     * reset(now)/snapshot(now)): all integer state verbatim, so a
+     * restored histogram is bit-identical to the saved one.
+     * @{
+     */
+    void
+    saveState(sim::StateWriter &w) const
+    {
+        w.put(subBits_);
+        w.putPods(buckets_);
+        w.put(count_);
+        w.put(total_);
+        w.put(sumSquares_);
+        w.put(min_);
+        w.put(max_);
+        w.put(windowStart_);
+    }
+
+    void
+    loadState(sim::StateReader &r)
+    {
+        r.get(subBits_);
+        r.getPods(buckets_);
+        r.get(count_);
+        r.get(total_);
+        r.get(sumSquares_);
+        r.get(min_);
+        r.get(max_);
+        r.get(windowStart_);
+    }
+    /** @} */
 
   private:
     unsigned

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "sim/state.hh"
 #include "sim/time.hh"
 #include "stat/window.hh"
 
@@ -58,6 +59,23 @@ class RateMeter
         s.perSecond = perSecond(now);
         return s;
     }
+
+    /** @name Snapshot support (window-API companion).
+     *  @{ */
+    void
+    saveState(sim::StateWriter &w) const
+    {
+        w.put(windowStart_);
+        w.put(count_);
+    }
+
+    void
+    loadState(sim::StateReader &r)
+    {
+        r.get(windowStart_);
+        r.get(count_);
+    }
+    /** @} */
 
   private:
     sim::Time windowStart_ = 0;

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,6 +76,16 @@ class TelemetrySink
 
     /** Flush buffered output (file sinks). */
     virtual void flush() {}
+
+    /**
+     * A fresh, empty sink of the same kind for a simulation branch
+     * (see host::Host::branch()): branches must not interleave their
+     * records into the baseline's stream. Returns nullptr when the
+     * sink cannot be meaningfully duplicated (a file sink — two
+     * writers of one file would corrupt it), in which case the
+     * branch runs with telemetry disconnected.
+     */
+    virtual std::unique_ptr<TelemetrySink> fork() { return nullptr; }
 };
 
 /**
@@ -87,6 +98,12 @@ class NullSink : public TelemetrySink
   public:
     bool enabled() const override { return false; }
     void emit(const Record &) override {}
+
+    std::unique_ptr<TelemetrySink>
+    fork() override
+    {
+        return std::make_unique<NullSink>();
+    }
 };
 
 /**
@@ -125,6 +142,13 @@ class RingSink : public TelemetrySink
             std::make_move_iterator(records_.end()));
         records_.clear();
         return out;
+    }
+
+    /** An empty ring with the same capacity policy. */
+    std::unique_ptr<TelemetrySink>
+    fork() override
+    {
+        return std::make_unique<RingSink>(capacity_);
     }
 
   private:

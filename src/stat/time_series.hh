@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/state.hh"
 #include "sim/time.hh"
 #include "stat/window.hh"
 
@@ -189,6 +190,26 @@ class TimeSeries
         }
         return out;
     }
+
+    /** @name Snapshot support (window-API companion; the name is
+     *  identity, not state, and is not serialized).
+     *  @{ */
+    void
+    saveState(sim::StateWriter &w) const
+    {
+        w.putPods(points_);
+        w.put(windowStart_);
+        w.put(static_cast<uint64_t>(windowFrom_));
+    }
+
+    void
+    loadState(sim::StateReader &r)
+    {
+        r.getPods(points_);
+        r.get(windowStart_);
+        windowFrom_ = static_cast<size_t>(r.get<uint64_t>());
+    }
+    /** @} */
 
   private:
     std::string name_;

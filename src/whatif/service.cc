@@ -1,0 +1,498 @@
+#include "whatif/service.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/config_parse.hh"
+#include "host/device_factory.hh"
+#include "sim/fault.hh"
+
+namespace iocost::whatif {
+
+namespace {
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::invalid_argument("whatif: " + what);
+}
+
+struct ParsedJob
+{
+    std::string name;
+    uint32_t weight = 100;
+    workload::FioConfig fio;
+};
+
+/** "name:key=value:..." — the iocost_sim --job grammar, throwing
+ *  instead of exiting on errors so a bad scenario fails the query,
+ *  not the service. */
+ParsedJob
+parseJobSpec(const std::string &arg)
+{
+    ParsedJob job;
+    job.name = "job";
+    size_t pos = 0;
+    bool first = true;
+    while (pos <= arg.size()) {
+        const size_t colon = arg.find(':', pos);
+        const std::string part =
+            arg.substr(pos, colon == std::string::npos
+                                ? std::string::npos
+                                : colon - pos);
+        if (first) {
+            job.name = part;
+            first = false;
+        } else {
+            const size_t eq = part.find('=');
+            if (eq == std::string::npos)
+                bad("bad job attribute \"" + part + "\"");
+            const std::string key = part.substr(0, eq);
+            const std::string value = part.substr(eq + 1);
+            try {
+                if (key == "weight") {
+                    job.weight =
+                        static_cast<uint32_t>(std::stoul(value));
+                } else if (key == "depth") {
+                    job.fio.iodepth =
+                        static_cast<unsigned>(std::stoul(value));
+                } else if (key == "bs") {
+                    job.fio.blockSize =
+                        static_cast<uint32_t>(std::stoul(value));
+                } else if (key == "rw") {
+                    job.fio.readFraction = value == "read"    ? 1.0
+                                           : value == "write" ? 0.0
+                                                              : 0.5;
+                } else if (key == "pattern") {
+                    job.fio.randomFraction =
+                        value == "seq" ? 0.0 : 1.0;
+                } else if (key == "rate") {
+                    job.fio.arrival = workload::Arrival::Rate;
+                    job.fio.ratePerSec = std::stod(value);
+                } else {
+                    bad("unknown job key \"" + key + "\"");
+                }
+            } catch (const std::invalid_argument &) {
+                throw;
+            } catch (const std::exception &) {
+                bad("unparsable job value \"" + value + "\"");
+            }
+        }
+        if (colon == std::string::npos)
+            break;
+        pos = colon + 1;
+    }
+    return job;
+}
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+appendRunStats(std::string &out, const RunStats &rs)
+{
+    char buf[128];
+    out += '{';
+    if (rs.isIocost) {
+        std::snprintf(buf, sizeof buf, "\"vrate\":%.17g,",
+                      rs.vrate);
+        out += buf;
+    }
+    out += "\"jobs\":[";
+    for (size_t i = 0; i < rs.jobs.size(); ++i) {
+        const JobStats &j = rs.jobs[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s{\"name\":\"%s\",\"ios\":%" PRIu64
+            ",\"bytes\":%" PRIu64 ",\"p50_ns\":%" PRId64
+            ",\"p99_ns\":%" PRId64 ",\"errors\":%" PRIu64 "}",
+            i ? "," : "", escapeJson(j.name).c_str(), j.ios,
+            j.bytes, j.p50Ns, j.p99Ns, j.errors);
+        out += buf;
+    }
+    out += "]}";
+}
+
+void
+appendDelta(std::string &out, const RunStats &base,
+            const RunStats &branch)
+{
+    char buf[160];
+    out += '{';
+    if (base.isIocost && branch.isIocost) {
+        std::snprintf(buf, sizeof buf, "\"vrate\":%.17g,",
+                      branch.vrate - base.vrate);
+        out += buf;
+    }
+    out += "\"jobs\":[";
+    const size_t n =
+        std::min(base.jobs.size(), branch.jobs.size());
+    for (size_t i = 0; i < n; ++i) {
+        const JobStats &a = base.jobs[i];
+        const JobStats &b = branch.jobs[i];
+        std::snprintf(
+            buf, sizeof buf,
+            "%s{\"name\":\"%s\",\"ios\":%" PRId64
+            ",\"bytes\":%" PRId64 ",\"p50_ns\":%" PRId64
+            ",\"p99_ns\":%" PRId64 ",\"errors\":%" PRId64 "}",
+            i ? "," : "", escapeJson(a.name).c_str(),
+            static_cast<int64_t>(b.ios) -
+                static_cast<int64_t>(a.ios),
+            static_cast<int64_t>(b.bytes) -
+                static_cast<int64_t>(a.bytes),
+            b.p50Ns - a.p50Ns, b.p99Ns - a.p99Ns,
+            static_cast<int64_t>(b.errors) -
+                static_cast<int64_t>(a.errors));
+        out += buf;
+    }
+    out += "]}";
+}
+
+} // namespace
+
+std::string
+diffJson(const Scenario &sc, const Query &q,
+         const RunStats &baseline, const RunStats &branch)
+{
+    char buf[96];
+    std::string out = "{\"type\":\"whatif_diff\"";
+    std::snprintf(buf, sizeof buf,
+                  ",\"scenario\":\"%016" PRIx64 "\"", sc.hash());
+    out += buf;
+    out += ",\"query\":\"" + escapeJson(q.canonical()) + "\"";
+    std::snprintf(buf, sizeof buf, ",\"from_ns\":%lld",
+                  static_cast<long long>(q.from));
+    out += buf;
+    out += ",\"baseline\":";
+    appendRunStats(out, baseline);
+    out += ",\"branch\":";
+    appendRunStats(out, branch);
+    out += ",\"delta\":";
+    appendDelta(out, baseline, branch);
+    out += '}';
+    return out;
+}
+
+Replica::Replica(const Scenario &sc, BuildOnly)
+    : sc_(sc), sim_(sc.seed)
+{
+    sc_.normalize();
+    build();
+}
+
+Replica::Replica(const Scenario &sc, bool checkpoints)
+    : sc_(sc), sim_(sc.seed)
+{
+    sc_.normalize();
+    build();
+    if (checkpoints) {
+        for (sim::Time mark : sc_.marks) {
+            if (mark > 0)
+                sim_.runUntil(mark);
+            checkpoints_.emplace_back(mark, host_->snapshot());
+        }
+    }
+    sim_.runUntil(sc_.duration());
+    baseline_ = collect();
+}
+
+void
+Replica::build()
+{
+    auto device =
+        host::makeNamedDevice(sc_.device, sim_, &deviceModel_);
+
+    const auto spec =
+        controllers::parseControllerSpec(sc_.controller);
+    if (!spec)
+        bad("bad controller spec \"" + sc_.controller + "\"");
+
+    core::LinearModelConfig model = deviceModel_;
+    if (!sc_.model.empty()) {
+        const auto parsed = core::parseModelLine(sc_.model);
+        if (!parsed)
+            bad("bad model line \"" + sc_.model + "\"");
+        model = *parsed;
+    }
+
+    host::HostOptions opts;
+    opts.controller = *spec;
+    opts.faults = sc_.faults;
+    // Inject-fault queries must find an injector on healthy
+    // scenarios too, and it must exist before the baseline runs:
+    // snapshots restore state, not structure.
+    opts.installFaultInjector = true;
+    // Same defaulting as iocost_sim: the device profile and the
+    // scenario's qos line fill whatever the spec line leaves out.
+    const std::string spec_rest =
+        controllers::iocostPayload(sc_.controller);
+    if (!core::parseModelLine(spec_rest)) {
+        opts.controller.iocost.model =
+            core::CostModel::fromConfig(model);
+    }
+    if (!core::parseQosLine(spec_rest)) {
+        opts.controller.iocost.qos.vrateMin = 0.5;
+        opts.controller.iocost.qos.vrateMax = 1.0;
+    }
+    if (!sc_.qos.empty()) {
+        const auto parsed = core::parseQosLine(sc_.qos);
+        if (!parsed)
+            bad("bad qos line \"" + sc_.qos + "\"");
+        opts.controller.iocost.qos = *parsed;
+    }
+
+    host_ = std::make_unique<host::Host>(sim_, std::move(device),
+                                         opts);
+
+    for (size_t j = 0; j < sc_.jobs.size(); ++j) {
+        ParsedJob job = parseJobSpec(sc_.jobs[j]);
+        // Disjoint regions, as iocost_sim lays jobs out.
+        job.fio.offsetBase = j << 40;
+        const auto cg = host_->addWorkload(job.name, job.weight);
+        jobNames_.push_back(job.name);
+        jobCgs_.push_back(cg);
+        workloads_.push_back(
+            std::make_unique<workload::FioWorkload>(
+                sim_, host_->layer(), cg, job.fio));
+        host_->track(*workloads_.back());
+        workloads_.back()->start();
+    }
+}
+
+size_t
+Replica::checkpointBytes() const
+{
+    return checkpoints_.empty()
+               ? 0
+               : checkpoints_.front().second.byteSize();
+}
+
+void
+Replica::apply(const Query &q)
+{
+    switch (q.kind) {
+      case Query::Kind::Weight: {
+        for (size_t i = 0; i < jobNames_.size(); ++i) {
+            if (jobNames_[i] == q.cg) {
+                host_->tree().setWeight(jobCgs_[i], q.weight);
+                return;
+            }
+        }
+        if (q.cg == "workload.slice")
+            host_->tree().setWeight(host_->workload(), q.weight);
+        else if (q.cg == "system.slice")
+            host_->tree().setWeight(host_->system(), q.weight);
+        else if (q.cg == "hostcritical.slice")
+            host_->tree().setWeight(host_->hostCritical(),
+                                    q.weight);
+        else
+            bad("unknown cgroup \"" + q.cg + "\"");
+        return;
+      }
+      case Query::Kind::Device:
+        host::applyDeviceProfile(host_->device(), q.profile);
+        return;
+      case Query::Kind::Fault: {
+        // Validated at parse time; re-parse to get the windows.
+        const sim::FaultPlan plan = sim::FaultPlan::parse(q.fault);
+        for (const sim::FaultWindow &w : plan.windows)
+            host_->faults()->addWindow(w);
+        return;
+      }
+    }
+}
+
+RunStats
+Replica::collect() const
+{
+    RunStats rs;
+    for (size_t i = 0; i < jobCgs_.size(); ++i) {
+        const blk::CgroupIoStats &st =
+            host_->layer().stats(jobCgs_[i]);
+        JobStats js;
+        js.name = jobNames_[i];
+        js.ios = st.reads + st.writes;
+        js.bytes = st.readBytes + st.writeBytes;
+        js.p50Ns = st.totalLatency.quantile(0.5);
+        js.p99Ns = st.totalLatency.quantile(0.99);
+        js.errors = st.errors;
+        rs.jobs.push_back(std::move(js));
+    }
+    if (const core::IoCost *ioc = host_->iocost()) {
+        rs.isIocost = true;
+        rs.vrate = ioc->vrate();
+    }
+    return rs;
+}
+
+RunStats
+Replica::branch(const Query &q)
+{
+    if (checkpoints_.empty())
+        bad("branch() on a checkpoint-less replica");
+    if (q.from > sc_.duration())
+        bad("branch point beyond the run duration");
+
+    // Nearest checkpoint at or before the branch point (the t=0
+    // mark always exists).
+    const auto *cp = &checkpoints_.front();
+    for (const auto &candidate : checkpoints_) {
+        if (candidate.first <= q.from)
+            cp = &candidate;
+    }
+
+    host_->restore(cp->second);
+    if (q.from > cp->first)
+        sim_.runUntil(q.from);
+    apply(q);
+    sim_.runUntil(sc_.duration());
+    return collect();
+}
+
+RunStats
+Replica::cold(const Scenario &sc, const Query &q)
+{
+    Scenario flat = sc;
+    flat.normalize();
+    if (q.from > flat.duration())
+        bad("branch point beyond the run duration");
+    // A fresh host, no snapshot machinery at all: run straight to
+    // the branch point, apply, run to the end.
+    Replica r(flat, BuildOnly{});
+    if (q.from > 0)
+        r.sim_.runUntil(q.from);
+    r.apply(q);
+    r.sim_.runUntil(flat.duration());
+    return r.collect();
+}
+
+Service::Service(Scenario sc, unsigned threads) : sc_(std::move(sc))
+{
+    sc_.normalize();
+    unsigned n = threads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Service::~Service()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+std::future<std::string>
+Service::submit(const Query &q)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64 "|", sc_.hash());
+    Task task;
+    task.query = q;
+    task.cacheKey = buf + q.canonical();
+    std::future<std::string> fut = task.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(task.cacheKey);
+        if (it != cache_.end()) {
+            ++cacheHits_;
+            task.promise.set_value(it->second);
+            return fut;
+        }
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+std::string
+Service::evaluate(const Query &q)
+{
+    return submit(q).get();
+}
+
+std::string
+Service::evaluateCold(const Scenario &sc, const Query &q)
+{
+    Scenario flat = sc;
+    flat.normalize();
+    Replica baseline(flat, /*checkpoints=*/false);
+    const RunStats branch = Replica::cold(flat, q);
+    return diffJson(flat, q, baseline.baseline(), branch);
+}
+
+uint64_t
+Service::cacheHits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cacheHits_;
+}
+
+void
+Service::workerLoop()
+{
+    std::unique_ptr<Replica> replica;
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            // A duplicate may have been enqueued while its twin
+            // was still computing; answers are deterministic, so
+            // serve the finished twin's result.
+            auto it = cache_.find(task.cacheKey);
+            if (it != cache_.end()) {
+                ++cacheHits_;
+                task.promise.set_value(it->second);
+                continue;
+            }
+        }
+        std::string result;
+        try {
+            if (!replica)
+                replica = std::make_unique<Replica>(sc_);
+            const RunStats branch = replica->branch(task.query);
+            result = diffJson(sc_, task.query,
+                              replica->baseline(), branch);
+        } catch (const std::exception &err) {
+            result = "{\"type\":\"whatif_error\",\"query\":\"" +
+                     escapeJson(task.query.canonical()) +
+                     "\",\"error\":\"" +
+                     escapeJson(err.what()) + "\"}";
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            cache_.emplace(task.cacheKey, result);
+        }
+        task.promise.set_value(result);
+    }
+}
+
+} // namespace iocost::whatif

@@ -86,7 +86,7 @@ struct FioConfig
  * One running fio job issuing bios into a BlockLayer on behalf of a
  * cgroup.
  */
-class FioWorkload
+class FioWorkload : public sim::Snapshottable
 {
   public:
     FioWorkload(sim::Simulator &sim, blk::BlockLayer &layer,
@@ -114,6 +114,18 @@ class FioWorkload
 
     /** Reset counters (e.g. after a warmup phase). */
     void resetStats();
+
+    /**
+     * @name Snapshot support. The config is immutable identity; the
+     * issue loop's Rng, cursors, counters, latency windows, and
+     * pending timers are state. In-flight bios are owned by the
+     * stack below (block layer / device / event arena) — only the
+     * count lives here.
+     * @{
+     */
+    void saveState(sim::StateWriter &w) const override;
+    void loadState(sim::StateReader &r) override;
+    /** @} */
 
   private:
     void issueOne();

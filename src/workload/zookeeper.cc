@@ -223,9 +223,9 @@ ZkCluster::pumpParticipant(Participant &p)
     pp->layer->submit(blk::Bio::make(
         blk::Op::Write, offset, static_cast<uint32_t>(payload),
         pp->cg,
-        [this, pp,
-         batch = std::move(batch)](const blk::Bio &) mutable {
-            for (TaskDoneFn &done : batch) {
+        [this, pp, batch = sim::MoveOnly(std::move(batch))](
+            const blk::Bio &) mutable {
+            for (TaskDoneFn &done : batch.value) {
                 ++pp->txns;
                 done();
             }

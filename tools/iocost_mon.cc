@@ -36,11 +36,12 @@
  *   iocost_mon --fleet --scenario "hosts=10000 days=24 ..."
  *   iocost_mon --fleet --scenario @scenario.txt --jobs 8
  *
- * Reader mode renders a previously written fleet file — the
+ * Reader mode renders a previously written file — the
  * streaming-aggregate JSON, a multi-config sweep document
- * (iocost_sim --fleet --sweep --out), or the legacy per-host JSONL
- * (sniffed automatically):
- *   iocost_mon --fleet --in fleet.json|fleet.jsonl
+ * (iocost_sim --fleet --sweep --out), a what-if diff stream
+ * (iocost_whatif output), or the legacy per-host JSONL (sniffed
+ * automatically; an unrecognized document type is a clean error):
+ *   iocost_mon --in fleet.json|fleet.jsonl|whatif.jsonl
  *
  * A scenario with a `sweep=` key (or equivalently iocost_sim's
  * --sweep flag) runs every controller config against paired
@@ -394,10 +395,120 @@ renderAggregate(const fleet::AggregateView &view)
     }
 }
 
+/** Extract the value of a top-level "type":"..." key, or "". */
+std::string
+sniffDocType(const std::string &line)
+{
+    const size_t key = line.find("\"type\":\"");
+    if (key == std::string::npos)
+        return "";
+    const size_t begin = key + 8; // past "type":"
+    const size_t end = line.find('"', begin);
+    if (end == std::string::npos)
+        return "";
+    return line.substr(begin, end - begin);
+}
+
 /**
- * --fleet --in FILE: render a previously written fleet file. The
- * format is sniffed: streaming-aggregate JSON (the new engine
- * output) or the legacy per-host JSONL replay stream.
+ * What-if diff stream (iocost_whatif output): one summary row per
+ * document — the query, the branch point, and the headline delta
+ * (per-job IO count and p99 shifts pulled from the delta block).
+ */
+int
+renderWhatifStream(const std::string &text)
+{
+    uint64_t diffs = 0, errors = 0, other = 0;
+    std::printf("%-52s %10s %14s %12s\n", "query", "from(ms)",
+                "delta-ios", "delta-p99(us)");
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        const std::string type = sniffDocType(line);
+        if (type == "whatif_error") {
+            ++errors;
+            continue;
+        }
+        if (type != "whatif_diff") {
+            ++other;
+            continue;
+        }
+        ++diffs;
+        std::string query = "?";
+        const size_t qkey = line.find("\"query\":\"");
+        if (qkey != std::string::npos) {
+            const size_t begin = qkey + 9; // past "query":"
+            const size_t end = line.find('"', begin);
+            if (end != std::string::npos)
+                query = line.substr(begin, end - begin);
+        }
+        double from_ms = 0;
+        long long from_ns = 0;
+        const size_t fkey = line.find("\"from_ns\":");
+        if (fkey != std::string::npos &&
+            std::sscanf(line.c_str() + fkey, "\"from_ns\":%lld",
+                        &from_ns) == 1)
+            from_ms = static_cast<double>(from_ns) / 1e6;
+        // Headline deltas: sum of per-job ios and the largest
+        // per-job p99 shift from the delta block.
+        long long ios_total = 0, p99_max = 0;
+        bool have_delta = false;
+        const size_t dkey = line.find("\"delta\":");
+        if (dkey != std::string::npos) {
+            size_t jp = dkey;
+            for (;;) {
+                jp = line.find("{\"name\":", jp);
+                if (jp == std::string::npos)
+                    break;
+                long long ios = 0, p99 = 0;
+                const size_t ik = line.find("\"ios\":", jp);
+                if (ik != std::string::npos)
+                    std::sscanf(line.c_str() + ik,
+                                "\"ios\":%lld", &ios);
+                const size_t pk = line.find("\"p99_ns\":", jp);
+                if (pk != std::string::npos)
+                    std::sscanf(line.c_str() + pk,
+                                "\"p99_ns\":%lld", &p99);
+                ios_total += ios;
+                if (std::llabs(p99) > std::llabs(p99_max))
+                    p99_max = p99;
+                have_delta = true;
+                jp = line.find('}', jp);
+                if (jp == std::string::npos)
+                    break;
+            }
+        }
+        if (have_delta) {
+            std::printf("%-52s %10.0f %+14lld %+12.0f\n",
+                        query.c_str(), from_ms, ios_total,
+                        static_cast<double>(p99_max) / 1e3);
+        } else {
+            std::printf("%-52s %10.0f %14s %12s\n", query.c_str(),
+                        from_ms, "-", "-");
+        }
+    }
+    std::printf("whatif stream: %llu diffs, %llu errors",
+                static_cast<unsigned long long>(diffs),
+                static_cast<unsigned long long>(errors));
+    if (other) {
+        std::printf(", %llu other documents skipped",
+                    static_cast<unsigned long long>(other));
+    }
+    std::printf("\n");
+    return 0;
+}
+
+/**
+ * --in FILE: render a previously written file. The format is
+ * sniffed: streaming-aggregate JSON (the fleet engine output), a
+ * sweep document, a what-if diff stream, or the legacy per-host
+ * JSONL replay stream. Any other typed JSON document is a clean
+ * error naming the unrecognized type.
  */
 int
 runFleetIn(const std::string &in_path)
@@ -429,6 +540,24 @@ runFleetIn(const std::string &in_path)
     if (const auto view = fleet::readAggregateJson(text)) {
         renderAggregate(*view);
         return 0;
+    }
+
+    // Typed line-oriented documents: the first typed line decides.
+    {
+        size_t first_eol = text.find('\n');
+        if (first_eol == std::string::npos)
+            first_eol = text.size();
+        const std::string doc_type =
+            sniffDocType(text.substr(0, first_eol));
+        if (doc_type == "whatif_diff" || doc_type == "whatif_error")
+            return renderWhatifStream(text);
+        if (!doc_type.empty()) {
+            sim::fatal(in_path + ": unknown document type \"" +
+                       doc_type +
+                       "\" (expected a fleet aggregate, a sweep "
+                       "document, a whatif_diff stream, or "
+                       "per-host JSONL)");
+        }
     }
 
     // Legacy per-host JSONL: one record per telemetry sample,
@@ -715,8 +844,9 @@ main(int argc, char **argv)
     }
 
     if (!in_path.empty()) {
-        if (!fleet_mode)
-            sim::fatal("--in is only meaningful with --fleet");
+        // Reader mode sniffs the document type itself, so --fleet
+        // is accepted but no longer required.
+        (void)fleet_mode;
         return runFleetIn(in_path);
     }
     if (fleet_mode) {

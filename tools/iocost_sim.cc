@@ -24,6 +24,11 @@
  *              [--seconds N] [--seed N]
  *              [--job name:weight=W:depth=D:bs=B:rw=read|write|mixed
  *                         :pattern=rand|seq[:rate=R]] ...
+ *              [--whatif '{"q":...}']  one-shot what-if query
+ *               against the scenario the flags above describe (see
+ *               whatif/query.hh for the JSON grammar); prints one
+ *               whatif_diff document and exits. iocost_whatif
+ *               serves the same queries as a concurrent service.
  *              [--sweep "spec1;spec2;..."]  multi-config sweep:
  *               run every controller spec against the SAME workload
  *               and device-model event stream (common random
@@ -67,15 +72,14 @@
 #include <vector>
 
 #include "core/config_parse.hh"
-#include "device/device_profiles.hh"
-#include "device/hdd_model.hh"
-#include "device/remote_model.hh"
-#include "device/ssd_model.hh"
 #include "fleet/fleet_sim.hh"
+#include "host/device_factory.hh"
 #include "host/host.hh"
 #include "host/sweep.hh"
-#include "profile/device_profiler.hh"
 #include "sim/logging.hh"
+#include "whatif/query.hh"
+#include "whatif/scenario.hh"
+#include "whatif/service.hh"
 #include "workload/fio_workload.hh"
 
 namespace {
@@ -141,47 +145,16 @@ parseJob(const std::string &arg)
     return job;
 }
 
+/** host::makeNamedDevice with the CLI's exit-on-error behaviour. */
 std::unique_ptr<blk::BlockDevice>
 makeDevice(const std::string &name, sim::Simulator &sim,
            core::LinearModelConfig &model_out)
 {
-    auto ssd = [&](const device::SsdSpec &spec) {
-        model_out =
-            profile::DeviceProfiler::profileSsd(spec).model;
-        return std::make_unique<device::SsdModel>(sim, spec);
-    };
-    if (name == "oldgen")
-        return ssd(device::oldGenSsd());
-    if (name == "newgen")
-        return ssd(device::newGenSsd());
-    if (name == "enterprise")
-        return ssd(device::enterpriseSsd());
-    if (name == "hdd") {
-        model_out = profile::DeviceProfiler::profileHdd(
-                        device::nearlineHdd())
-                        .model;
-        return std::make_unique<device::HddModel>(
-            sim, device::nearlineHdd());
+    try {
+        return host::makeNamedDevice(name, sim, &model_out);
+    } catch (const std::invalid_argument &err) {
+        sim::fatal(err.what());
     }
-    const device::RemoteSpec *remote = nullptr;
-    static const device::RemoteSpec gp3 = device::awsGp3();
-    static const device::RemoteSpec io2 = device::awsIo2();
-    static const device::RemoteSpec pdb = device::gcpBalanced();
-    static const device::RemoteSpec pds = device::gcpSsd();
-    if (name == "gp3")
-        remote = &gp3;
-    else if (name == "io2")
-        remote = &io2;
-    else if (name == "pd-balanced")
-        remote = &pdb;
-    else if (name == "pd-ssd")
-        remote = &pds;
-    if (remote) {
-        model_out =
-            profile::DeviceProfiler::profileRemote(*remote).model;
-        return std::make_unique<device::RemoteModel>(sim, *remote);
-    }
-    sim::fatal("unknown device: " + name);
 }
 
 } // namespace
@@ -197,6 +170,8 @@ main(int argc, char **argv)
     double seconds = 10.0;
     uint64_t seed = 42;
     std::vector<JobSpec> jobs;
+    std::vector<std::string> job_args;
+    std::string whatif_arg;
     bool fleet_mode = false;
     fleet::FleetConfig fleet_cfg;
     unsigned fleet_jobs = 1;
@@ -228,7 +203,10 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             seed = std::stoull(next());
         } else if (arg == "--job") {
-            jobs.push_back(parseJob(next()));
+            job_args.push_back(next());
+            jobs.push_back(parseJob(job_args.back()));
+        } else if (arg == "--whatif") {
+            whatif_arg = next();
         } else if (arg == "--fleet") {
             fleet_mode = true;
         } else if (arg == "--hosts") {
@@ -379,6 +357,34 @@ main(int argc, char **argv)
         sim::fatal("--out is only meaningful with --fleet");
     if (!scenario_arg.empty())
         sim::fatal("--scenario is only meaningful with --fleet");
+    if (!whatif_arg.empty()) {
+        // One-shot what-if: assemble the scenario from the same
+        // flags a plain run uses and answer the query with a cold
+        // full re-run (no checkpoint machinery; byte-identical to
+        // the service's branch-and-replay answer).
+        if (!sweep_arg.empty())
+            sim::fatal("--whatif and --sweep are mutually "
+                       "exclusive");
+        whatif::Scenario wsc;
+        wsc.device = device_name;
+        wsc.controller = controller;
+        wsc.model = model_line;
+        wsc.qos = qos_line;
+        wsc.faults = faults_spec;
+        wsc.seconds = seconds;
+        wsc.seed = seed;
+        wsc.jobs = job_args;
+        try {
+            wsc.normalize();
+            const auto q = whatif::Query::parse(whatif_arg);
+            std::printf(
+                "%s\n",
+                whatif::Service::evaluateCold(wsc, q).c_str());
+        } catch (const std::exception &err) {
+            sim::fatal(err.what());
+        }
+        return 0;
+    }
     if (jobs.empty()) {
         jobs.push_back(parseJob("web:weight=200:depth=32"));
         jobs.push_back(parseJob("batch:weight=100:depth=32"));
@@ -615,10 +621,12 @@ main(int argc, char **argv)
         running.back()->start();
     }
 
-    // Warmup 10%, then measure.
+    // Warmup 10%, then measure. Host::resetStats is the one
+    // documented stats boundary; workload counters reset with it.
     const auto warmup =
         static_cast<sim::Time>(0.1 * seconds * sim::kSec);
     sim.runUntil(warmup);
+    host.resetStats();
     for (auto &job : running)
         job->resetStats();
     sim.runUntil(warmup + static_cast<sim::Time>(
