@@ -818,26 +818,45 @@ sweepLaneMeanUs(host::SweepRunner &runner, size_t lane)
 
 struct SweepTiming
 {
-    double singleWall;     ///< one K-lane single-pass sweep, seconds
+    double fusedWall;      ///< fused-observer single pass, seconds
+    double fullWall;       ///< full-lane single pass (observer off)
     double sequentialWall; ///< K plain runs back to back
-    double speedup;        ///< median of per-rep paired ratios
+    double fusedSpeedup;   ///< median paired sequential/fused ratio
+    double fullSpeedup;    ///< median paired sequential/full ratio
+    double fusedFraction;  ///< fused share of lane submissions
+    bool identical;        ///< fused lane metrics == full-lane ones
 };
 
 /**
- * Wall-clock: the single-pass sweep shares one workload stream and
- * one device-model execution across the lanes; the sequential
- * comparator re-runs the full stack per config, which is what every
- * ablation bench did before host::runSweep.
+ * Wall-clock, three ways per rep: the fused single pass (one K-wide
+ * charge loop with fork-on-divergence), the full-lane single pass
+ * (every lane runs its complete submit/complete stack — the shape
+ * this bench tracked before the fused observer), and K sequential
+ * plain runs, which is what every ablation bench did before
+ * host::runSweep. The fused and full passes must agree on every
+ * per-lane metric — the fused path is an execution strategy, not an
+ * approximation — so the paired equality is checked here and
+ * reported alongside the timings.
  */
 SweepTiming
 sweepTiming(const std::vector<std::string> &specs, int reps,
             sim::Time run_for)
 {
-    std::vector<double> singles, seqs, ratios;
+    std::vector<double> fused_walls, full_walls, seqs;
+    std::vector<double> fused_ratios, full_ratios, fractions;
+    bool identical = true;
     for (int r = 0; r < reps; ++r) {
         auto body = [run_for](sim::Simulator &sim,
                               host::SweepRunner &runner) {
             sweepBenchBody(sim, runner, run_for, 3000);
+        };
+        double fraction = 0.0;
+        auto collect_fused = [&fraction](host::SweepRunner &runner,
+                                         size_t lane, size_t) {
+            if (const host::FusedObserver *obs =
+                    runner.fusedObserver())
+                fraction = obs->fusedFraction();
+            return sweepLaneMeanUs(runner, lane);
         };
         auto collect = [](host::SweepRunner &runner, size_t lane,
                           size_t) {
@@ -845,26 +864,41 @@ sweepTiming(const std::vector<std::string> &specs, int reps,
         };
 
         const auto t0 = std::chrono::steady_clock::now();
-        const auto single = host::runSweep(sweepOptions(specs),
-                                           7331, 1, body, collect);
+        const auto fused = host::runSweep(sweepOptions(specs), 7331,
+                                          1, body, collect_fused);
         const auto t1 = std::chrono::steady_clock::now();
 
+        host::SweepOptions full_opts = sweepOptions(specs);
+        full_opts.fusedObserver = false;
         const auto t2 = std::chrono::steady_clock::now();
+        const auto full = host::runSweep(std::move(full_opts), 7331,
+                                         1, body, collect);
+        const auto t3 = std::chrono::steady_clock::now();
+
+        const auto t4 = std::chrono::steady_clock::now();
         std::vector<double> sequential;
         for (const std::string &spec : specs) {
             sequential.push_back(host::runSweep(
                 sweepOptions({spec}), 7331, 1, body, collect)[0]);
         }
-        const auto t3 = std::chrono::steady_clock::now();
-        if (single.size() != sequential.size())
+        const auto t5 = std::chrono::steady_clock::now();
+        if (fused.size() != sequential.size())
             continue; // impossible; keeps the medians honest
 
-        singles.push_back(seconds(t0, t1));
-        seqs.push_back(seconds(t2, t3));
-        ratios.push_back(seqs.back() / singles.back());
+        for (size_t k = 0; k < fused.size(); ++k)
+            identical = identical && fused[k] == full[k];
+
+        fused_walls.push_back(seconds(t0, t1));
+        full_walls.push_back(seconds(t2, t3));
+        seqs.push_back(seconds(t4, t5));
+        fused_ratios.push_back(seqs.back() / fused_walls.back());
+        full_ratios.push_back(seqs.back() / full_walls.back());
+        fractions.push_back(fraction);
     }
-    return SweepTiming{median(singles), median(seqs),
-                       median(ratios)};
+    return SweepTiming{median(fused_walls), median(full_walls),
+                       median(seqs),        median(fused_ratios),
+                       median(full_ratios), median(fractions),
+                       identical};
 }
 
 struct SweepVariance
@@ -1176,17 +1210,21 @@ checkAllocs()
     }
 
     // K-way sweep lane: one generator bio fans out into four shadow
-    // lanes (clone, throttle, replay completion, stats, batched
-    // planning). The limit is per *generator* bio, so it covers all
-    // five completions that bio causes.
-    constexpr double kMaxSweepAllocsPerBio = 0.01;
+    // lanes (fused charge loop or full clone/throttle/replay path,
+    // stats, batched planning). The limit is per *generator* bio, so
+    // it covers all five completions that bio causes. 0.001, not the
+    // bio path's 0.01: the fused observer's deferred-merge windows
+    // run hundreds of times a second, and a single stray per-window
+    // allocation (a string built for an assertion message, say)
+    // already shows up at the 0.04 level.
+    constexpr double kMaxSweepAllocsPerBio = 0.001;
     const double sweep_allocs = sweepAllocsPerBio();
     std::printf("sweep path (K=4): %.4f allocs per generator bio\n",
                 sweep_allocs);
     if (sweep_allocs < 0.0 || sweep_allocs > kMaxSweepAllocsPerBio) {
         std::fprintf(stderr,
                      "FAIL: %.4f heap allocations per generator bio "
-                     "across the K=4 sweep loop (limit %.2f) — the "
+                     "across the K=4 sweep loop (limit %.3f) — the "
                      "multi-lane hot path is allocating\n",
                      sweep_allocs, kMaxSweepAllocsPerBio);
         ok = false;
@@ -1306,13 +1344,19 @@ main(int argc, char **argv)
     const double fleet_seq = fleetRate(1);
     const double fleet_j4 = fleetRate(4);
 
-    // Multi-config sweep: single-pass vs sequential plain runs on
-    // the divergent K=4 ladder and the coherent K=8 grid, CRN
-    // variance reduction, and the K-way alloc count.
+    // Multi-config sweep: fused and full-lane single passes vs
+    // sequential plain runs on the divergent K=4 ladder and the
+    // coherent K=8 grid, CRN variance reduction, and the K-way
+    // alloc count. Median of 5 repetitions: the sweep walls are the
+    // most machine-sensitive numbers in this file, and 3 reps left
+    // the median hostage to a single noisy neighbor.
+    // 6 simulated seconds per pass: at 2s the fixed setup cost
+    // (arena construction, device profiling) still weighs ~10% of
+    // the wall and drowns the fused-vs-full delta in noise.
     const std::vector<std::string> grid = sweepGridSpecs();
-    const SweepTiming st = sweepTiming(kSweepSpecs, 3,
-                                       2 * sim::kSec);
-    const SweepTiming sg = sweepTiming(grid, 3, 2 * sim::kSec);
+    const SweepTiming st = sweepTiming(kSweepSpecs, 5,
+                                       6 * sim::kSec);
+    const SweepTiming sg = sweepTiming(grid, 5, 6 * sim::kSec);
     const SweepVariance sv = sweepVariance(8, 2 * sim::kSec);
     const double sweep_allocs = sweepAllocsPerBio();
 
@@ -1349,14 +1393,28 @@ main(int argc, char **argv)
                bench::fmt("%.1f", fleet_j4), "-",
                hw > 1 ? bench::fmt("%.2fx", fleet_j4 / fleet_seq)
                       : std::string("n/a (1 hw thread)")});
-    table.row({"sweep K=4 divergent single pass (s)",
-               bench::fmt("%.2f", st.singleWall),
+    table.row({"sweep K=4 divergent fused pass (s)",
+               bench::fmt("%.2f", st.fusedWall),
                bench::fmt("%.2f", st.sequentialWall),
-               bench::fmt("%.2fx", st.speedup)});
-    table.row({"sweep K=8 coherent grid single pass (s)",
-               bench::fmt("%.2f", sg.singleWall),
+               bench::fmt("%.2fx", st.fusedSpeedup)});
+    table.row({"sweep K=4 divergent full-lane pass (s)",
+               bench::fmt("%.2f", st.fullWall),
+               bench::fmt("%.2f", st.sequentialWall),
+               bench::fmt("%.2fx", st.fullSpeedup)});
+    table.row({"sweep K=4 fused share / identical",
+               bench::fmt("%.3f", st.fusedFraction),
+               st.identical ? "identical" : "MISMATCH", "-"});
+    table.row({"sweep K=8 coherent grid fused pass (s)",
+               bench::fmt("%.2f", sg.fusedWall),
                bench::fmt("%.2f", sg.sequentialWall),
-               bench::fmt("%.2fx", sg.speedup)});
+               bench::fmt("%.2fx", sg.fusedSpeedup)});
+    table.row({"sweep K=8 coherent grid full-lane pass (s)",
+               bench::fmt("%.2f", sg.fullWall),
+               bench::fmt("%.2f", sg.sequentialWall),
+               bench::fmt("%.2fx", sg.fullSpeedup)});
+    table.row({"sweep K=8 fused share / identical",
+               bench::fmt("%.3f", sg.fusedFraction),
+               sg.identical ? "identical" : "MISMATCH", "-"});
     table.row({"sweep config-delta stddev (us)",
                bench::fmt("%.1f", sv.crnStddevUs),
                bench::fmt("%.1f", sv.indepStddevUs),
@@ -1432,10 +1490,17 @@ main(int argc, char **argv)
         "    \"single_pass_wall_sec\": %.3f,\n"
         "    \"sequential_wall_sec\": %.3f,\n"
         "    \"speedup\": %.3f,\n"
+        "    \"fused_wall_sec\": %.3f,\n"
+        "    \"fused_speedup\": %.3f,\n"
+        "    \"fused_fraction\": %.4f,\n"
         "    \"grid_lanes\": %zu,\n"
         "    \"grid_single_pass_wall_sec\": %.3f,\n"
         "    \"grid_sequential_wall_sec\": %.3f,\n"
         "    \"grid_speedup\": %.3f,\n"
+        "    \"grid_fused_wall_sec\": %.3f,\n"
+        "    \"grid_fused_speedup\": %.3f,\n"
+        "    \"grid_fused_fraction\": %.4f,\n"
+        "    \"fused_identical\": %s,\n"
         "    \"crn_delta_stddev_us\": %.2f,\n"
         "    \"independent_delta_stddev_us\": %.2f,\n"
         "    \"variance_reduction\": %.2f,\n"
@@ -1455,8 +1520,11 @@ main(int argc, char **argv)
         bp.current, bp.legacy, bp.speedup, kPrePrBiosPerSec,
         bp.current / kPrePrBiosPerSec, cur_allocs, seed_allocs,
         fleet_seq, fleet_j4, speedup_json, hw, kSweepSpecs.size(),
-        st.singleWall, st.sequentialWall, st.speedup, grid.size(),
-        sg.singleWall, sg.sequentialWall, sg.speedup,
+        st.fullWall, st.sequentialWall, st.fullSpeedup,
+        st.fusedWall, st.fusedSpeedup, st.fusedFraction,
+        grid.size(), sg.fullWall, sg.sequentialWall, sg.fullSpeedup,
+        sg.fusedWall, sg.fusedSpeedup, sg.fusedFraction,
+        st.identical && sg.identical ? "true" : "false",
         sv.crnStddevUs, sv.indepStddevUs, sv.reduction,
         sweep_allocs, snap.bytesPerHost, snap.boxesPerHost,
         snap.snapshotUs, snap.restoreUs, snap.branchesPerSec,

@@ -145,6 +145,39 @@ BlockLayer::expired(const Bio &bio) const
 }
 
 void
+BlockLayer::fusedMergeStats(cgroup::CgroupId cg,
+                            const CgroupIoStats &delta)
+{
+    CgroupIoStats &st = statsMutable(cg);
+    st.reads += delta.reads;
+    st.writes += delta.writes;
+    st.readBytes += delta.readBytes;
+    st.writeBytes += delta.writeBytes;
+    st.totalLatency.merge(delta.totalLatency);
+    st.deviceLatency.merge(delta.deviceLatency);
+}
+
+void
+BlockLayer::fusedCompleteStats(Op op, uint32_t size,
+                               cgroup::CgroupId cg,
+                               sim::Time total_latency,
+                               sim::Time device_latency)
+{
+    ++completed_;
+
+    CgroupIoStats &st = statsMutable(cg);
+    if (op == Op::Read) {
+        ++st.reads;
+        st.readBytes += size;
+    } else {
+        ++st.writes;
+        st.writeBytes += size;
+    }
+    st.totalLatency.record(total_latency);
+    st.deviceLatency.record(device_latency);
+}
+
+void
 BlockLayer::onDeviceComplete(BioPtr bio, sim::Time device_latency)
 {
     if (bio->status != BioStatus::Ok) {

@@ -204,6 +204,57 @@ class BlockLayer
     }
 
     /**
+     * @name Fused-sweep accounting hooks (host::FusedObserver).
+     *
+     * The sweep's fused observer performs this layer's per-bio work
+     * for lockstep lanes without materializing a bio. Each hook
+     * replicates exactly the mutations the corresponding full-path
+     * function makes for a status-Ok bio; the observer calls them in
+     * full-path order. Only meaningful on shadow-lane layers, where
+     * merging, the submission-CPU model, and detail telemetry are
+     * all off.
+     * @{
+     */
+
+    /**
+     * Apply a deferred batch of acceptance/completion counts. The
+     * observer counts fused submissions and Ok completions once, in
+     * shared scratch, and lands the identical integer deltas on
+     * every fused lane at its flush points (planning boundaries,
+     * forks, stat reads) — addition commutes, so deferral cannot
+     * change results.
+     */
+    void
+    fusedApplyDeferred(uint64_t submits, uint64_t completes)
+    {
+        nextBioId_ += submits;
+        submitted_ += submits;
+        completed_ += completes;
+    }
+
+    /**
+     * Merge a deferred per-cgroup stats window (Ok completions only:
+     * counts, bytes, and the two latency histograms — error counters
+     * always go through the full path).
+     */
+    void fusedMergeStats(cgroup::CgroupId cg,
+                         const CgroupIoStats &delta);
+
+    /** Next bio id to be assigned (fused lockstep assertion). */
+    uint64_t nextBioId() const { return nextBioId_; }
+
+    /** onDeviceComplete()'s accounting for one Ok completion
+     *  (immediate form, for completions that straddle a refusion). */
+    void fusedCompleteStats(Op op, uint32_t size,
+                            cgroup::CgroupId cg,
+                            sim::Time total_latency,
+                            sim::Time device_latency);
+
+    /** onDeviceComplete()'s freed-device-slot drain. */
+    void fusedCompleteDrain() { drainDispatchQueue(); }
+    /** @} */
+
+    /**
      * @name Snapshot support (sim::Snapshottable shape).
      *
      * Serializes the retry policy (what-if fault queries rewrite

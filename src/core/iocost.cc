@@ -272,6 +272,123 @@ IoCost::onSubmit(blk::BioPtr bio)
 }
 
 void
+IoCost::fusedDispatchTick(Iocg &st)
+{
+    if (st.outstanding++ == 0)
+        st.busySince = sim_->now();
+}
+
+IoCost::FusedVerdict
+IoCost::fusedIssue(cgroup::CgroupId cg, uint64_t offset,
+                   uint32_t size, bool swap_io, bool meta_io,
+                   double abs_cost)
+{
+    Iocg &st = iocg(cg);
+    const sim::Time now = sim_->now();
+
+    updateGvtime();
+    if (!st.active)
+        activate(cg, st);
+    st.lastIo = now;
+    st.lastEnd = offset + static_cast<uint64_t>(size);
+
+    // The charge tail of chargeAndDispatch, inline: a fused bio is
+    // charged at its submit instant, so the statWait/periodWait
+    // increments (now - submitTime) are exactly zero and elided.
+    const auto charge = [&](double hw) {
+        st.vtime += abs_cost / hw;
+        st.absUsage += abs_cost;
+        st.statUsage += abs_cost;
+        fusedDispatchTick(st);
+    };
+
+    if (swap_io || meta_io) {
+        switch (config_.debtMode) {
+          case DebtMode::Production:
+            if (st.absDebt == 0.0)
+                st.debtSince = now;
+            st.absDebt += abs_cost;
+            st.absUsage += abs_cost;
+            st.statUsage += abs_cost;
+            fusedDispatchTick(st);
+            return FusedVerdict::Dispatched;
+          case DebtMode::RootCharge:
+            fusedDispatchTick(st);
+            return FusedVerdict::Dispatched;
+          case DebtMode::Inversion:
+            break; // fall through to normal throttling
+        }
+    }
+
+    double hw = tree_->hweightInuse(cg);
+    if (hw <= kEps) {
+        fusedDispatchTick(st);
+        return FusedVerdict::Dispatched;
+    }
+
+    const double floor = gvtime_ - budgetCap();
+    if (st.vtime < floor)
+        st.vtime = floor;
+
+    payDebt(cg, st);
+
+    const double rel = abs_cost / hw;
+    if (st.waiting.empty() && st.absDebt <= 0.0 &&
+        gvtime_ - st.vtime >= rel) {
+        charge(hw);
+        return FusedVerdict::Dispatched;
+    }
+
+    if (std::abs(tree_->inuse(cg) -
+                 static_cast<double>(tree_->weight(cg))) > kEps) {
+        tree_->setInuse(cg, tree_->weight(cg));
+        hw = tree_->hweightInuse(cg);
+        const double rel2 = abs_cost / hw;
+        if (st.waiting.empty() && st.absDebt <= 0.0 &&
+            gvtime_ - st.vtime >= rel2) {
+            charge(hw);
+            return FusedVerdict::Dispatched;
+        }
+    }
+
+    return FusedVerdict::Queued;
+}
+
+void
+IoCost::fusedQueue(cgroup::CgroupId cg, blk::BioPtr bio)
+{
+    Iocg &st = iocg(cg);
+    st.hadWait = true;
+    st.waiting.push_back(std::move(bio));
+    if (!st.kick.pending())
+        kickWaiters(cg);
+}
+
+void
+IoCost::fusedComplete(cgroup::CgroupId cg, blk::Op op,
+                      sim::Time device_latency)
+{
+    if (op == blk::Op::Read)
+        periodReadLat_.record(device_latency);
+    else
+        periodWriteLat_.record(device_latency);
+
+    Iocg &st = iocg(cg);
+    if (st.outstanding > 0 && --st.outstanding == 0)
+        st.busyAccum += sim_->now() - st.busySince;
+}
+
+bool
+IoCost::fusedQuiescent() const
+{
+    for (const Iocg &st : iocgs_) {
+        if (!st.waiting.empty() || st.kick.pending())
+            return false;
+    }
+    return true;
+}
+
+void
 IoCost::kickWaiters(cgroup::CgroupId cg)
 {
     Iocg &st = iocg(cg);

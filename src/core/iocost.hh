@@ -43,6 +43,10 @@
 #include "stat/histogram.hh"
 #include "stat/time_series.hh"
 
+namespace iocost::host {
+class FusedObserver;
+}
+
 namespace iocost::core {
 
 /**
@@ -174,6 +178,76 @@ class IoCost : public blk::IoController
     void runPlanning();
 
     /**
+     * @name Fused-sweep entry points (host::FusedObserver).
+     *
+     * The sweep's fused observer runs one K-wide loop per generator
+     * bio over lockstep lanes, skipping bio materialization. These
+     * hooks let it drive the issue/complete paths with exactly the
+     * mutations onSubmit/onComplete would make, in the same order,
+     * on the same authoritative Iocg state — so a lane can fall back
+     * to the full path (fork) or rejoin the fused loop (refuse) at
+     * any bio boundary with byte-identical results.
+     * @{
+     */
+
+    /** What fusedIssue() decided for one lane. */
+    enum class FusedVerdict
+    {
+        /** Admitted: charged (or debt-charged) and dispatched. */
+        Dispatched,
+        /**
+         * Over budget. No queue mutation was performed — the caller
+         * must materialize the bio and hand it to fusedQueue(),
+         * because a throttled lane leaves the fused path.
+         */
+        Queued,
+    };
+
+    /**
+     * The issue path (onSubmit) for one fused bio: identical
+     * mutations up to the admission decision, minus the bio itself.
+     * @p abs_cost is the model cost the observer computed once for
+     * all lanes sharing this lane's CostModel; sequentiality is
+     * likewise classified once upstream (every lane observes the
+     * same per-cgroup stream, so lastEnd agrees across lanes — it is
+     * still maintained here for the fall-back path).
+     */
+    FusedVerdict fusedIssue(cgroup::CgroupId cg, uint64_t offset,
+                            uint32_t size, bool swap_io, bool meta_io,
+                            double abs_cost);
+
+    /**
+     * Complete a Queued verdict: park the now-materialized bio on
+     * the waitq exactly as onSubmit's tail would have.
+     */
+    void fusedQueue(cgroup::CgroupId cg, blk::BioPtr bio);
+
+    /**
+     * The completion path (onComplete) for one fused bio. Fused
+     * completions are always status-Ok — error outcomes fork to the
+     * full path before any completion is delivered.
+     */
+    void fusedComplete(cgroup::CgroupId cg, blk::Op op,
+                       sim::Time device_latency);
+
+    /**
+     * True when no cgroup is throttled (empty waitqs, no pending
+     * kick timers) — the controller-side condition for re-fusing a
+     * diverged lane.
+     */
+    bool fusedQuiescent() const;
+
+    /**
+     * Whether a programmable cost model is installed. Cost programs
+     * take a materialized bio, so lanes running one never fuse.
+     */
+    bool hasCostProgram() const
+    {
+        return static_cast<bool>(config_.costProgram);
+    }
+    /** @} */
+
+    /**
      * @name Snapshot support.
      *
      * Everything the issue and planning paths evolve is serialized:
@@ -190,6 +264,17 @@ class IoCost : public blk::IoController
     /** @} */
 
   private:
+    /**
+     * The fused observer inlines the common admit-and-charge case of
+     * the issue path (plus the outstanding/busy completion tick)
+     * against cached Iocg pointers and hierarchical weights, and
+     * merges deferred period-histogram state at its flush points.
+     * Every mutation it makes is exactly one this class's own paths
+     * make; anything beyond the straight-line case falls back to
+     * fusedIssue() above.
+     */
+    friend class iocost::host::FusedObserver;
+
     /** Per-cgroup controller state ("iocg"). */
     struct Iocg
     {
@@ -257,6 +342,9 @@ class IoCost : public blk::IoController
     /** Charge and dispatch one bio unconditionally. */
     void chargeAndDispatch(blk::BioPtr bio, Iocg &st,
                            double abs_cost, double hw);
+
+    /** dispatchTracked() minus the dispatch (fused issue path). */
+    void fusedDispatchTick(Iocg &st);
 
     /** Planning-path vrate adjustment from device feedback. */
     void adjustVrate(sim::Time elapsed);

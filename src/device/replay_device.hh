@@ -100,6 +100,36 @@ class ReplayDevice : public blk::BlockDevice
     /** Bios parked on a not-yet-recorded outcome. */
     size_t pendingCount() const { return pendingCount_; }
 
+    /**
+     * @name Fused-lane hooks (host::FusedObserver).
+     *
+     * A fused lane occupies device slots without materializing
+     * bios: the observer acquires a slot at issue time, tracks the
+     * in-flight record itself, and releases the slot when the fused
+     * completion fires. When the lane forks back to the full path,
+     * its fused in-flight records are materialized and parked here
+     * (adoptParked) — their slots are already counted, so this is
+     * park() without the submit() gate.
+     * @{
+     */
+
+    /** submit()'s admission gate + slot acquisition, bio-less. */
+    bool
+    fusedAcquire()
+    {
+        if (inFlight_ >= depth_)
+            return false;
+        ++inFlight_;
+        return true;
+    }
+
+    /** Release a slot acquired by fusedAcquire(). */
+    void fusedRelease() { --inFlight_; }
+
+    /** Park a materialized fused record; its slot is held. */
+    void adoptParked(blk::BioPtr bio) { park(std::move(bio)); }
+    /** @} */
+
   private:
     /**
      * One parked bio, keyed by id. id == 0 marks an empty cell (bio

@@ -180,11 +180,45 @@ SweepRunner::SweepRunner(sim::Simulator &sim, SweepOptions opts)
     }
     for (PlanGroup &pg : planGroups_) {
         pg.timer.emplace(sim_, pg.period,
-                         [members = &pg.members] {
+                         [this, members = &pg.members] {
+                             // Planning consumes the period latency
+                             // histograms and emits period telemetry:
+                             // the deferred fused accounting must
+                             // land first.
+                             if (fused_)
+                                 fused_->flushDeferred();
                              for (core::IoCost *c : *members)
                                  c->runPlanning();
+                             // Planning boundaries are the fused
+                             // path's refusion points: waitqs were
+                             // just kicked under the new vrate, so a
+                             // reconverged lane is quiescent here.
+                             if (fused_)
+                                 fused_->onPlanBoundary();
                          });
         pg.timer->start();
+    }
+
+    // Fused K-wide fast path, when the byte-identity preconditions
+    // hold: at most 64 lanes (the record bitmask), no per-completion
+    // detail telemetry (fused completions skip per-lane emission),
+    // and at least one iocost lane (other mechanisms always run the
+    // full path). Lanes that never fuse are simply cloned to by the
+    // observer, same as the non-observer loop.
+    if (opts_.fusedObserver && !opts_.telemetryDetail &&
+        lanes_.size() <= 64) {
+        bool any_iocost = false;
+        for (Lane &lane : lanes_)
+            any_iocost = any_iocost || lane.iocost != nullptr;
+        if (any_iocost) {
+            fused_ = std::make_unique<FusedObserver>(
+                sim_, generator_->layer(), log_,
+                generator_->device().queueDepth());
+            for (Lane &lane : lanes_)
+                fused_->addLane(lane.layer, lane.device,
+                                lane.iocost);
+            fused_->start();
+        }
     }
 
     resolveScratch_.reserve(lanes_.size());
@@ -194,9 +228,20 @@ SweepRunner::SweepRunner(sim::Simulator &sim, SweepOptions opts)
 void
 SweepRunner::onLogEvent(uint64_t id)
 {
+    // The observer consumes the id's fused record first: an Ok
+    // outcome schedules the batched fused completion, an error
+    // outcome forks real parked bios that the per-lane pass below
+    // then resolves exactly like full-path bios.
+    if (fused_)
+        fused_->onLogEvent(id);
+
     resolveScratch_.clear();
-    for (Lane &lane : lanes_)
+    for (Lane &lane : lanes_) {
+        // Fully-fused lanes park nothing; skip their table probe.
+        if (lane.device.pendingCount() == 0)
+            continue;
         lane.device.resolveDetached(id, resolveScratch_);
+    }
 
     // Group the resolutions by service duration — in lockstep every
     // lane resolves to the same log entry, so the usual outcome is
@@ -290,6 +335,10 @@ SweepRunner::addSystemService(const std::string &name,
 void
 SweepRunner::cloneToLanes(const blk::Bio &bio)
 {
+    if (fused_) {
+        fused_->onGeneratorBio(bio);
+        return;
+    }
     for (Lane &lane : lanes_) {
         blk::BioPtr clone =
             blk::Bio::make(bio.op, bio.offset, bio.size, bio.cgroup);
@@ -308,6 +357,10 @@ SweepRunner::onGeneratorFinal(const blk::Bio &bio)
 void
 SweepRunner::resetStats()
 {
+    // Land (then discard with the rest) any deferred fused window —
+    // matching the full path, which records before the caller cuts.
+    if (fused_)
+        fused_->flushDeferred();
     generator_->layer().resetStats();
     for (Lane &lane : lanes_)
         lane.layer.resetStats();

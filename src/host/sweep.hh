@@ -54,6 +54,7 @@
 #include "controllers/factory.hh"
 #include "core/iocost.hh"
 #include "device/replay_device.hh"
+#include "host/fused_observer.hh"
 #include "host/host.hh"
 #include "sim/simulator.hh"
 
@@ -121,6 +122,16 @@ struct SweepOptions
      * multi-lane groups bit for bit.
      */
     bool forceShadow = false;
+
+    /**
+     * Run lockstep iocost lanes through the FusedObserver fast path
+     * (one K-wide charge loop, bio-less in-flight tracking,
+     * fork-on-divergence). Results are byte-identical either way —
+     * this exists so benches and tests can compare against the
+     * full-lane path. Ignored (off) when lanes exceed 64, detail
+     * telemetry is on, or no lane runs iocost.
+     */
+    bool fusedObserver = true;
 };
 
 /**
@@ -166,22 +177,36 @@ class SweepRunner
     cgroup::CgroupId addSystemService(const std::string &name,
                                       uint32_t weight = 100);
 
-    /** Lane @p k's block layer (per-cgroup stats, counters). */
+    /** Lane @p k's block layer (per-cgroup stats, counters). Reads
+     *  are a flush point for the fused path's deferred accounting. */
     blk::BlockLayer &
     laneLayer(size_t k)
     {
+        if (fused_)
+            fused_->flushDeferred();
         return plain_ ? generator_->layer() : lanes_[k].layer;
     }
 
-    /** Lane @p k's IoCost, or nullptr for other mechanisms. */
+    /** Lane @p k's IoCost, or nullptr for other mechanisms. Reads
+     *  are a flush point for the fused path's deferred accounting. */
     core::IoCost *
     laneIocost(size_t k)
     {
+        if (fused_)
+            fused_->flushDeferred();
         return plain_ ? generator_->iocost() : lanes_[k].iocost;
     }
 
     /** Reset generator and lane per-cgroup stats (warmup cut). */
     void resetStats();
+
+    /** The fused fast-path observer, or nullptr when disabled
+     *  (plain mode, detail telemetry, no iocost lanes, opt-out). */
+    const FusedObserver *
+    fusedObserver() const
+    {
+        return fused_.get();
+    }
 
     /** Workload cgroups created so far, in creation order. Lane ids
      *  equal generator ids, so one list serves every lane. */
@@ -273,6 +298,7 @@ class SweepRunner
     std::vector<device::ReplayDevice::Resolved> resolveScratch_;
     std::vector<ReplayBatch> batchPool_;
     uint32_t freeBatch_ = kNoBatch;
+    std::unique_ptr<FusedObserver> fused_;
 };
 
 /**

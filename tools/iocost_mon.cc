@@ -20,6 +20,15 @@
  *              [--detail]      per-completion device/blk records
  *              [--out FILE]    also dump every record as JSONL
  *
+ * Host sweep mode runs every ';'-separated controller spec as a
+ * shadow lane over one shared workload/device stream (host::runSweep
+ * CRN semantics) and renders the fused fast-path occupancy per
+ * planning boundary — the row where a sweep visibly falls off the
+ * fused path — plus the end-of-run per-config comparison:
+ *   iocost_mon --sweep "iocost min=100;iocost min=25;iolatency"
+ *              [--device ...] [--faults ...] [--seconds N]
+ *              [--seed N] [--job ...] [--every N] [--out FILE]
+ *
  * Fleet mode replays the §4.8 migration studies with telemetry on,
  * writing one JSONL record per telemetry sample prefixed with the
  * (day, host) slice coordinates. Output is byte-identical for any
@@ -71,6 +80,7 @@
 #include "device/ssd_model.hh"
 #include "fleet/fleet_sim.hh"
 #include "host/host.hh"
+#include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "sim/logging.hh"
 #include "stat/telemetry.hh"
@@ -357,6 +367,198 @@ runSingleHost(const std::string &device_name,
         out.flush();
         std::printf("wrote %zu records to %s\n", records.size(),
                     out_path.c_str());
+    }
+    return 0;
+}
+
+/**
+ * Host sweep view: K shadow lanes over one shared stream. The main
+ * rendering is the fused fast-path occupancy timeline — the per-
+ * planning-boundary `sweep/fused_lanes` and `sweep/diverged_lanes`
+ * telemetry the FusedObserver emits — as a row of '#' (fused) and
+ * '.' (diverged) per lane, so a config that falls off the fast path
+ * (hard throttle, debt, error bursts) is visible at the period it
+ * forked and at the period it re-fused.
+ */
+int
+runHostSweep(const std::string &device_name,
+             const std::string &sweep_arg,
+             const std::string &model_line,
+             const std::string &faults_spec, double seconds,
+             uint64_t seed, std::vector<JobSpec> jobs,
+             unsigned every, const std::string &out_path)
+{
+    std::vector<std::string> specs;
+    for (size_t pos = 0; pos <= sweep_arg.size();) {
+        size_t semi = sweep_arg.find(';', pos);
+        if (semi == std::string::npos)
+            semi = sweep_arg.size();
+        if (semi > pos)
+            specs.push_back(sweep_arg.substr(pos, semi - pos));
+        pos = semi + 1;
+    }
+    if (specs.empty())
+        sim::fatal("--sweep needs at least one controller spec");
+
+    // Profile the device's cost model up front: the runner applies
+    // tweakSpec while parsing specs, before any device exists.
+    core::LinearModelConfig model;
+    {
+        sim::Simulator probe(seed);
+        (void)makeDevice(device_name, probe, model);
+    }
+    if (!model_line.empty()) {
+        const auto parsed = core::parseModelLine(model_line);
+        if (!parsed)
+            sim::fatal("bad --model line");
+        model = *parsed;
+    }
+
+    if (jobs.empty()) {
+        jobs.push_back(parseJob("web:weight=200:depth=32"));
+        jobs.push_back(parseJob("batch:weight=100:depth=32"));
+    }
+
+    stat::RingSink ring;
+    host::SweepOptions opts;
+    opts.specs = specs;
+    opts.faults = faults_spec;
+    opts.generatorSink = &ring;
+    opts.makeDevice = [&device_name](sim::Simulator &sim) {
+        core::LinearModelConfig scratch;
+        return makeDevice(device_name, sim, scratch);
+    };
+    const core::CostModel cost = core::CostModel::fromConfig(model);
+    opts.tweakSpec = [cost](const std::string &,
+                            controllers::ControllerSpec &spec) {
+        spec.iocost.model = cost;
+    };
+
+    std::printf("device=%s sweep K=%zu seconds=%.1f seed=%llu\n",
+                device_name.c_str(), specs.size(), seconds,
+                static_cast<unsigned long long>(seed));
+
+    struct LaneRow
+    {
+        uint64_t reads = 0;
+        uint64_t writes = 0;
+        double p50Us = 0.0;
+        double p99Us = 0.0;
+    };
+    double fraction = -1.0;
+    const auto rows = host::runSweep(
+        std::move(opts), seed, 1,
+        [&jobs, seconds](sim::Simulator &sim,
+                         host::SweepRunner &runner) {
+            std::vector<std::unique_ptr<workload::FioWorkload>>
+                running;
+            for (size_t j = 0; j < jobs.size(); ++j) {
+                JobSpec js = jobs[j];
+                const auto cg =
+                    runner.addWorkload(js.name, js.weight);
+                js.fio.offsetBase = j << 40;
+                running.push_back(
+                    std::make_unique<workload::FioWorkload>(
+                        sim, runner.layer(), cg, js.fio));
+                running.back()->start();
+            }
+            sim.runUntil(
+                static_cast<sim::Time>(seconds * sim::kSec));
+        },
+        [&fraction](host::SweepRunner &runner, size_t lane,
+                    size_t) {
+            if (const host::FusedObserver *obs =
+                    runner.fusedObserver())
+                fraction = obs->fusedFraction();
+            LaneRow row;
+            const auto &cgs = runner.workloadCgroups();
+            for (const auto &named : cgs) {
+                const blk::CgroupIoStats &st =
+                    runner.laneLayer(lane).stats(named.second);
+                row.reads += st.reads;
+                row.writes += st.writes;
+            }
+            if (!cgs.empty()) {
+                const stat::Histogram &lat =
+                    runner.laneLayer(lane)
+                        .stats(cgs.front().second)
+                        .totalLatency;
+                row.p50Us =
+                    static_cast<double>(lat.quantile(0.50)) / 1e3;
+                row.p99Us =
+                    static_cast<double>(lat.quantile(0.99)) / 1e3;
+            }
+            return row;
+        });
+
+    // Fast-path occupancy timeline from the generator's stream.
+    struct FusedPeriod
+    {
+        sim::Time time = 0;
+        unsigned fused = 0;
+        unsigned diverged = 0;
+    };
+    std::vector<FusedPeriod> periods;
+    for (const stat::Record &r : ring.records()) {
+        if (r.source != "sweep")
+            continue;
+        if (periods.empty() || periods.back().time != r.time) {
+            periods.emplace_back();
+            periods.back().time = r.time;
+        }
+        if (r.key == "fused_lanes")
+            periods.back().fused = static_cast<unsigned>(r.value);
+        else if (r.key == "diverged_lanes")
+            periods.back().diverged =
+                static_cast<unsigned>(r.value);
+    }
+    if (periods.empty()) {
+        std::printf("no fused-observer telemetry (K=1 sweeps and "
+                    "iocost-free sweeps run the plain path)\n");
+    } else {
+        if (every == 0) {
+            every = static_cast<unsigned>(
+                std::max<size_t>(1, periods.size() / 32));
+        }
+        std::printf("fused fast-path occupancy ('#' fused lane, "
+                    "'.' diverged):\n");
+        for (size_t i = 0; i < periods.size(); i += every) {
+            const FusedPeriod &p = periods[i];
+            std::printf("[%8.3fs] %2u/%2u |", sim::toSeconds(p.time),
+                        p.fused, p.fused + p.diverged);
+            for (unsigned k = 0; k < p.fused; ++k)
+                std::putchar('#');
+            for (unsigned k = 0; k < p.diverged; ++k)
+                std::putchar('.');
+            std::printf("|\n");
+        }
+        if (fraction >= 0.0) {
+            std::printf("fused path carried %.1f%% of lane "
+                        "submissions over %zu planning periods\n",
+                        100.0 * fraction, periods.size());
+        }
+    }
+
+    std::printf("%-40s %10s %10s %9s %9s\n", "config", "reads",
+                "writes", "p50us", "p99us");
+    for (size_t c = 0; c < rows.size(); ++c) {
+        std::printf("%-40s %10llu %10llu %9.0f %9.0f\n",
+                    specs[c].c_str(),
+                    static_cast<unsigned long long>(rows[c].reads),
+                    static_cast<unsigned long long>(
+                        rows[c].writes),
+                    rows[c].p50Us, rows[c].p99Us);
+    }
+
+    if (!out_path.empty()) {
+        stat::JsonlSink out(out_path);
+        if (!out.ok())
+            sim::fatal("cannot write " + out_path);
+        for (const stat::Record &r : ring.records())
+            out.emit(r);
+        out.flush();
+        std::printf("wrote %zu records to %s\n",
+                    ring.records().size(), out_path.c_str());
     }
     return 0;
 }
@@ -759,7 +961,7 @@ main(int argc, char **argv)
     std::string device_name = "newgen";
     std::string controller = "iocost";
     std::string model_line, qos_line, out_path, scenario;
-    std::string faults_spec;
+    std::string faults_spec, sweep_arg;
     double seconds = 5.0;
     uint64_t seed = 42;
     unsigned every = 0;
@@ -789,6 +991,8 @@ main(int argc, char **argv)
             device_name = next();
         } else if (arg == "--controller") {
             controller = next();
+        } else if (arg == "--sweep") {
+            sweep_arg = next();
         } else if (arg == "--model") {
             model_line = next();
         } else if (arg == "--qos") {
@@ -853,6 +1057,11 @@ main(int argc, char **argv)
         fleet_cfg.faults = faults_spec;
         return runFleet(scenario, fleet_cfg, fleet_jobs,
                         fleet_shards, out_path);
+    }
+    if (!sweep_arg.empty()) {
+        return runHostSweep(device_name, sweep_arg, model_line,
+                            faults_spec, seconds, seed,
+                            std::move(jobs), every, out_path);
     }
     return runSingleHost(device_name, controller, model_line,
                          qos_line, faults_spec, seconds, seed,
