@@ -129,6 +129,15 @@ struct Bio
      */
     bool meta = false;
 
+    /**
+     * Dirty-page writeback issued by the flusher on behalf of the
+     * dirtying cgroup (cgroup writeback attribution). Joins the
+     * swap/meta forced-issue path: writeback cannot wait — dirty
+     * pages pin memory and fsync barriers queue behind them — so
+     * iocost turns the cost into debt instead of throttling (§3.5).
+     */
+    bool wb = false;
+
     /** When the bio entered the block layer. */
     sim::Time submitTime = 0;
 

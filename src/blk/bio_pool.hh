@@ -96,6 +96,7 @@ class BioPool
         bio->cgroup = cg;
         bio->swap = false;
         bio->meta = false;
+        bio->wb = false;
         bio->submitTime = 0;
         bio->dispatchTime = 0;
         bio->status = BioStatus::Ok;
@@ -269,6 +270,7 @@ cloneBio(const Bio &src)
     out->cgroup = src.cgroup;
     out->swap = src.swap;
     out->meta = src.meta;
+    out->wb = src.wb;
     out->submitTime = src.submitTime;
     out->dispatchTime = src.dispatchTime;
     out->status = src.status;

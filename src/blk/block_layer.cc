@@ -153,13 +153,15 @@ BlockLayer::fusedMergeStats(cgroup::CgroupId cg,
     st.writes += delta.writes;
     st.readBytes += delta.readBytes;
     st.writeBytes += delta.writeBytes;
+    st.wbWrites += delta.wbWrites;
+    st.wbBytes += delta.wbBytes;
     st.totalLatency.merge(delta.totalLatency);
     st.deviceLatency.merge(delta.deviceLatency);
 }
 
 void
 BlockLayer::fusedCompleteStats(Op op, uint32_t size,
-                               cgroup::CgroupId cg,
+                               cgroup::CgroupId cg, bool wb,
                                sim::Time total_latency,
                                sim::Time device_latency)
 {
@@ -172,6 +174,10 @@ BlockLayer::fusedCompleteStats(Op op, uint32_t size,
     } else {
         ++st.writes;
         st.writeBytes += size;
+        if (wb) {
+            ++st.wbWrites;
+            st.wbBytes += size;
+        }
     }
     st.totalLatency.record(total_latency);
     st.deviceLatency.record(device_latency);
@@ -194,6 +200,10 @@ BlockLayer::onDeviceComplete(BioPtr bio, sim::Time device_latency)
     } else {
         ++st.writes;
         st.writeBytes += bio->size;
+        if (bio->wb) {
+            ++st.wbWrites;
+            st.wbBytes += bio->size;
+        }
     }
     st.totalLatency.record(sim_.now() - bio->submitTime);
     st.deviceLatency.record(device_latency);
@@ -372,6 +382,8 @@ BlockLayer::saveState(sim::StateWriter &w) const
         w.put(st.retries);
         w.put(st.timeouts);
         w.put(st.failures);
+        w.put(st.wbWrites);
+        w.put(st.wbBytes);
         st.totalLatency.saveState(w);
         st.deviceLatency.saveState(w);
     }
@@ -412,6 +424,8 @@ BlockLayer::loadState(sim::StateReader &r)
         r.get(st.retries);
         r.get(st.timeouts);
         r.get(st.failures);
+        r.get(st.wbWrites);
+        r.get(st.wbBytes);
         st.totalLatency.loadState(r);
         st.deviceLatency.loadState(r);
     }

@@ -47,6 +47,10 @@ struct CgroupIoStats
     uint64_t timeouts = 0;
     /** Bios delivered to the submitter with a non-Ok status. */
     uint64_t failures = 0;
+    /** Dirty-writeback bios completed (flusher IO, bio->wb). */
+    uint64_t wbWrites = 0;
+    /** Bytes cleaned by those writeback completions. */
+    uint64_t wbBytes = 0;
     /** Submission-to-completion latency (what the app observes). */
     stat::Histogram totalLatency;
     /** Dispatch-to-completion latency (what the device delivered). */
@@ -246,7 +250,7 @@ class BlockLayer
     /** onDeviceComplete()'s accounting for one Ok completion
      *  (immediate form, for completions that straddle a refusion). */
     void fusedCompleteStats(Op op, uint32_t size,
-                            cgroup::CgroupId cg,
+                            cgroup::CgroupId cg, bool wb,
                             sim::Time total_latency,
                             sim::Time device_latency);
 

@@ -56,9 +56,9 @@ IoLatency::onSubmit(blk::BioPtr bio)
     const cgroup::CgroupId cg = bio->cgroup;
     State &st = state(cg);
 
-    // Reclaim IO must not be blocked behind the depth limit
-    // (memory-management awareness).
-    if (bio->swap) {
+    // Reclaim and dirty-writeback IO must not be blocked behind the
+    // depth limit (memory-management awareness).
+    if (bio->swap || bio->wb) {
         ++st.inFlight;
         layer().dispatch(std::move(bio));
         return;

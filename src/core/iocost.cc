@@ -206,10 +206,10 @@ IoCost::onSubmit(blk::BioPtr bio)
             : config_.model.cost(bio->op, sequential, bio->size));
     bio->controllerScratch = abs_cost;
 
-    // Swap and metadata IO must not block (§3.5); the production
-    // mode turns their cost into debt, the RootCharge ablation
-    // foregoes charging entirely.
-    if (bio->swap || bio->meta) {
+    // Swap, metadata, and dirty-writeback IO must not block (§3.5);
+    // the production mode turns their cost into debt, the
+    // RootCharge ablation foregoes charging entirely.
+    if (bio->swap || bio->meta || bio->wb) {
         switch (config_.debtMode) {
           case DebtMode::Production:
             if (st.absDebt == 0.0)
@@ -281,7 +281,7 @@ IoCost::fusedDispatchTick(Iocg &st)
 IoCost::FusedVerdict
 IoCost::fusedIssue(cgroup::CgroupId cg, uint64_t offset,
                    uint32_t size, bool swap_io, bool meta_io,
-                   double abs_cost)
+                   bool wb_io, double abs_cost)
 {
     Iocg &st = iocg(cg);
     const sim::Time now = sim_->now();
@@ -302,7 +302,7 @@ IoCost::fusedIssue(cgroup::CgroupId cg, uint64_t offset,
         fusedDispatchTick(st);
     };
 
-    if (swap_io || meta_io) {
+    if (swap_io || meta_io || wb_io) {
         switch (config_.debtMode) {
           case DebtMode::Production:
             if (st.absDebt == 0.0)

@@ -214,7 +214,7 @@ class IoCost : public blk::IoController
      */
     FusedVerdict fusedIssue(cgroup::CgroupId cg, uint64_t offset,
                             uint32_t size, bool swap_io, bool meta_io,
-                            double abs_cost);
+                            bool wb_io, double abs_cost);
 
     /**
      * Complete a Queued verdict: park the now-materialized bio on

@@ -165,8 +165,11 @@ workloadByName(const std::string &token, const std::string &name)
         return WorkloadKind::WriteHeavy;
     if (name == "bursty")
         return WorkloadKind::Bursty;
+    if (name == "buffered")
+        return WorkloadKind::Buffered;
     bad(token, "unknown workload \"" + name +
-                   "\" (mixed, readheavy, writeheavy, bursty)");
+                   "\" (mixed, readheavy, writeheavy, bursty, "
+                   "buffered)");
 }
 
 /** Device spec back to its scenario token. */
@@ -255,6 +258,8 @@ workloadKindName(WorkloadKind kind)
         return "writeheavy";
     case WorkloadKind::Bursty:
         return "bursty";
+    case WorkloadKind::Buffered:
+        return "buffered";
     }
     return "?";
 }
@@ -394,6 +399,12 @@ FleetScenario::parse(const std::string &spec)
                 parseBytes(token, value));
         } else if (key == "cleanup_deadline") {
             sc.cleanupDeadline = parseTimeValue(token, value);
+        } else if (key == "pagecache") {
+            sc.pagecacheBytes = parseBytes(token, value);
+        } else if (key == "dirty_ratio") {
+            sc.dirtyRatioPct = parseShare(token, value);
+            if (sc.dirtyRatioPct > 100.0)
+                bad(token, "dirty_ratio is a percent (<= 100)");
         } else {
             bad(token, "unknown key \"" + key + "\"");
         }
@@ -435,6 +446,16 @@ FleetScenario::parse(const std::string &spec)
     if (sc.workloads.empty())
         sc.workloads.push_back(
             WorkloadShare{WorkloadKind::Mixed, 1.0});
+    // Buffered workloads need a cache; default one in when the mix
+    // asks for buffered IO without sizing it explicitly.
+    if (sc.pagecacheBytes == 0) {
+        for (const WorkloadShare &w : sc.workloads) {
+            if (w.kind == WorkloadKind::Buffered) {
+                sc.pagecacheBytes = 512ull << 20;
+                break;
+            }
+        }
+    }
     return sc;
 }
 
@@ -487,6 +508,21 @@ FleetScenario::canonical() const
 
     if (!faults.empty())
         out += " faults=" + faults;
+
+    // Emitted only when set: legacy (pre-pagecache) canonical
+    // strings — and the what-if cache hashes derived from them —
+    // must not change.
+    if (pagecacheBytes != 0) {
+        std::snprintf(buf, sizeof(buf), " pagecache=%llu",
+                      static_cast<unsigned long long>(
+                          pagecacheBytes));
+        out += buf;
+    }
+    if (dirtyRatioPct != 0.0) {
+        std::snprintf(buf, sizeof(buf), " dirty_ratio=%.6g",
+                      dirtyRatioPct);
+        out += buf;
+    }
 
     if (!sweep.empty()) {
         // Spaces inside an entry become commas so the whole sweep

@@ -50,9 +50,14 @@ enum class WorkloadKind : uint8_t
     WriteHeavy,
     /** Rate-arrival read bursts over a shallow write stream. */
     Bursty,
+    /** Buffered IO through the page cache: a dirtier stream, an
+     *  fsync-storm stream, and a cache-friendly direct reader
+     *  (requires pagecache=; see FleetScenario::pagecacheBytes). */
+    Buffered,
 };
 
-/** @return "mixed" / "readheavy" / "writeheavy" / "bursty". */
+/** @return "mixed" / "readheavy" / "writeheavy" / "bursty" /
+ *  "buffered". */
 const char *workloadKindName(WorkloadKind kind);
 
 /** One stage of the IOLatency -> IOCost migration plan. */
@@ -105,6 +110,20 @@ struct FleetScenario
     /** Device fault spec applied to every host-day slice
      *  (sim::FaultPlan::parse grammar; empty = healthy fleet). */
     std::string faults;
+
+    /**
+     * Page cache size per host (`pagecache=512M`); 0 disables
+     * buffered IO. Auto-set to 512M when the workload mix contains
+     * `buffered` and no explicit size was given. When non-zero,
+     * every host-day gets a PageCache (all workload kinds — the
+     * flusher only runs when something dirties pages).
+     */
+    uint64_t pagecacheBytes = 0;
+
+    /** Hard dirty wall as a percent of the page cache
+     *  (`dirty_ratio=20`); the background threshold tracks at
+     *  half. 0 keeps PageCacheConfig defaults. */
+    double dirtyRatioPct = 0.0;
 
     /**
      * Multi-config sweep: full controller spec lines (one per

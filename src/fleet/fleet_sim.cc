@@ -16,6 +16,7 @@
 #include "host/host.hh"
 #include "profile/device_profiler.hh"
 #include "sim/rng.hh"
+#include "workload/buffered_io.hh"
 #include "workload/fio_workload.hh"
 
 namespace iocost::fleet {
@@ -161,6 +162,14 @@ shapeWorkloads(WorkloadKind kind, sim::Rng &knobs,
         writes.blockSize = 1 << 20;
         writes.iodepth = 1 + static_cast<unsigned>(knobs.below(2));
         break;
+    case WorkloadKind::Buffered:
+        // Cache-friendly direct reader alongside the buffered
+        // streams (built by the caller); the direct write trickle
+        // stands in for unbuffered logging.
+        reads.iodepth = 4 + static_cast<unsigned>(knobs.below(8));
+        writes.blockSize = 256 * 1024;
+        writes.iodepth = 1;
+        break;
     }
 }
 
@@ -235,6 +244,19 @@ FleetSim::runHostDay(const FleetScenario &sc,
     // slice seed decorrelates the per-request error draws.
     opts.faults = sc.faults;
     opts.faultSeedMix = seed;
+    // pagecache= gives every host-day a page cache; the flusher
+    // only issues IO when something dirties pages, so non-buffered
+    // kinds are unaffected.
+    if (sc.pagecacheBytes != 0) {
+        opts.enablePageCache = true;
+        opts.pageCacheConfig.cacheBytes = sc.pagecacheBytes;
+        if (sc.dirtyRatioPct > 0.0) {
+            opts.pageCacheConfig.dirtyRatio =
+                sc.dirtyRatioPct / 100.0;
+            opts.pageCacheConfig.dirtyBackgroundRatio =
+                sc.dirtyRatioPct / 200.0;
+        }
+    }
     // Slice-private ring: drained into the outcome after the run.
     stat::RingSink ring;
     if (sc.telemetry)
@@ -291,6 +313,35 @@ FleetSim::runHostDay(const FleetScenario &sc,
     workload::FioWorkload write_job(sim, host.layer(), main_cg,
                                     writes);
 
+    // The buffered kind adds a dirtier stream and an fsync storm
+    // through the page cache on top of the direct reader above.
+    std::unique_ptr<workload::BufferedWorkload> dirtier;
+    std::unique_ptr<workload::BufferedWorkload> fsyncer;
+    if (kind == WorkloadKind::Buffered) {
+        if (!host.hasPageCache()) {
+            throw std::invalid_argument(
+                "fleet: buffered workload requires pagecache=");
+        }
+        workload::BufferedConfig dc;
+        dc.name = "dirtier";
+        dc.blockSize = 1 << 20;
+        dc.spanBytes = 2ull << 30;
+        dc.offsetBase = 8ull << 40;
+        dc.thinkTime = 200 * sim::kUsec;
+        dc.depth = 2 + static_cast<unsigned>(knobs.below(4));
+        dirtier = std::make_unique<workload::BufferedWorkload>(
+            sim, host.pageCache(), main_cg, dc);
+        workload::BufferedConfig fc;
+        fc.name = "fsync-storm";
+        fc.blockSize = 16 * 1024;
+        fc.spanBytes = 256ull << 20;
+        fc.offsetBase = 9ull << 40;
+        fc.randomFraction = 1.0;
+        fc.fsyncEvery = 8;
+        fsyncer = std::make_unique<workload::BufferedWorkload>(
+            sim, host.pageCache(), main_cg, fc);
+    }
+
     FetchAgent fetch(host.layer(), fetch_cg, sc.fetchBytes,
                      seed ^ 0xabcdef12);
     CleanupAgent cleanup(host.layer(), cleanup_cg, sc.cleanupOps,
@@ -298,6 +349,10 @@ FleetSim::runHostDay(const FleetScenario &sc,
 
     read_job.start();
     write_job.start();
+    if (dirtier) {
+        dirtier->start();
+        fsyncer->start();
+    }
     // Agents start once the workload has pushed the device into its
     // sustained (buffer-drained) regime.
     const sim::Time agent_start = sc.warmup;
@@ -309,6 +364,10 @@ FleetSim::runHostDay(const FleetScenario &sc,
     sim.runUntil(agent_start + sc.slice);
     read_job.stop();
     write_job.stop();
+    if (dirtier) {
+        dirtier->stop();
+        fsyncer->stop();
+    }
 
     HostDayOutcome out;
     out.fetchTime = fetch.doneAt == sim::kTimeNever

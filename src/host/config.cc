@@ -149,6 +149,22 @@ applyConfig(Host &host, const std::string &config)
                     return result;
                 }
                 host.mm().setProtection(cg, *bytes);
+            } else if (key == "memory.dirty_limit") {
+                const auto bytes = parseSize(value);
+                if (!bytes) {
+                    result.error =
+                        "line " + std::to_string(line_no) +
+                        ": bad memory.dirty_limit '" + value + "'";
+                    return result;
+                }
+                if (!host.hasPageCache()) {
+                    result.error =
+                        "line " + std::to_string(line_no) +
+                        ": memory.dirty_limit requires "
+                        "enablePageCache";
+                    return result;
+                }
+                host.pageCache().setDirtyLimit(cg, *bytes);
             } else {
                 result.error = "line " + std::to_string(line_no) +
                                ": unknown key '" + key + "'";

@@ -13,8 +13,10 @@
  *     system.slice/chef             io.weight=25
  *
  * Supported keys: io.weight (cgroup v2 weight), memory.low
- * (reclaim protection, requires the host's MemoryManager). Missing
- * cgroups are created along the path. Sizes accept K/M/G suffixes.
+ * (reclaim protection, requires the host's MemoryManager), and
+ * memory.dirty_limit (per-cgroup dirty-page cap in bytes, requires
+ * the host's PageCache). Missing cgroups are created along the
+ * path. Sizes accept K/M/G suffixes.
  */
 
 #ifndef IOCOST_HOST_CONFIG_HH

@@ -143,6 +143,7 @@ FusedObserver::materialize(const blk::Bio &src, uint64_t id,
         blk::Bio::make(src.op, src.offset, src.size, src.cgroup);
     bio->swap = src.swap;
     bio->meta = src.meta;
+    bio->wb = src.wb;
     bio->id = id;
     bio->submitTime = submit_time;
     bio->controllerScratch = controller_scratch;
@@ -156,6 +157,7 @@ FusedObserver::materializeRecord(uint64_t id, const Record &rec) const
         blk::Bio::make(rec.op, rec.offset, rec.size, rec.cg);
     bio->swap = rec.swap;
     bio->meta = rec.meta;
+    bio->wb = rec.wb;
     bio->id = id;
     bio->submitTime = rec.time;
     // A fused bio dispatched the instant it was admitted.
@@ -196,7 +198,7 @@ FusedObserver::onGeneratorBio(const blk::Bio &bio)
         scratchDirty_ = true;
     }
 
-    const bool oddity = bio.swap || bio.meta;
+    const bool oddity = bio.swap || bio.meta || bio.wb;
     Cell *rec = nullptr;
     for (size_t k = 0; k < lanes_.size(); ++k) {
         LaneRef &ln = lanes_[k];
@@ -206,6 +208,7 @@ FusedObserver::onGeneratorBio(const blk::Bio &bio)
                 bio.op, bio.offset, bio.size, bio.cgroup);
             clone->swap = bio.swap;
             clone->meta = bio.meta;
+            clone->wb = bio.wb;
             ln.layer->submit(std::move(clone));
             continue;
         }
@@ -276,7 +279,7 @@ FusedObserver::slowIssue(size_t k, const blk::Bio &bio,
 {
     LaneRef &ln = lanes_[k];
     const core::IoCost::FusedVerdict verdict = ln.ioc->fusedIssue(
-        bio.cgroup, bio.offset, bio.size, bio.swap, bio.meta,
+        bio.cgroup, bio.offset, bio.size, bio.swap, bio.meta, bio.wb,
         abs_cost);
     // activate() and the rescind retry change the lane's weight
     // tree; re-read this lane's cached weights (rare path).
@@ -402,6 +405,10 @@ FusedObserver::fireFused(uint32_t slot)
         } else {
             ++sc.writes;
             sc.writeBytes += rec.size;
+            if (rec.wb) {
+                ++sc.wbWrites;
+                sc.wbBytes += rec.size;
+            }
             periodWriteScratch_.record(d);
         }
         sc.totalLatency.record(total);
@@ -437,7 +444,7 @@ FusedObserver::fireFused(uint32_t slot)
         LaneRef &ln = lanes_[k];
         ln.dev->fusedRelease();
         ln.layer->fusedCompleteStats(rec.op, rec.size, rec.cg,
-                                     total, d);
+                                     rec.wb, total, d);
         ln.ioc->fusedComplete(rec.cg, rec.op, d);
         ln.layer->fusedCompleteDrain();
     }
@@ -476,6 +483,7 @@ FusedObserver::flushDeferred()
             continue;
         sc.reads = sc.writes = 0;
         sc.readBytes = sc.writeBytes = 0;
+        sc.wbWrites = sc.wbBytes = 0;
         sc.totalLatency.reset();
         sc.deviceLatency.reset();
     }
@@ -566,6 +574,7 @@ FusedObserver::insertRecord(uint64_t id, const blk::Bio &bio,
     c.rec.op = bio.op;
     c.rec.swap = bio.swap;
     c.rec.meta = bio.meta;
+    c.rec.wb = bio.wb;
     c.rec.cg = bio.cgroup;
     c.rec.time = now;
     ++recordCount_;

@@ -228,6 +228,7 @@ class FusedObserver
         blk::Op op = blk::Op::Read;
         bool swap = false;
         bool meta = false;
+        bool wb = false;
         cgroup::CgroupId cg = 0;
         /** Submit == dispatch instant (fused bios never park). */
         sim::Time time = 0;

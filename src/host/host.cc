@@ -44,6 +44,10 @@ Host::Host(sim::Simulator &sim,
         mm_ = std::make_unique<mm::MemoryManager>(sim_, *layer_,
                                                   opts.memoryConfig);
     }
+    if (opts.enablePageCache) {
+        pagecache_ = std::make_unique<mm::PageCache>(
+            sim_, *layer_, opts.pageCacheConfig);
+    }
 }
 
 HostSnapshot
@@ -67,6 +71,9 @@ Host::snapshot() const
     w.put(faults_ != nullptr);
     if (faults_)
         faults_->saveState(w);
+    w.put(pagecache_ != nullptr);
+    if (pagecache_)
+        pagecache_->saveState(w);
     w.put(static_cast<uint32_t>(tracked_.size()));
     for (const sim::Snapshottable *obj : tracked_)
         obj->saveState(w);
@@ -90,6 +97,12 @@ Host::restore(const HostSnapshot &snap)
                  "snapshots restore state, not structure");
     if (faults_)
         faults_->loadState(r);
+    const bool had_pagecache = r.get<bool>();
+    sim::panicIf(had_pagecache != (pagecache_ != nullptr),
+                 "Host::restore: page cache presence mismatch — "
+                 "snapshots restore state, not structure");
+    if (pagecache_)
+        pagecache_->loadState(r);
     const auto tracked = r.get<uint32_t>();
     sim::panicIf(tracked != tracked_.size(),
                  "Host::restore: tracked-object count mismatch — "

@@ -22,6 +22,7 @@
 #include "controllers/factory.hh"
 #include "core/iocost.hh"
 #include "mm/memory_manager.hh"
+#include "mm/page_cache.hh"
 #include "sim/fault.hh"
 #include "sim/simulator.hh"
 #include "sim/state.hh"
@@ -52,6 +53,15 @@ struct HostOptions
     /** Construct a MemoryManager backed by this host's device. */
     bool enableMemory = false;
     mm::MemoryConfig memoryConfig;
+
+    /**
+     * Construct a PageCache (buffered IO + dirty writeback) backed
+     * by this host's device. Unlike the memory manager, the page
+     * cache is fully snapshottable, so buffered scenarios work with
+     * branch()/what-if.
+     */
+    bool enablePageCache = false;
+    mm::PageCacheConfig pageCacheConfig;
 
     /** Enable the submission-path CPU model (Fig. 9). */
     bool submissionCpu = false;
@@ -183,6 +193,10 @@ class Host
     mm::MemoryManager &mm() { return *mm_; }
     bool hasMemory() const { return mm_ != nullptr; }
 
+    /** The page cache; requires enablePageCache. */
+    mm::PageCache &pageCache() { return *pagecache_; }
+    bool hasPageCache() const { return pagecache_ != nullptr; }
+
     /** Top-level slices (Fig. 1). */
     cgroup::CgroupId system() const { return system_; }
     cgroup::CgroupId hostCritical() const { return hostCritical_; }
@@ -260,6 +274,7 @@ class Host
     cgroup::CgroupTree tree_;
     std::unique_ptr<blk::BlockLayer> layer_;
     std::unique_ptr<mm::MemoryManager> mm_;
+    std::unique_ptr<mm::PageCache> pagecache_;
     cgroup::CgroupId system_ = cgroup::kNone;
     cgroup::CgroupId hostCritical_ = cgroup::kNone;
     cgroup::CgroupId workload_ = cgroup::kNone;

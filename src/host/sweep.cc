@@ -344,6 +344,7 @@ SweepRunner::cloneToLanes(const blk::Bio &bio)
             blk::Bio::make(bio.op, bio.offset, bio.size, bio.cgroup);
         clone->swap = bio.swap;
         clone->meta = bio.meta;
+        clone->wb = bio.wb;
         lane.layer.submit(std::move(clone));
     }
 }

@@ -18,40 +18,81 @@ namespace iocost::sim {
 
 /** Abort the simulation: something that should never happen did. */
 [[noreturn]] inline void
+panic(const char *msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg);
+    std::abort();
+}
+
+[[noreturn]] inline void
 panic(const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::abort();
+    panic(msg.c_str());
 }
 
 /** Exit the simulation: unrecoverable user/configuration error. */
 [[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+[[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    std::exit(1);
+    fatal(msg.c_str());
 }
 
 /** Non-fatal warning about questionable configuration or behavior. */
 inline void
+warn(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    warn(msg.c_str());
 }
 
 /** Informative status message. */
 inline void
-inform(const std::string &msg)
+inform(const char *msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    std::fprintf(stderr, "info: %s\n", msg);
 }
 
-/** panic() unless the condition holds. */
+inline void
+inform(const std::string &msg)
+{
+    inform(msg.c_str());
+}
+
+/**
+ * panic() unless the condition holds.
+ *
+ * The const char* overload exists for hot paths: a string literal
+ * longer than the SSO buffer passed to the std::string overload
+ * would heap-allocate (and format) the message on EVERY call, even
+ * when the condition is false. Literals now bind here and cost
+ * nothing until the panic actually fires; only call sites that
+ * genuinely compose a message still pay for the composition — guard
+ * those behind the condition by hand.
+ */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic(msg);
+}
+
 inline void
 panicIf(bool cond, const std::string &msg)
 {
     if (cond)
-        panic(msg);
+        panic(msg.c_str());
 }
 
 } // namespace iocost::sim

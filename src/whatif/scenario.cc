@@ -56,6 +56,34 @@ parseTimeValue(const std::string &text)
     return static_cast<sim::Time>(value * scale);
 }
 
+/** Non-negative byte size with optional K/M/G suffix. */
+uint64_t
+parseBytesValue(const std::string &text)
+{
+    if (text.empty())
+        bad("empty size value");
+    size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception &) {
+        bad("unparsable size \"" + text + "\"");
+    }
+    if (value < 0.0)
+        bad("negative size \"" + text + "\"");
+    const std::string unit = text.substr(pos);
+    double mult = 1.0;
+    if (unit == "K" || unit == "k")
+        mult = 1ull << 10;
+    else if (unit == "M" || unit == "m")
+        mult = 1ull << 20;
+    else if (unit == "G" || unit == "g")
+        mult = 1ull << 30;
+    else if (!unit.empty())
+        bad("unknown size suffix \"" + unit + "\"");
+    return static_cast<uint64_t>(value * mult);
+}
+
 } // namespace
 
 sim::Time
@@ -105,6 +133,16 @@ Scenario::parse(const std::string &text)
             } catch (const std::exception &) {
                 bad("unparsable seed \"" + value + "\"");
             }
+        } else if (key == "pagecache") {
+            sc.pagecacheBytes = parseBytesValue(value);
+        } else if (key == "dirty_ratio") {
+            try {
+                sc.dirtyRatioPct = std::stod(value);
+            } catch (const std::exception &) {
+                bad("unparsable dirty_ratio \"" + value + "\"");
+            }
+            if (sc.dirtyRatioPct < 0.0 || sc.dirtyRatioPct > 100.0)
+                bad("dirty_ratio must be in [0, 100]");
         } else if (key == "job") {
             if (value.empty())
                 bad("empty job spec");
@@ -166,6 +204,18 @@ Scenario::canonical() const
     out += buf;
     std::snprintf(buf, sizeof buf, ";seed=%" PRIu64, seed);
     out += buf;
+    // Emitted only when set: pre-pagecache canonical strings (and
+    // the cache hashes derived from them) must not change.
+    if (pagecacheBytes != 0) {
+        std::snprintf(buf, sizeof buf, ";pagecache=%" PRIu64,
+                      pagecacheBytes);
+        out += buf;
+    }
+    if (dirtyRatioPct != 0.0) {
+        std::snprintf(buf, sizeof buf, ";dirty_ratio=%.17g",
+                      dirtyRatioPct);
+        out += buf;
+    }
     for (const std::string &job : jobs)
         out += ";job=" + job;
     out += ";marks=";

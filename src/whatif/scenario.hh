@@ -36,8 +36,14 @@ namespace iocost::whatif {
  *   faults=<sim::FaultPlan spec>    (default: healthy device)
  *   seconds=10             simulated run length
  *   seed=42
+ *   pagecache=512M         per-host page cache; enables buffered
+ *                          jobs (0/omitted = direct IO only)
+ *   dirty_ratio=20         hard dirty wall, percent of the cache
+ *                          (background threshold tracks at half)
  *   job=web:weight=200:depth=32    repeatable; iocost_sim --job
- *                          grammar (weight/depth/bs/rw/pattern/rate)
+ *                          grammar (weight/depth/bs/rw/pattern/rate
+ *                          plus buffered=1/fsync=N/span=BYTES for
+ *                          page-cache jobs)
  *   marks=1s,2s,5s         checkpoint marks (ns/us/ms/s suffix,
  *                          default ms); t=0 is always a mark
  *
@@ -54,6 +60,14 @@ struct Scenario
     std::string faults;
     double seconds = 10.0;
     uint64_t seed = 42;
+
+    /** Page cache size per replica host (0 = none; buffered jobs
+     *  then fail validation). */
+    uint64_t pagecacheBytes = 0;
+
+    /** Hard dirty wall as a percent of the cache; 0 keeps
+     *  mm::PageCacheConfig defaults. */
+    double dirtyRatioPct = 0.0;
 
     /** Raw job spec strings (iocost_sim --job grammar). */
     std::vector<std::string> jobs;

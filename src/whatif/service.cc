@@ -24,6 +24,10 @@ struct ParsedJob
     std::string name;
     uint32_t weight = 100;
     workload::FioConfig fio;
+    /** Route through the page cache instead of the block layer. */
+    bool buffered = false;
+    uint32_t fsyncEvery = 0;
+    uint64_t spanBytes = 0;
 };
 
 /** "name:key=value:..." — the iocost_sim --job grammar, throwing
@@ -71,6 +75,13 @@ parseJobSpec(const std::string &arg)
                 } else if (key == "rate") {
                     job.fio.arrival = workload::Arrival::Rate;
                     job.fio.ratePerSec = std::stod(value);
+                } else if (key == "buffered") {
+                    job.buffered = std::stoul(value) != 0;
+                } else if (key == "fsync") {
+                    job.fsyncEvery =
+                        static_cast<uint32_t>(std::stoul(value));
+                } else if (key == "span") {
+                    job.spanBytes = std::stoull(value);
                 } else {
                     bad("unknown job key \"" + key + "\"");
                 }
@@ -252,6 +263,16 @@ Replica::build()
             bad("bad qos line \"" + sc_.qos + "\"");
         opts.controller.iocost.qos = *parsed;
     }
+    if (sc_.pagecacheBytes != 0) {
+        opts.enablePageCache = true;
+        opts.pageCacheConfig.cacheBytes = sc_.pagecacheBytes;
+        if (sc_.dirtyRatioPct > 0.0) {
+            opts.pageCacheConfig.dirtyRatio =
+                sc_.dirtyRatioPct / 100.0;
+            opts.pageCacheConfig.dirtyBackgroundRatio =
+                sc_.dirtyRatioPct / 200.0;
+        }
+    }
 
     host_ = std::make_unique<host::Host>(sim_, std::move(device),
                                          opts);
@@ -263,11 +284,33 @@ Replica::build()
         const auto cg = host_->addWorkload(job.name, job.weight);
         jobNames_.push_back(job.name);
         jobCgs_.push_back(cg);
-        workloads_.push_back(
-            std::make_unique<workload::FioWorkload>(
-                sim_, host_->layer(), cg, job.fio));
-        host_->track(*workloads_.back());
-        workloads_.back()->start();
+        if (job.buffered) {
+            if (sc_.pagecacheBytes == 0) {
+                bad("buffered job \"" + job.name +
+                    "\" requires pagecache=");
+            }
+            workload::BufferedConfig bc;
+            bc.name = job.name;
+            bc.readFraction = job.fio.readFraction;
+            bc.randomFraction = job.fio.randomFraction;
+            bc.blockSize = job.fio.blockSize;
+            bc.offsetBase = job.fio.offsetBase;
+            bc.fsyncEvery = job.fsyncEvery;
+            bc.depth = job.fio.iodepth;
+            if (job.spanBytes != 0)
+                bc.spanBytes = job.spanBytes;
+            buffered_.push_back(
+                std::make_unique<workload::BufferedWorkload>(
+                    sim_, host_->pageCache(), cg, bc));
+            host_->track(*buffered_.back());
+            buffered_.back()->start();
+        } else {
+            workloads_.push_back(
+                std::make_unique<workload::FioWorkload>(
+                    sim_, host_->layer(), cg, job.fio));
+            host_->track(*workloads_.back());
+            workloads_.back()->start();
+        }
     }
 }
 

@@ -38,6 +38,7 @@
 #include "host/host.hh"
 #include "whatif/query.hh"
 #include "whatif/scenario.hh"
+#include "workload/buffered_io.hh"
 #include "workload/fio_workload.hh"
 
 namespace iocost::whatif {
@@ -123,6 +124,8 @@ class Replica
     std::vector<std::string> jobNames_;
     std::vector<cgroup::CgroupId> jobCgs_;
     std::vector<std::unique_ptr<workload::FioWorkload>> workloads_;
+    std::vector<std::unique_ptr<workload::BufferedWorkload>>
+        buffered_;
     std::vector<std::pair<sim::Time, host::HostSnapshot>>
         checkpoints_;
     RunStats baseline_;

@@ -86,6 +86,28 @@ TEST(FleetShards, AggregateByteIdenticalAcrossLayouts)
     }
 }
 
+/** Buffered host-days (page cache + flusher + debt-paced dirtiers
+ *  inside every slice) must stay byte-identical for any layout just
+ *  like the direct-IO kinds. */
+TEST(FleetShards, BufferedAggregateByteIdenticalAcrossLayouts)
+{
+    const FleetScenario sc = FleetScenario::parse(
+        "hosts=6 days=3 seed=77 migration=1..2:50 "
+        "devices=A:50,G:50 workloads=mixed:40,buffered:60 "
+        "dirty_ratio=25 "
+        "slice=20ms warmup=20ms fetch=64K fetch_deadline=8ms "
+        "cleanup=6 cleanup_io=4K cleanup_deadline=4ms");
+    ASSERT_EQ(sc.pagecacheBytes, 512ull << 20); // buffered default
+    const std::string ref = aggPayload(runWith(sc, 1, 1));
+    const unsigned combos[][2] = {{1, 5}, {4, 3}, {2, 6}};
+    for (const auto &c : combos) {
+        const FleetAggregate agg = runWith(sc, c[0], c[1]);
+        EXPECT_EQ(agg.hostDays, 6u * 3u);
+        EXPECT_EQ(aggPayload(agg), ref)
+            << "layout jobs=" << c[0] << " shards=" << c[1];
+    }
+}
+
 TEST(FleetShards, MomentsBitIdenticalAcrossLayouts)
 {
     const FleetScenario sc = smallScenario();

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Page-cache and dirty-writeback unit tests: per-cgroup dirty
+ * accounting, the background flusher (pressure and age triggers),
+ * dirty-limit stalls (global and per-cgroup), fsync barriers,
+ * buffered read hit/miss, writeback attribution, and the buffered
+ * workload shapes built on top of all of it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "device/device_profiles.hh"
+#include "device/ssd_model.hh"
+#include "host/host.hh"
+#include "mm/page_cache.hh"
+#include "workload/buffered_io.hh"
+
+namespace {
+
+using namespace iocost;
+
+/** A host with the page cache enabled and two empty cgroups. */
+struct Rig
+{
+    sim::Simulator sim;
+    std::unique_ptr<host::Host> host;
+    cgroup::CgroupId web = 0;
+    cgroup::CgroupId batch = 0;
+
+    explicit Rig(uint64_t cache_bytes = 512ull << 20,
+                 bool charge_dirtier = true)
+        : sim(11)
+    {
+        host::HostOptions opts;
+        opts.controller = "none";
+        opts.enablePageCache = true;
+        opts.pageCacheConfig.cacheBytes = cache_bytes;
+        opts.pageCacheConfig.chargeWbToDirtier = charge_dirtier;
+        host = std::make_unique<host::Host>(
+            sim,
+            std::make_unique<device::SsdModel>(sim,
+                                               device::newGenSsd()),
+            opts);
+        web = host->addWorkload("web", 200);
+        batch = host->addWorkload("batch", 100);
+    }
+
+    mm::PageCache &pc() { return host->pageCache(); }
+};
+
+/** Closed-loop buffered writer: reissues from each completion, so
+ *  it keeps pressing on the dirty wall however often it stalls. */
+struct Pump
+{
+    mm::PageCache *pc;
+    cgroup::CgroupId cg;
+    uint64_t chunk;
+    uint64_t remaining;
+    uint64_t offset = 0;
+    uint64_t completed = 0;
+
+    void
+    run()
+    {
+        if (remaining == 0)
+            return;
+        const uint64_t n = std::min(chunk, remaining);
+        remaining -= n;
+        pc->write(cg, offset, n, [this] {
+            ++completed;
+            run();
+        });
+        offset += n;
+    }
+};
+
+TEST(PageCache, BufferedWriteDirtiesAtMemorySpeed)
+{
+    Rig rig;
+    int done = 0;
+    for (int i = 0; i < 4; ++i) {
+        rig.pc().write(rig.batch, uint64_t(i) * (2ull << 20),
+                       2ull << 20, [&done] { ++done; });
+    }
+    rig.sim.runUntil(sim::kMsec);
+
+    EXPECT_EQ(done, 4);
+    const mm::CacheCgroupStats &st = rig.pc().stats(rig.batch);
+    EXPECT_EQ(st.dirty, 8ull << 20);
+    EXPECT_EQ(st.bufferedWriteBytes, 8ull << 20);
+    EXPECT_EQ(rig.pc().totalDirty(), 8ull << 20);
+    EXPECT_EQ(rig.pc().totalCached(), 8ull << 20);
+    // Below the background ratio and younger than dirty_expire:
+    // nothing reaches the device.
+    EXPECT_EQ(st.wbIssuedBytes, 0u);
+    EXPECT_EQ(rig.host->layer().submitted(), 0u);
+}
+
+TEST(PageCache, BackgroundWritebackDrainsAboveRatio)
+{
+    Rig rig; // background kicks in at 51.2M of the 512M cache
+    int done = 0;
+    for (int i = 0; i < 60; ++i) {
+        rig.pc().write(rig.batch, uint64_t(i) << 20, 1ull << 20,
+                       [&done] { ++done; });
+    }
+    rig.sim.runUntil(4 * sim::kSec);
+
+    EXPECT_EQ(done, 60); // never near the hard wall (102M)
+    const mm::CacheCgroupStats &st = rig.pc().stats(rig.batch);
+    EXPECT_GT(st.wbIssuedBytes, 0u);
+    EXPECT_GT(st.cleanedBytes, 0u);
+    // The flusher drains to the background ratio and stops.
+    const uint64_t background =
+        uint64_t(0.10 * double(512ull << 20));
+    EXPECT_LE(rig.pc().totalDirty(), background + (1ull << 20));
+    // Cleaned pages stay cached (clean), they don't vanish.
+    EXPECT_GT(st.cachedClean, 0u);
+    EXPECT_EQ(st.cachedClean + st.dirty + st.writeback,
+              60ull << 20);
+}
+
+TEST(PageCache, ExpiredExtentsFlushWithoutPressure)
+{
+    Rig rig;
+    rig.pc().write(rig.batch, 0, 8ull << 20, [] {});
+    // 8M is far below the background ratio; only dirty_expire (5s)
+    // can move it.
+    rig.sim.runUntil(2 * sim::kSec);
+    EXPECT_EQ(rig.pc().stats(rig.batch).wbIssuedBytes, 0u);
+
+    rig.sim.runUntil(8 * sim::kSec);
+    const mm::CacheCgroupStats &st = rig.pc().stats(rig.batch);
+    EXPECT_EQ(st.cleanedBytes, 8ull << 20);
+    EXPECT_EQ(st.dirty, 0u);
+    EXPECT_EQ(st.cachedClean, 8ull << 20);
+    EXPECT_EQ(rig.pc().wbInflight(), 0u);
+}
+
+TEST(PageCache, DirtyWallStallsAndReleasesWriters)
+{
+    Rig rig(64ull << 20); // hard wall at 12.8M dirty
+    Pump pump{&rig.pc(), rig.batch, 2ull << 20, 64ull << 20};
+    pump.run();
+    rig.sim.runUntil(200 * sim::kMsec);
+    const mm::CacheCgroupStats &st = rig.pc().stats(rig.batch);
+    EXPECT_GT(st.throttleStalls, 0u);
+    EXPECT_GT(st.throttleTime, 0);
+
+    // The flusher keeps releasing the wall: the closed loop pushes
+    // its full 64M through a cache a fraction of that size.
+    rig.sim.runUntil(30 * sim::kSec);
+    EXPECT_EQ(pump.completed, 32u);
+    EXPECT_EQ(rig.pc().stats(rig.batch).bufferedWriteBytes,
+              64ull << 20);
+    EXPECT_EQ(rig.pc().pendingOps(), 0u);
+    // The cache never exceeded its capacity: eviction made room.
+    EXPECT_LE(rig.pc().totalCached(), 64ull << 20);
+}
+
+TEST(PageCache, PerCgroupLimitStallsOnlyThatCgroup)
+{
+    Rig rig; // 512M cache: the global walls never come into play
+    rig.pc().setDirtyLimit(rig.batch, 4ull << 20);
+
+    Pump pump{&rig.pc(), rig.batch, 2ull << 20, 16ull << 20};
+    pump.run();
+    int web_done = 0;
+    rig.pc().write(rig.web, 1ull << 30, 8ull << 20,
+                   [&web_done] { ++web_done; });
+    rig.sim.runUntil(100 * sim::kMsec);
+
+    EXPECT_EQ(web_done, 1); // the other cgroup is unaffected
+    EXPECT_EQ(rig.pc().stats(rig.web).throttleStalls, 0u);
+    EXPECT_GT(rig.pc().stats(rig.batch).throttleStalls, 0u);
+
+    rig.sim.runUntil(20 * sim::kSec);
+    EXPECT_EQ(pump.completed, 8u);
+}
+
+TEST(PageCache, FsyncFlushesAndWaitsForClean)
+{
+    Rig rig;
+    rig.pc().write(rig.batch, 0, 16ull << 20, [] {});
+    rig.sim.runUntil(sim::kMsec);
+
+    bool synced = false;
+    rig.pc().fsync(rig.batch, [&synced] { synced = true; });
+    // fsync bypasses the flush interval, the expiry age, and the
+    // congestion window: writeback is on the wire immediately.
+    rig.sim.runUntil(2 * sim::kMsec);
+    EXPECT_GT(rig.pc().stats(rig.batch).wbIssuedBytes, 0u);
+
+    rig.sim.runUntil(2 * sim::kSec); // far before dirty_expire
+    EXPECT_TRUE(synced);
+    const mm::CacheCgroupStats &st = rig.pc().stats(rig.batch);
+    EXPECT_EQ(st.fsyncs, 1u);
+    EXPECT_GE(st.cleanedBytes, 16ull << 20);
+    EXPECT_EQ(st.dirty, 0u);
+    EXPECT_EQ(rig.pc().pendingOps(), 0u);
+}
+
+TEST(PageCache, ReadMissFillsAndHitServesFromCache)
+{
+    Rig rig;
+    const uint64_t span = 16ull << 20;
+    rig.pc().addSpan(rig.web, span);
+    EXPECT_EQ(rig.pc().stats(rig.web).span, span);
+
+    int done = 0;
+    // Cold cache: footprint/span == 0, a guaranteed miss that goes
+    // to the device as a throttleable read charged to the reader.
+    rig.pc().read(rig.web, 0, 1ull << 20, [&done] { ++done; });
+    rig.sim.runUntil(sim::kSec);
+    EXPECT_EQ(done, 1);
+    const mm::CacheCgroupStats &st = rig.pc().stats(rig.web);
+    EXPECT_EQ(st.readMissBytes, 1ull << 20);
+    EXPECT_EQ(st.readHitBytes, 0u);
+    EXPECT_EQ(st.cachedClean, 1ull << 20); // the fill populated it
+    EXPECT_GT(rig.host->layer().stats(rig.web).reads, 0u);
+
+    // Populate the whole span: footprint/span >= 1, guaranteed
+    // hits at memory speed, nothing new at the device.
+    rig.pc().write(rig.web, 0, span, [] {});
+    rig.sim.runUntil(sim::kSec + sim::kMsec);
+    const uint64_t device_reads =
+        rig.host->layer().stats(rig.web).reads;
+    for (int i = 0; i < 8; ++i) {
+        rig.pc().read(rig.web, uint64_t(i) << 20, 64 * 1024,
+                      [&done] { ++done; });
+    }
+    rig.sim.runUntil(sim::kSec + 10 * sim::kMsec);
+    EXPECT_EQ(done, 9);
+    EXPECT_EQ(st.readHitBytes, 8ull * 64 * 1024);
+    EXPECT_EQ(st.readMissBytes, 1ull << 20);
+    EXPECT_EQ(rig.host->layer().stats(rig.web).reads, device_reads);
+}
+
+TEST(PageCache, WritebackAttribution)
+{
+    for (const bool charge : {true, false}) {
+        Rig rig(512ull << 20, charge);
+        rig.pc().write(rig.batch, 0, 8ull << 20, [] {});
+        rig.sim.runUntil(sim::kMsec);
+        bool synced = false;
+        rig.pc().fsync(rig.batch, [&synced] { synced = true; });
+        rig.sim.runUntil(4 * sim::kSec);
+        ASSERT_TRUE(synced);
+
+        const blk::CgroupIoStats &to_batch =
+            rig.host->layer().stats(rig.batch);
+        const blk::CgroupIoStats &to_root =
+            rig.host->layer().stats(cgroup::kRoot);
+        if (charge) {
+            // Cgroup writeback: flusher bios carry the dirtier.
+            EXPECT_GT(to_batch.wbWrites, 0u);
+            EXPECT_EQ(to_batch.wbBytes, 8ull << 20);
+            EXPECT_EQ(to_root.wbWrites, 0u);
+        } else {
+            // Historical root attribution: the dirtier's flood is
+            // invisible to any per-cgroup control.
+            EXPECT_GT(to_root.wbWrites, 0u);
+            EXPECT_EQ(to_batch.wbWrites, 0u);
+        }
+    }
+}
+
+TEST(BufferedWorkload, DirtierAndFsyncShapesRun)
+{
+    Rig rig(256ull << 20);
+
+    workload::BufferedConfig dc;
+    dc.name = "dirtier";
+    dc.blockSize = 1 << 20;
+    dc.spanBytes = 1ull << 30;
+    dc.thinkTime = 100 * sim::kUsec;
+    dc.depth = 2;
+    workload::BufferedWorkload dirtier(rig.sim, rig.pc(),
+                                       rig.batch, dc);
+    EXPECT_EQ(rig.pc().stats(rig.batch).span, 1ull << 30);
+
+    workload::BufferedConfig fc;
+    fc.name = "fsyncer";
+    fc.blockSize = 16 * 1024;
+    fc.spanBytes = 64ull << 20;
+    fc.offsetBase = 2ull << 40;
+    fc.randomFraction = 1.0;
+    fc.fsyncEvery = 8;
+    workload::BufferedWorkload fsyncer(rig.sim, rig.pc(), rig.web,
+                                       fc);
+
+    dirtier.start();
+    fsyncer.start();
+    rig.sim.runUntil(2 * sim::kSec);
+    dirtier.stop();
+    fsyncer.stop();
+    rig.sim.runUntil(4 * sim::kSec);
+
+    EXPECT_GT(dirtier.completed(), 0u);
+    EXPECT_GT(dirtier.iops(), 0.0);
+    EXPECT_GT(fsyncer.fsyncsDone(), 0u);
+    EXPECT_GT(fsyncer.latency().count(), 0u);
+    EXPECT_GT(rig.pc().stats(rig.batch).bufferedWriteBytes, 0u);
+    // stop() lets parked operations finish; nothing leaks a slot.
+    EXPECT_EQ(rig.pc().pendingOps(), 0u);
+}
+
+} // namespace

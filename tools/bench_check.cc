@@ -11,11 +11,21 @@
  * the distance, instead of silently committing a worse baseline.
  *
  * Usage:
- *   bench_check [--bench FILE] [--thresholds FILE]
+ *   bench_check [--bench [prefix=]FILE]... [--thresholds FILE]
  *
- * Defaults: BENCH_kernel.json and tools/bench_thresholds.txt,
- * resolved from the working directory (ctest runs this from the
- * repository root, against the committed benchmark document).
+ * --bench is repeatable; each document is flattened into the same
+ * namespace, under `prefix.` when one is given. With no --bench the
+ * gate loads BENCH_kernel.json (unprefixed) plus BENCH_fleet.json
+ * under `fleet_doc`, with tools/bench_thresholds.txt, resolved from
+ * the working directory (ctest runs this from the repository root,
+ * against the committed benchmark documents).
+ *
+ * Arrays flatten to index paths (`fleet_doc.scales.0.hosts`). A
+ * constraint whose path exists but holds JSON null is SKIPped with
+ * a note — null means "not measured on this machine" (e.g.
+ * parallel_speedup on a single-hardware-thread box), which is not a
+ * regression. A path absent from every document still FAILs: a
+ * renamed or dropped metric must not silently pass its gate.
  *
  * Threshold grammar — one constraint per line, '#' comments:
  *   <dotted.path> >= <number>
@@ -32,7 +42,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -61,6 +73,9 @@ class FlatJson
     {
         return values_;
     }
+
+    /** Paths present in the document but holding JSON null. */
+    const std::set<std::string> &nulls() const { return nulls_; }
 
   private:
     bool
@@ -92,10 +107,34 @@ class FlatJson
     }
 
     bool
+    array(const std::string &prefix)
+    {
+        if (!consume('['))
+            return false;
+        skipWs();
+        if (consume(']'))
+            return true;
+        size_t idx = 0;
+        for (;;) {
+            skipWs();
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%zu", idx++);
+            if (!value(prefix + "." + buf))
+                return false;
+            skipWs();
+            if (consume(','))
+                continue;
+            return consume(']');
+        }
+    }
+
+    bool
     value(const std::string &path)
     {
         if (peek() == '{')
             return object(path);
+        if (peek() == '[')
+            return array(path);
         if (peek() == '"') {
             std::string ignored;
             return string(ignored); // labels are not gated
@@ -108,8 +147,12 @@ class FlatJson
             values_[path] = 0.0;
             return true;
         }
-        if (literal("null"))
-            return true; // absent measurement, not gateable
+        if (literal("null")) {
+            // "Not measured on this machine" — recorded so the
+            // gate can SKIP (not FAIL) constraints on this path.
+            nulls_.insert(path);
+            return true;
+        }
         char *after = nullptr;
         const double v = std::strtod(text_ + pos_, &after);
         if (after == text_ + pos_)
@@ -166,6 +209,7 @@ class FlatJson
     size_t pos_ = 0;
     size_t end_ = 0;
     std::map<std::string, double> values_;
+    std::set<std::string> nulls_;
 };
 
 std::string
@@ -263,33 +307,60 @@ parseThresholds(const std::string &text, bool *ok)
 int
 main(int argc, char **argv)
 {
-    std::string bench_path = "BENCH_kernel.json";
+    // (prefix, path) pairs; empty prefix flattens unprefixed.
+    std::vector<std::pair<std::string, std::string>> bench_args;
     std::string thresholds_path = "tools/bench_thresholds.txt";
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--bench" && i + 1 < argc) {
-            bench_path = argv[++i];
+            const std::string spec = argv[++i];
+            const size_t eq = spec.find('=');
+            if (eq != std::string::npos) {
+                bench_args.emplace_back(spec.substr(0, eq),
+                                        spec.substr(eq + 1));
+            } else {
+                bench_args.emplace_back("", spec);
+            }
         } else if (arg == "--thresholds" && i + 1 < argc) {
             thresholds_path = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: bench_check [--bench FILE] "
+                         "usage: bench_check "
+                         "[--bench [prefix=]FILE]... "
                          "[--thresholds FILE]\n");
             return 2;
         }
     }
-
-    const std::string bench_text = readFile(bench_path);
-    if (bench_text.empty()) {
-        std::fprintf(stderr, "bench_check: cannot read %s\n",
-                     bench_path.c_str());
-        return 2;
+    if (bench_args.empty()) {
+        bench_args.emplace_back("", "BENCH_kernel.json");
+        bench_args.emplace_back("fleet_doc", "BENCH_fleet.json");
     }
-    FlatJson doc;
-    if (!doc.parse(bench_text)) {
-        std::fprintf(stderr, "bench_check: %s is not parseable\n",
-                     bench_path.c_str());
-        return 2;
+
+    std::map<std::string, double> vals;
+    std::set<std::string> nulls;
+    std::string bench_desc;
+    for (const auto &[prefix, path] : bench_args) {
+        const std::string text = readFile(path);
+        if (text.empty()) {
+            std::fprintf(stderr, "bench_check: cannot read %s\n",
+                         path.c_str());
+            return 2;
+        }
+        FlatJson doc;
+        if (!doc.parse(text)) {
+            std::fprintf(stderr,
+                         "bench_check: %s is not parseable\n",
+                         path.c_str());
+            return 2;
+        }
+        const std::string dot = prefix.empty() ? "" : prefix + ".";
+        for (const auto &[k, v] : doc.values())
+            vals[dot + k] = v;
+        for (const std::string &k : doc.nulls())
+            nulls.insert(dot + k);
+        if (!bench_desc.empty())
+            bench_desc += ",";
+        bench_desc += path;
     }
 
     const std::string thr_text = readFile(thresholds_path);
@@ -308,13 +379,20 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const auto &vals = doc.values();
     int failures = 0;
     for (const Constraint &c : constraints) {
         const auto lhs_it = vals.find(c.lhs);
         if (lhs_it == vals.end()) {
+            if (nulls.count(c.lhs)) {
+                // Present but null: not measured on this machine
+                // (e.g. parallel speedup on one hardware thread).
+                std::printf("SKIP %-44s null in document "
+                            "(not measured; line %d)\n",
+                            c.lhs.c_str(), c.line);
+                continue;
+            }
             std::printf("FAIL %-44s missing from %s (line %d)\n",
-                        c.lhs.c_str(), bench_path.c_str(), c.line);
+                        c.lhs.c_str(), bench_desc.c_str(), c.line);
             ++failures;
             continue;
         }
@@ -333,6 +411,13 @@ main(int argc, char **argv)
         } else {
             const auto rhs_it = vals.find(c.rhs);
             if (rhs_it == vals.end()) {
+                if (nulls.count(c.rhs)) {
+                    std::printf("SKIP %-44s bound %s null in "
+                                "document (line %d)\n",
+                                c.lhs.c_str(), c.rhs.c_str(),
+                                c.line);
+                    continue;
+                }
                 std::printf(
                     "FAIL %-44s bound %s missing (line %d)\n",
                     c.lhs.c_str(), c.rhs.c_str(), c.line);
@@ -363,7 +448,7 @@ main(int argc, char **argv)
                      "bench_check: %d of %zu constraints failed "
                      "(%s vs %s)\n",
                      failures, constraints.size(),
-                     bench_path.c_str(), thresholds_path.c_str());
+                     bench_desc.c_str(), thresholds_path.c_str());
         return 1;
     }
     std::printf("bench_check: %zu constraints OK\n",

@@ -15,6 +15,11 @@
  *              [--faults "<spec>"]  deterministic device fault plan
  *                              (see sim::FaultPlan::parse)
  *              [--seconds N] [--seed N] [--job name:key=value:...]
+ *              [--pagecache SIZE] [--dirty-ratio PCT]
+ *                              page cache for buffered=1 jobs
+ *                              (same keys as iocost_sim); the
+ *                              flusher's "wb" telemetry shows up
+ *                              as a [wb] row under each period
  *              [--every N]     render every Nth period (default:
  *                              auto, ~32 rows)
  *              [--detail]      per-completion device/blk records
@@ -69,6 +74,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -79,11 +85,13 @@
 #include "device/remote_model.hh"
 #include "device/ssd_model.hh"
 #include "fleet/fleet_sim.hh"
+#include "host/config.hh"
 #include "host/host.hh"
 #include "host/sweep.hh"
 #include "profile/device_profiler.hh"
 #include "sim/logging.hh"
 #include "stat/telemetry.hh"
+#include "workload/buffered_io.hh"
 #include "workload/fio_workload.hh"
 
 namespace {
@@ -95,6 +103,10 @@ struct JobSpec
     std::string name = "job";
     uint32_t weight = 100;
     workload::FioConfig fio;
+    /** Route through the page cache instead of the block layer. */
+    bool buffered = false;
+    uint32_t fsyncEvery = 0;
+    uint64_t spanBytes = 0;
 };
 
 /** Parse "name:key=value:..." (same grammar as iocost_sim). */
@@ -138,6 +150,13 @@ parseJob(const std::string &arg)
             } else if (key == "rate") {
                 job.fio.arrival = workload::Arrival::Rate;
                 job.fio.ratePerSec = std::stod(value);
+            } else if (key == "buffered") {
+                job.buffered = std::stoul(value) != 0;
+            } else if (key == "fsync") {
+                job.fsyncEvery =
+                    static_cast<uint32_t>(std::stoul(value));
+            } else if (key == "span") {
+                job.spanBytes = std::stoull(value);
             } else {
                 sim::fatal("unknown job key: " + key);
             }
@@ -201,7 +220,28 @@ struct Period
     std::map<std::string, double> global;
     // cgroup -> key -> value.
     std::map<uint32_t, std::map<std::string, double>> cgroups;
+    // Non-iocost sources ("wb", future subsystems): source -> key
+    // -> latest value within the period, rendered as a catch-all
+    // row so new telemetry is never silently dropped.
+    std::map<std::string, std::map<std::string, double>> other;
 };
+
+/**
+ * Warn once per telemetry source this tool has no native rendering
+ * for; the values still land in the period's catch-all row.
+ */
+void
+warnUnknownSource(const std::string &source, const std::string &key)
+{
+    static std::set<std::string> warned;
+    if (warned.insert(source).second) {
+        std::fprintf(stderr,
+                     "iocost_mon: unrecognized telemetry source "
+                     "'%s' (first key '%s'); values shown in the "
+                     "catch-all row\n",
+                     source.c_str(), key.c_str());
+    }
+}
 
 /** Group the iocost-source records into planning periods. */
 std::vector<Period>
@@ -209,8 +249,19 @@ collectPeriods(const std::vector<stat::Record> &records)
 {
     std::vector<Period> periods;
     for (const stat::Record &r : records) {
-        if (r.source != "iocost")
+        if (r.source != "iocost") {
+            // Known sources with dedicated renderings elsewhere
+            // ("device"/"blk" under --detail) stay out of the
+            // period view; anything else folds into the catch-all
+            // row of the current period.
+            if (r.source == "device" || r.source == "blk")
+                continue;
+            if (r.source != "wb")
+                warnUnknownSource(r.source, r.key);
+            if (!periods.empty())
+                periods.back().other[r.source][r.key] = r.value;
             continue;
+        }
         if (r.key == "vrate_pct") {
             periods.emplace_back();
             periods.back().time = r.time;
@@ -269,6 +320,12 @@ printPeriods(const std::vector<Period> &periods,
                 field(vals, "hweight_inuse_pct"),
                 field(vals, "hweight_active_pct"));
         }
+        for (const auto &[src, vals] : p.other) {
+            std::printf("  [%s]", src.c_str());
+            for (const auto &[k, v] : vals)
+                std::printf(" %s=%.6g", k.c_str(), v);
+            std::printf("\n");
+        }
     }
 }
 
@@ -279,6 +336,7 @@ runSingleHost(const std::string &device_name,
               const std::string &qos_line,
               const std::string &faults_spec, double seconds,
               uint64_t seed, std::vector<JobSpec> jobs,
+              uint64_t pagecache_bytes, double dirty_ratio_pct,
               unsigned every, bool detail,
               const std::string &out_path)
 {
@@ -315,6 +373,24 @@ runSingleHost(const std::string &device_name,
     opts.telemetryDetail = detail;
     opts.faults = faults_spec;
 
+    // Buffered jobs need a page cache; default one in when the
+    // size was left implicit (same policy as iocost_sim).
+    bool any_buffered = false;
+    for (const JobSpec &job : jobs)
+        any_buffered = any_buffered || job.buffered;
+    if (any_buffered && pagecache_bytes == 0)
+        pagecache_bytes = 512ull << 20;
+    if (pagecache_bytes != 0) {
+        opts.enablePageCache = true;
+        opts.pageCacheConfig.cacheBytes = pagecache_bytes;
+        if (dirty_ratio_pct > 0.0) {
+            opts.pageCacheConfig.dirtyRatio =
+                dirty_ratio_pct / 100.0;
+            opts.pageCacheConfig.dirtyBackgroundRatio =
+                dirty_ratio_pct / 200.0;
+        }
+    }
+
     host::Host host(sim, std::move(device), opts);
 
     if (jobs.empty()) {
@@ -327,13 +403,33 @@ runSingleHost(const std::string &device_name,
                 static_cast<unsigned long long>(seed));
 
     std::vector<std::unique_ptr<workload::FioWorkload>> running;
+    std::vector<std::unique_ptr<workload::BufferedWorkload>>
+        buffered;
     for (size_t j = 0; j < jobs.size(); ++j) {
         JobSpec &js = jobs[j];
         const auto cg = host.addWorkload(js.name, js.weight);
         js.fio.offsetBase = j << 40;
-        running.push_back(std::make_unique<workload::FioWorkload>(
-            sim, host.layer(), cg, js.fio));
-        running.back()->start();
+        if (js.buffered) {
+            workload::BufferedConfig bc;
+            bc.name = js.name;
+            bc.readFraction = js.fio.readFraction;
+            bc.randomFraction = js.fio.randomFraction;
+            bc.blockSize = js.fio.blockSize;
+            bc.offsetBase = js.fio.offsetBase;
+            bc.fsyncEvery = js.fsyncEvery;
+            bc.depth = js.fio.iodepth;
+            if (js.spanBytes != 0)
+                bc.spanBytes = js.spanBytes;
+            buffered.push_back(
+                std::make_unique<workload::BufferedWorkload>(
+                    sim, host.pageCache(), cg, bc));
+            buffered.back()->start();
+        } else {
+            running.push_back(
+                std::make_unique<workload::FioWorkload>(
+                    sim, host.layer(), cg, js.fio));
+            running.back()->start();
+        }
     }
     sim.runUntil(static_cast<sim::Time>(seconds * sim::kSec));
 
@@ -500,8 +596,12 @@ runHostSweep(const std::string &device_name,
     };
     std::vector<FusedPeriod> periods;
     for (const stat::Record &r : ring.records()) {
-        if (r.source != "sweep")
+        if (r.source != "sweep") {
+            if (r.source != "iocost" && r.source != "wb" &&
+                r.source != "device" && r.source != "blk")
+                warnUnknownSource(r.source, r.key);
             continue;
+        }
         if (periods.empty() || periods.back().time != r.time) {
             periods.emplace_back();
             periods.back().time = r.time;
@@ -964,6 +1064,8 @@ main(int argc, char **argv)
     std::string faults_spec, sweep_arg;
     double seconds = 5.0;
     uint64_t seed = 42;
+    uint64_t pagecache_bytes = 0;
+    double dirty_ratio_pct = 0.0;
     unsigned every = 0;
     bool detail = false;
     std::vector<JobSpec> jobs;
@@ -1005,6 +1107,15 @@ main(int argc, char **argv)
             seed = std::stoull(next());
         } else if (arg == "--job") {
             jobs.push_back(parseJob(next()));
+        } else if (arg == "--pagecache") {
+            const auto v = host::parseSize(next());
+            if (!v)
+                sim::fatal("bad --pagecache size");
+            pagecache_bytes = *v;
+        } else if (arg == "--dirty-ratio") {
+            dirty_ratio_pct = std::stod(next());
+            if (dirty_ratio_pct < 0.0 || dirty_ratio_pct > 100.0)
+                sim::fatal("--dirty-ratio must be in [0, 100]");
         } else if (arg == "--every") {
             every = static_cast<unsigned>(std::stoul(next()));
         } else if (arg == "--detail") {
@@ -1059,11 +1170,19 @@ main(int argc, char **argv)
                         fleet_shards, out_path);
     }
     if (!sweep_arg.empty()) {
+        for (const JobSpec &job : jobs) {
+            if (job.buffered) {
+                sim::fatal("buffered jobs are not supported under "
+                           "--sweep (the shadow-lane engine has no "
+                           "page cache)");
+            }
+        }
         return runHostSweep(device_name, sweep_arg, model_line,
                             faults_spec, seconds, seed,
                             std::move(jobs), every, out_path);
     }
     return runSingleHost(device_name, controller, model_line,
                          qos_line, faults_spec, seconds, seed,
-                         std::move(jobs), every, detail, out_path);
+                         std::move(jobs), pagecache_bytes,
+                         dirty_ratio_pct, every, detail, out_path);
 }

@@ -22,8 +22,17 @@
  *               (see sim::FaultPlan::parse), e.g.
  *               "lat@2s+1s=6,err@2s+1s=0.02,timeout=80ms"
  *              [--seconds N] [--seed N]
+ *              [--pagecache SIZE]  per-host page cache (K/M/G
+ *               suffixes); auto-set to 512M when any --job is
+ *               buffered. Enables buffered jobs and writeback.
+ *              [--dirty-ratio PCT]  hard dirty wall as a percent of
+ *               the page cache (background threshold at half)
  *              [--job name:weight=W:depth=D:bs=B:rw=read|write|mixed
- *                         :pattern=rand|seq[:rate=R]] ...
+ *                         :pattern=rand|seq[:rate=R]
+ *                         [:buffered=1][:fsync=N][:span=BYTES]] ...
+ *               buffered=1 routes the job through the page cache
+ *               (writes dirty pages, reads hit/miss the cache);
+ *               fsync=N adds an fsync barrier every N writes
  *              [--whatif '{"q":...}']  one-shot what-if query
  *               against the scenario the flags above describe (see
  *               whatif/query.hh for the JSON grammar); prints one
@@ -73,6 +82,7 @@
 
 #include "core/config_parse.hh"
 #include "fleet/fleet_sim.hh"
+#include "host/config.hh"
 #include "host/device_factory.hh"
 #include "host/host.hh"
 #include "host/sweep.hh"
@@ -80,6 +90,7 @@
 #include "whatif/query.hh"
 #include "whatif/scenario.hh"
 #include "whatif/service.hh"
+#include "workload/buffered_io.hh"
 #include "workload/fio_workload.hh"
 
 namespace {
@@ -91,6 +102,10 @@ struct JobSpec
     std::string name = "job";
     uint32_t weight = 100;
     workload::FioConfig fio;
+    /** Route through the page cache instead of the block layer. */
+    bool buffered = false;
+    uint32_t fsyncEvery = 0;
+    uint64_t spanBytes = 0;
 };
 
 /** Parse "name:key=value:..." into a JobSpec. */
@@ -134,6 +149,13 @@ parseJob(const std::string &arg)
             } else if (key == "rate") {
                 job.fio.arrival = workload::Arrival::Rate;
                 job.fio.ratePerSec = std::stod(value);
+            } else if (key == "buffered") {
+                job.buffered = std::stoul(value) != 0;
+            } else if (key == "fsync") {
+                job.fsyncEvery =
+                    static_cast<uint32_t>(std::stoul(value));
+            } else if (key == "span") {
+                job.spanBytes = std::stoull(value);
             } else {
                 sim::fatal("unknown job key: " + key);
             }
@@ -169,6 +191,8 @@ main(int argc, char **argv)
     std::string model_line, qos_line, faults_spec;
     double seconds = 10.0;
     uint64_t seed = 42;
+    uint64_t pagecache_bytes = 0;
+    double dirty_ratio_pct = 0.0;
     std::vector<JobSpec> jobs;
     std::vector<std::string> job_args;
     std::string whatif_arg;
@@ -202,6 +226,15 @@ main(int argc, char **argv)
             seconds = std::stod(next());
         } else if (arg == "--seed") {
             seed = std::stoull(next());
+        } else if (arg == "--pagecache") {
+            const auto v = host::parseSize(next());
+            if (!v)
+                sim::fatal("bad --pagecache size");
+            pagecache_bytes = *v;
+        } else if (arg == "--dirty-ratio") {
+            dirty_ratio_pct = std::stod(next());
+            if (dirty_ratio_pct < 0.0 || dirty_ratio_pct > 100.0)
+                sim::fatal("--dirty-ratio must be in [0, 100]");
         } else if (arg == "--job") {
             job_args.push_back(next());
             jobs.push_back(parseJob(job_args.back()));
@@ -357,6 +390,13 @@ main(int argc, char **argv)
         sim::fatal("--out is only meaningful with --fleet");
     if (!scenario_arg.empty())
         sim::fatal("--scenario is only meaningful with --fleet");
+    // Buffered jobs need a page cache; default one in when the
+    // size was left implicit (mirrors the fleet grammar).
+    bool any_buffered = false;
+    for (const JobSpec &job : jobs)
+        any_buffered = any_buffered || job.buffered;
+    if (any_buffered && pagecache_bytes == 0)
+        pagecache_bytes = 512ull << 20;
     if (!whatif_arg.empty()) {
         // One-shot what-if: assemble the scenario from the same
         // flags a plain run uses and answer the query with a cold
@@ -373,6 +413,8 @@ main(int argc, char **argv)
         wsc.faults = faults_spec;
         wsc.seconds = seconds;
         wsc.seed = seed;
+        wsc.pagecacheBytes = pagecache_bytes;
+        wsc.dirtyRatioPct = dirty_ratio_pct;
         wsc.jobs = job_args;
         try {
             wsc.normalize();
@@ -397,6 +439,11 @@ main(int argc, char **argv)
         if (controller_set) {
             sim::fatal(
                 "--sweep and --controller are mutually exclusive");
+        }
+        if (any_buffered) {
+            sim::fatal("buffered jobs are not supported under "
+                       "--sweep (the shadow-lane engine has no "
+                       "page cache)");
         }
         const std::vector<std::string> sweep_specs =
             controllers::splitSpecList(sweep_arg);
@@ -578,6 +625,16 @@ main(int argc, char **argv)
     host::HostOptions opts;
     opts.controller = *spec;
     opts.faults = faults_spec;
+    if (pagecache_bytes != 0) {
+        opts.enablePageCache = true;
+        opts.pageCacheConfig.cacheBytes = pagecache_bytes;
+        if (dirty_ratio_pct > 0.0) {
+            opts.pageCacheConfig.dirtyRatio =
+                dirty_ratio_pct / 100.0;
+            opts.pageCacheConfig.dirtyBackgroundRatio =
+                dirty_ratio_pct / 200.0;
+        }
+    }
     // The iocost settings a bare mechanism name leaves at their
     // struct defaults come from the device profile and the
     // --model/--qos kernel-format lines instead; a spec line that
@@ -612,13 +669,36 @@ main(int argc, char **argv)
                         .c_str());
     }
 
-    std::vector<std::unique_ptr<workload::FioWorkload>> running;
+    // One slot per job: direct jobs run FioWorkloads, buffered jobs
+    // run BufferedWorkloads through the host's page cache.
+    std::vector<std::unique_ptr<workload::FioWorkload>> running(
+        jobs.size());
+    std::vector<std::unique_ptr<workload::BufferedWorkload>>
+        buffered(jobs.size());
     for (size_t j = 0; j < jobs.size(); ++j) {
         JobSpec &spec = jobs[j];
         const auto cg = host.addWorkload(spec.name, spec.weight);
-        running.push_back(std::make_unique<workload::FioWorkload>(
-            sim, host.layer(), cg, spec.fio));
-        running.back()->start();
+        if (spec.buffered) {
+            workload::BufferedConfig bc;
+            bc.name = spec.name;
+            bc.readFraction = spec.fio.readFraction;
+            bc.randomFraction = spec.fio.randomFraction;
+            bc.blockSize = spec.fio.blockSize;
+            bc.offsetBase = spec.fio.offsetBase;
+            bc.fsyncEvery = spec.fsyncEvery;
+            bc.depth = spec.fio.iodepth;
+            if (spec.spanBytes != 0)
+                bc.spanBytes = spec.spanBytes;
+            buffered[j] =
+                std::make_unique<workload::BufferedWorkload>(
+                    sim, host.pageCache(), cg, bc);
+            buffered[j]->start();
+        } else {
+            running[j] =
+                std::make_unique<workload::FioWorkload>(
+                    sim, host.layer(), cg, spec.fio);
+            running[j]->start();
+        }
     }
 
     // Warmup 10%, then measure. Host::resetStats is the one
@@ -627,21 +707,38 @@ main(int argc, char **argv)
         static_cast<sim::Time>(0.1 * seconds * sim::kSec);
     sim.runUntil(warmup);
     host.resetStats();
-    for (auto &job : running)
-        job->resetStats();
+    for (auto &job : running) {
+        if (job)
+            job->resetStats();
+    }
+    for (auto &job : buffered) {
+        if (job)
+            job->resetStats();
+    }
     sim.runUntil(warmup + static_cast<sim::Time>(
                               seconds * sim::kSec));
 
     std::printf("\n%-12s %8s %10s %10s %10s %10s\n", "job",
                 "weight", "IOPS", "MB/s", "p50", "p99");
     for (size_t j = 0; j < jobs.size(); ++j) {
-        const auto &job = *running[j];
+        const double iops = running[j] ? running[j]->iops()
+                                       : buffered[j]->iops();
+        const stat::Histogram &lat = running[j]
+                                         ? running[j]->latency()
+                                         : buffered[j]->latency();
         std::printf(
             "%-12s %8u %10.0f %10.1f %8.0fus %8.0fus\n",
-            jobs[j].name.c_str(), jobs[j].weight, job.iops(),
-            job.iops() * jobs[j].fio.blockSize / 1e6,
-            sim::toMicros(job.latency().quantile(0.5)),
-            sim::toMicros(job.latency().quantile(0.99)));
+            jobs[j].name.c_str(), jobs[j].weight, iops,
+            iops * jobs[j].fio.blockSize / 1e6,
+            sim::toMicros(lat.quantile(0.5)),
+            sim::toMicros(lat.quantile(0.99)));
+    }
+    if (pagecache_bytes != 0) {
+        const mm::PageCache &pc = host.pageCache();
+        std::printf("pagecache: dirty=%.1fM writeback-inflight="
+                    "%.1fM cached=%.1fM\n",
+                    pc.totalDirty() / 1e6, pc.wbInflight() / 1e6,
+                    pc.totalCached() / 1e6);
     }
     if (auto *ioc = host.iocost()) {
         std::printf("\nvrate: %.0f%%  (planning period %.0fms)\n",
